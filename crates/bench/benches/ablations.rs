@@ -1,0 +1,79 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Timing side of the ablations; the PCM-write side is produced by
+//! `repro ablations`, which sweeps LLC and nursery sizes and reports
+//! socket write counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hemu_heap::chunks::{ChunkManager, ChunkPolicy, Side, SideSockets};
+use hemu_heap::{CollectorKind, ManagedHeap};
+use hemu_machine::{CtxId, Machine, MachineProfile};
+use hemu_types::{ByteSize, SocketId};
+
+/// Two free lists vs one monolithic list under alternating-technology
+/// chunk churn: the monolithic list pays an unmap + re-bind per recycled
+/// cross-technology chunk (the paper's §III.A argument).
+fn chunk_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_chunk_policy");
+    for (name, policy) in
+        [("two_lists", ChunkPolicy::TwoLists), ("monolithic", ChunkPolicy::Monolithic)]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::new(MachineProfile::emulation());
+                let proc = m.add_process(SocketId::DRAM);
+                let mut cm = ChunkManager::new(policy, SideSockets::hybrid(), proc);
+                // Alternate PCM and DRAM requests over a recycled pool.
+                for round in 0..64 {
+                    let side = if round % 2 == 0 { Side::Pcm } else { Side::Dram };
+                    let a = cm.acquire(&mut m, side, "bench").unwrap();
+                    let b2 = cm.acquire(&mut m, side, "bench").unwrap();
+                    cm.release(a);
+                    cm.release(b2);
+                }
+                std::hint::black_box(cm.stats())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The write barrier's cost relative to a barrier-free store: the fast
+/// path (no logging) vs the logging slow path.
+fn barrier_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_barrier");
+    group.bench_function("young_to_young_fast_path", |b| {
+        let (mut m, mut heap) = heap();
+        let src = heap.alloc(&mut m, 1, 8).unwrap();
+        let dst = heap.alloc(&mut m, 0, 8).unwrap();
+        let _r = heap.new_root(Some(src));
+        let _r2 = heap.new_root(Some(dst));
+        b.iter(|| {
+            for _ in 0..256 {
+                heap.write_ref(&mut m, src, 0, Some(dst)).unwrap();
+            }
+        })
+    });
+    group.bench_function("data_store_no_barrier", |b| {
+        let (mut m, mut heap) = heap();
+        let src = heap.alloc(&mut m, 0, 64).unwrap();
+        let _r = heap.new_root(Some(src));
+        b.iter(|| {
+            for _ in 0..256 {
+                heap.write_data(&mut m, src, 0, 8).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn heap() -> (Machine, ManagedHeap) {
+    let mut m = Machine::new(MachineProfile::emulation());
+    let proc = m.add_process(SocketId::DRAM);
+    let cfg = CollectorKind::KgN.config(ByteSize::from_mib(4), ByteSize::from_mib(64));
+    let heap = ManagedHeap::new(&mut m, proc, CtxId(0), cfg).unwrap();
+    (m, heap)
+}
+
+criterion_group!(benches, chunk_policy, barrier_paths);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Microbenchmarks of the platform's hot paths: the cache hierarchy, page
+//! translation, allocation on both memory managers, and the write barrier.
+//!
+//! These measure the *simulator's* throughput (how fast it can emulate),
+//! complementing the `repro` harness which measures the *emulated system*.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hemu_cache::{Hierarchy, HierarchyConfig};
+use hemu_heap::{CollectorKind, ManagedHeap};
+use hemu_machine::{CtxId, Machine, MachineProfile};
+use hemu_malloc::NativeHeap;
+use hemu_numa::{AddressSpace, NumaConfig, NumaMemory};
+use hemu_types::{
+    AccessKind, Addr, ByteSize, DeterministicRng, LineAddr, MemoryAccess, SocketId,
+};
+
+fn cache_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("hierarchy_access_stream", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::e5_2650l(4));
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..4096 {
+                i = i.wrapping_add(1);
+                let line = LineAddr::new(i % 500_000);
+                std::hint::black_box(h.access((i % 4) as usize, line, AccessKind::Write));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn page_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numa");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("translate_warm", |b| {
+        let mut mem = NumaMemory::new(NumaConfig::default());
+        let mut asp = AddressSpace::new();
+        // Pre-fault 4096 pages.
+        for p in 0..4096u64 {
+            asp.translate(Addr::new(p * 4096), &mut mem).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..4096 {
+                i = i.wrapping_add(2654435761);
+                let a = Addr::new((i % 4096) * 4096 + (i % 64) * 64);
+                std::hint::black_box(asp.translate(a, &mut mem).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn managed_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("managed_alloc_256B_objects", |b| {
+        let mut m = Machine::new(MachineProfile::emulation());
+        let proc = m.add_process(SocketId::DRAM);
+        let cfg = CollectorKind::KgN.config(ByteSize::from_mib(4), ByteSize::from_mib(64));
+        let mut heap = ManagedHeap::new(&mut m, proc, CtxId(0), cfg).unwrap();
+        b.iter(|| {
+            for _ in 0..256 {
+                std::hint::black_box(heap.alloc(&mut m, 0, 240).unwrap());
+            }
+        })
+    });
+    group.bench_function("write_barrier_old_to_young", |b| {
+        let mut m = Machine::new(MachineProfile::emulation());
+        let proc = m.add_process(SocketId::DRAM);
+        let cfg = CollectorKind::KgN.config(ByteSize::from_mib(4), ByteSize::from_mib(64));
+        let mut heap = ManagedHeap::new(&mut m, proc, CtxId(0), cfg).unwrap();
+        // Promote a holder object to the mature space.
+        let holder = heap.alloc(&mut m, 1, 8).unwrap();
+        let _r = heap.new_root(Some(holder));
+        for _ in 0..32_768 {
+            heap.alloc(&mut m, 0, 248).unwrap();
+        }
+        let young = heap.alloc(&mut m, 0, 8).unwrap();
+        let _r2 = heap.new_root(Some(young));
+        b.iter(|| {
+            for _ in 0..256 {
+                heap.write_ref(&mut m, holder, 0, Some(young)).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn native_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("malloc");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("native_alloc_free_cycle", |b| {
+        let mut m = Machine::new(MachineProfile::emulation());
+        let proc = m.add_process(SocketId::PCM);
+        let mut heap = NativeHeap::new(&mut m, proc, CtxId(0), SocketId::PCM);
+        b.iter(|| {
+            let mut objs = Vec::with_capacity(256);
+            for _ in 0..256 {
+                objs.push(heap.alloc(&mut m, 240).unwrap());
+            }
+            for o in objs {
+                heap.free(o);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("zipf_draws", |b| {
+        let mut rng = DeterministicRng::seeded(7);
+        b.iter(|| {
+            for _ in 0..4096 {
+                std::hint::black_box(rng.zipf(1 << 22, 0.8));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn machine_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.throughput(Throughput::Bytes(64 * 4096));
+    group.bench_function("access_64B_stream", |b| {
+        let mut m = Machine::new(MachineProfile::emulation());
+        let proc = m.add_process(SocketId::DRAM);
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..4096 {
+                i = i.wrapping_add(1);
+                let a = Addr::new((i % 1_000_000) * 64);
+                m.access(CtxId(0), proc, MemoryAccess::write(a, 64)).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    cache_hierarchy,
+    page_translation,
+    managed_allocation,
+    native_allocation,
+    generators,
+    machine_access
+);
+criterion_main!(benches);

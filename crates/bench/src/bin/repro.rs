@@ -1,0 +1,74 @@
+//! `repro`: regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p hemu-bench --bin repro --release -- all
+//! cargo run -p hemu-bench --bin repro --release -- fig3 fig7 --quick
+//! ```
+//!
+//! Targets: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 table3 all`.
+//! `--quick` restricts DaCapo to the seven-benchmark §V subset.
+
+use hemu_bench::{experiments, Harness, Scale};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut targets: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    if targets.is_empty() || targets.contains(&"all") {
+        targets = vec![
+            "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "fig8",
+            "ablations",
+        ];
+    }
+
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let mut h = Harness::new(scale);
+    let t0 = Instant::now();
+
+    for target in targets {
+        let started = Instant::now();
+        let result = match target {
+            "table1" => Ok(experiments::table1()),
+            "table2" => experiments::table2(&mut h),
+            "fig3" => experiments::fig3(&mut h),
+            "fig4" => experiments::fig4(&mut h),
+            "fig5" => experiments::fig5(&mut h),
+            "fig6" => experiments::fig6(&mut h),
+            "fig7" => experiments::fig7(&mut h),
+            "fig8" => experiments::fig8(&mut h),
+            "table3" => experiments::table3(&mut h),
+            "ablations" => experiments::ablations(),
+            s if s.starts_with("series:") => {
+                // e.g. `series:lusearch` or `series:pr`.
+                experiments::series(&s["series:".len()..], hemu_heap::CollectorKind::PcmOnly)
+            }
+            other => {
+                eprintln!("unknown target `{other}`; see --help in the README");
+                std::process::exit(2);
+            }
+        };
+        match result {
+            Ok(text) => {
+                println!("{}", "=".repeat(78));
+                println!("{text}");
+                println!(
+                    "[{target} done in {:.0?}; {} experiments executed so far]",
+                    started.elapsed(),
+                    h.runs_executed
+                );
+            }
+            Err(e) => {
+                eprintln!("{target} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "\nTotal: {} experiments in {:.0?} ({:?} scale).",
+        h.runs_executed,
+        t0.elapsed(),
+        scale
+    );
+}

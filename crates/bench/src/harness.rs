@@ -1,0 +1,151 @@
+//! The caching experiment harness.
+
+use hemu_core::{Experiment, RunReport};
+use hemu_heap::CollectorKind;
+use hemu_machine::MachineProfile;
+use hemu_types::Result;
+use hemu_workloads::{spec, DatasetSize, Language, WorkloadSpec};
+use std::collections::HashMap;
+
+/// How much of the evaluation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Every benchmark and dataset the paper uses.
+    #[default]
+    Full,
+    /// A representative subset (the §V simulator subset of DaCapo, Pjbb,
+    /// and the GraphChi applications) for faster turnaround.
+    Quick,
+}
+
+/// Which machine profile an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// The NUMA emulation platform (16 SMT contexts).
+    Emulation,
+    /// The Sniper-like simulation reference (8 cores, no SMT).
+    Simulation,
+}
+
+impl Profile {
+    fn machine(self) -> MachineProfile {
+        match self {
+            Profile::Emulation => MachineProfile::emulation(),
+            Profile::Simulation => MachineProfile::simulation(),
+        }
+    }
+}
+
+/// Runs experiments, memoizing results by configuration so figures that
+/// share runs do not repeat them.
+#[derive(Default)]
+pub struct Harness {
+    scale: Scale,
+    cache: HashMap<String, RunReport>,
+    /// Experiments executed (cache misses) — visible in the harness output
+    /// so a reader can see how much work a figure took.
+    pub runs_executed: usize,
+}
+
+impl Harness {
+    /// Creates a harness at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Harness { scale, ..Self::default() }
+    }
+
+    /// The configured scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The DaCapo benchmarks in scope at this scale.
+    pub fn dacapo(&self) -> Vec<WorkloadSpec> {
+        match self.scale {
+            Scale::Full => spec::dacapo_all(),
+            Scale::Quick => spec::dacapo_sim_subset(),
+        }
+    }
+
+    /// All applications in scope at this scale (DaCapo + Pjbb + GraphChi).
+    pub fn all_apps(&self) -> Vec<WorkloadSpec> {
+        let mut v = self.dacapo();
+        v.push(spec::pjbb());
+        v.extend(spec::graphchi_all());
+        v
+    }
+
+    /// Runs (or fetches) one experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates experiment failures.
+    pub fn run(
+        &mut self,
+        spec: WorkloadSpec,
+        collector: CollectorKind,
+        instances: usize,
+        profile: Profile,
+    ) -> Result<RunReport> {
+        let key = format!("{spec}|{}|{instances}|{profile:?}", collector.name());
+        if let Some(r) = self.cache.get(&key) {
+            return Ok(r.clone());
+        }
+        eprintln!("  running {key} ...");
+        let report = Experiment::new(spec)
+            .collector(collector)
+            .instances(instances)
+            .profile(profile.machine())
+            .run()?;
+        self.cache.insert(key, report.clone());
+        self.runs_executed += 1;
+        Ok(report)
+    }
+
+    /// Convenience: single instance on the emulation profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates experiment failures.
+    pub fn run1(&mut self, spec: WorkloadSpec, collector: CollectorKind) -> Result<RunReport> {
+        self.run(spec, collector, 1, Profile::Emulation)
+    }
+
+    /// Convenience: the C++ implementation of a GraphChi app (PCM-Only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates experiment failures.
+    pub fn run_cpp(&mut self, name: &str, dataset: DatasetSize) -> Result<RunReport> {
+        let spec = WorkloadSpec::by_name(name)
+            .expect("unknown GraphChi app")
+            .with_language(Language::Cpp)
+            .with_dataset(dataset);
+        self.run1(spec, CollectorKind::PcmOnly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_narrows_dacapo() {
+        let h = Harness::new(Scale::Quick);
+        assert_eq!(h.dacapo().len(), 7);
+        assert_eq!(h.all_apps().len(), 11);
+        let f = Harness::new(Scale::Full);
+        assert_eq!(f.dacapo().len(), 11);
+        assert_eq!(f.all_apps().len(), 15);
+    }
+
+    #[test]
+    fn cache_avoids_rerunning() {
+        let mut h = Harness::new(Scale::Quick);
+        let spec = WorkloadSpec::by_name("avrora").unwrap();
+        let a = h.run1(spec, CollectorKind::KgN).unwrap();
+        assert_eq!(h.runs_executed, 1);
+        let b = h.run1(spec, CollectorKind::KgN).unwrap();
+        assert_eq!(h.runs_executed, 1, "second call must hit the cache");
+        assert_eq!(a.pcm_writes, b.pcm_writes);
+    }
+}

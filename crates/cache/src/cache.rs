@@ -1,0 +1,368 @@
+//! A single set-associative, write-back, write-allocate cache.
+
+use crate::stats::CacheStats;
+use hemu_types::{AccessKind, ByteSize, LineAddr, CACHE_LINE};
+
+const INVALID: u64 = u64::MAX;
+
+/// Geometry and identity of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable name for reports ("L2", "LLC").
+    pub name: &'static str,
+    /// Total capacity.
+    pub size: ByteSize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, or capacity not a
+    /// multiple of `assoc * CACHE_LINE`, or a non-power-of-two set count —
+    /// the set index is computed by masking).
+    pub fn new(name: &'static str, size: ByteSize, assoc: usize) -> Self {
+        assert!(assoc > 0, "cache must have at least one way");
+        let lines = size.bytes() as usize / CACHE_LINE;
+        assert!(
+            lines % assoc == 0,
+            "capacity {size} not divisible into {assoc}-way sets"
+        );
+        let sets = lines / assoc;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        CacheConfig { name, size, assoc }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size.bytes() as usize / CACHE_LINE / self.assoc
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> usize {
+        self.size.bytes() as usize / CACHE_LINE
+    }
+}
+
+/// A line pushed out of the cache by an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// The physical line that was evicted.
+    pub line: LineAddr,
+    /// Whether it was dirty (must be written back to the next level).
+    pub dirty: bool,
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was already resident.
+    pub hit: bool,
+    /// On a miss that displaced a valid line, that line.
+    pub victim: Option<Victim>,
+}
+
+/// A set-associative, write-back, write-allocate cache with LRU replacement.
+///
+/// Tag arrays only — the simulator never stores data, it tracks which
+/// physical lines are resident and dirty, which is all that is needed to
+/// decide which stores become memory writes.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    set_mask: u64,
+    /// `sets * assoc` entries; `INVALID` marks an empty way.
+    tags: Vec<u64>,
+    dirty: Vec<bool>,
+    lru: Vec<u64>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let total = config.lines();
+        Cache {
+            config,
+            set_mask: (config.sets() - 1) as u64,
+            tags: vec![INVALID; total],
+            dirty: vec![false; total],
+            lru: vec![0; total],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    #[inline]
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = (line.raw() & self.set_mask) as usize;
+        let start = set * self.config.assoc;
+        start..start + self.config.assoc
+    }
+
+    /// Accesses `line`; on a write the resident line is marked dirty.
+    ///
+    /// On a miss the line is allocated (write-allocate for both reads and
+    /// writes) and the displaced valid line, if any, is returned so the
+    /// caller can propagate the write-back.
+    pub fn access(&mut self, line: LineAddr, kind: AccessKind) -> AccessResult {
+        self.tick += 1;
+        let range = self.set_range(line);
+        let tag = line.raw();
+
+        // Probe.
+        let mut victim_way = range.start;
+        let mut victim_lru = u64::MAX;
+        for way in range.clone() {
+            if self.tags[way] == tag {
+                self.stats.hits += 1;
+                self.lru[way] = self.tick;
+                if kind.is_write() {
+                    self.dirty[way] = true;
+                }
+                return AccessResult { hit: true, victim: None };
+            }
+            if self.tags[way] == INVALID {
+                // Prefer an invalid way; lru 0 beats every valid stamp.
+                if victim_lru > 0 {
+                    victim_lru = 0;
+                    victim_way = way;
+                }
+            } else if self.lru[way] < victim_lru {
+                victim_lru = self.lru[way];
+                victim_way = way;
+            }
+        }
+
+        // Miss: evict + allocate.
+        self.stats.misses += 1;
+        let victim = if self.tags[victim_way] != INVALID {
+            self.stats.evictions += 1;
+            let dirty = self.dirty[victim_way];
+            if dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(Victim { line: LineAddr::new(self.tags[victim_way]), dirty })
+        } else {
+            None
+        };
+        self.tags[victim_way] = tag;
+        self.dirty[victim_way] = kind.is_write();
+        self.lru[victim_way] = self.tick;
+        AccessResult { hit: false, victim }
+    }
+
+    /// Returns `true` if `line` is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let tag = line.raw();
+        self.set_range(line).any(|w| self.tags[w] == tag)
+    }
+
+    /// Returns the dirty bit of `line` if resident.
+    pub fn is_dirty(&self, line: LineAddr) -> Option<bool> {
+        let tag = line.raw();
+        self.set_range(line)
+            .find(|&w| self.tags[w] == tag)
+            .map(|w| self.dirty[w])
+    }
+
+    /// Marks a resident line dirty without touching LRU state (used when a
+    /// lower-level write-back lands in this cache).
+    ///
+    /// Returns `false` if the line was not resident.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        let tag = line.raw();
+        if let Some(w) = self.set_range(line).find(|&w| self.tags[w] == tag) {
+            self.dirty[w] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `line` if resident (inclusive-hierarchy back-invalidation),
+    /// returning whether it was resident and whether it was dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let tag = line.raw();
+        if let Some(w) = self.set_range(line).find(|&w| self.tags[w] == tag) {
+            self.tags[w] = INVALID;
+            let was_dirty = self.dirty[w];
+            self.dirty[w] = false;
+            Some(was_dirty)
+        } else {
+            None
+        }
+    }
+
+    /// Number of valid lines currently resident (O(capacity); for tests).
+    pub fn resident_lines(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID).count()
+    }
+
+    /// Iterates over the resident lines and their dirty bits (O(capacity);
+    /// for invariant checking and debugging).
+    pub fn iter_resident(&self) -> impl Iterator<Item = (LineAddr, bool)> + '_ {
+        self.tags
+            .iter()
+            .zip(self.dirty.iter())
+            .filter(|(&t, _)| t != INVALID)
+            .map(|(&t, &d)| (LineAddr::new(t), d))
+    }
+
+    /// Writes back and drops every dirty line, invoking `sink` for each
+    /// (used at iteration barriers to flush residual dirty data).
+    pub fn flush_dirty<F: FnMut(LineAddr)>(&mut self, mut sink: F) {
+        for w in 0..self.tags.len() {
+            if self.tags[w] != INVALID && self.dirty[w] {
+                sink(LineAddr::new(self.tags[w]));
+                self.dirty[w] = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways = 4 lines of 64 B = 256 B.
+        Cache::new(CacheConfig::new("T", ByteSize::new(256), 2))
+    }
+
+    /// Lines mapping to set 0 of the tiny cache (even line numbers).
+    fn l(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(l(0), AccessKind::Read).hit);
+        assert!(c.access(l(0), AccessKind::Read).hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn write_sets_dirty_read_does_not() {
+        let mut c = tiny();
+        c.access(l(0), AccessKind::Read);
+        assert_eq!(c.is_dirty(l(0)), Some(false));
+        c.access(l(0), AccessKind::Write);
+        assert_eq!(c.is_dirty(l(0)), Some(true));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Set 0 holds even lines; fill its two ways.
+        c.access(l(0), AccessKind::Read);
+        c.access(l(2), AccessKind::Read);
+        c.access(l(0), AccessKind::Read); // 2 is now LRU
+        let r = c.access(l(4), AccessKind::Read);
+        assert_eq!(r.victim, Some(Victim { line: l(2), dirty: false }));
+        assert!(c.contains(l(0)));
+        assert!(!c.contains(l(2)));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(l(0), AccessKind::Write);
+        c.access(l(2), AccessKind::Read);
+        let r = c.access(l(4), AccessKind::Read); // evicts line 0 (LRU, dirty)
+        assert_eq!(r.victim, Some(Victim { line: l(0), dirty: true }));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn repeated_writes_to_cached_line_never_evict() {
+        // The LLC-absorption effect in miniature: overwriting a resident
+        // line generates no memory traffic at all.
+        let mut c = tiny();
+        c.access(l(0), AccessKind::Write);
+        for _ in 0..100 {
+            let r = c.access(l(0), AccessKind::Write);
+            assert!(r.hit);
+            assert!(r.victim.is_none());
+        }
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        c.access(l(0), AccessKind::Read); // set 0
+        c.access(l(1), AccessKind::Read); // set 1
+        c.access(l(3), AccessKind::Read); // set 1
+        c.access(l(5), AccessKind::Read); // set 1: evicts 1 or 3, not 0
+        assert!(c.contains(l(0)));
+    }
+
+    #[test]
+    fn invalidate_returns_dirtiness() {
+        let mut c = tiny();
+        c.access(l(0), AccessKind::Write);
+        assert_eq!(c.invalidate(l(0)), Some(true));
+        assert_eq!(c.invalidate(l(0)), None);
+        assert!(!c.contains(l(0)));
+    }
+
+    #[test]
+    fn mark_dirty_requires_residency() {
+        let mut c = tiny();
+        assert!(!c.mark_dirty(l(0)));
+        c.access(l(0), AccessKind::Read);
+        assert!(c.mark_dirty(l(0)));
+        assert_eq!(c.is_dirty(l(0)), Some(true));
+    }
+
+    #[test]
+    fn flush_dirty_visits_each_dirty_line_once() {
+        let mut c = tiny();
+        c.access(l(0), AccessKind::Write);
+        c.access(l(1), AccessKind::Read);
+        c.access(l(2), AccessKind::Write);
+        let mut flushed = Vec::new();
+        c.flush_dirty(|line| flushed.push(line));
+        flushed.sort_by_key(|x| x.raw());
+        assert_eq!(flushed, vec![l(0), l(2)]);
+        // Second flush finds nothing.
+        let mut again = Vec::new();
+        c.flush_dirty(|line| again.push(line));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = CacheConfig::new("bad", ByteSize::new(192), 1);
+    }
+
+    #[test]
+    fn geometry_of_paper_llc() {
+        let cfg = CacheConfig::new("LLC", ByteSize::from_mib(20), 20);
+        assert_eq!(cfg.sets(), 16384);
+        assert_eq!(cfg.lines(), 327_680);
+    }
+}

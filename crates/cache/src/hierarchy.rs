@@ -1,0 +1,316 @@
+//! The multi-core hierarchy: private L2 per hardware context, one shared
+//! inclusive LLC.
+
+use crate::cache::{Cache, CacheConfig};
+use hemu_types::{AccessKind, ByteSize, LineAddr};
+
+/// Which level satisfied an access (drives the timing model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HitLevel {
+    /// Private L2 hit.
+    L2,
+    /// Shared LLC hit.
+    Llc,
+    /// Missed everywhere; line filled from memory.
+    Memory,
+}
+
+/// Everything the memory system must know about one access: where it hit,
+/// which line (if any) was read from memory, and which dirty lines were
+/// pushed out to memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyOutcome {
+    /// Level that satisfied the access.
+    pub level: HitLevel,
+    /// Line fetched from memory (always the accessed line, on LLC miss).
+    pub memory_fill: Option<LineAddr>,
+    /// Dirty lines written back to memory by this access (at most 2: an LLC
+    /// victim plus an L2 victim that missed the LLC).
+    pub memory_writebacks: Vec<LineAddr>,
+}
+
+/// Geometry of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Number of hardware contexts, each with a private L2.
+    pub contexts: usize,
+    /// Private L2 capacity (256 KiB on the paper's platform).
+    pub l2_size: ByteSize,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// Shared LLC capacity (20 MiB on the paper's platform).
+    pub llc_size: ByteSize,
+    /// LLC associativity.
+    pub llc_assoc: usize,
+}
+
+impl HierarchyConfig {
+    /// The paper's emulation platform: per-context 256 KiB 8-way L2s and a
+    /// shared 20 MiB 20-way LLC.
+    pub fn e5_2650l(contexts: usize) -> Self {
+        HierarchyConfig {
+            contexts,
+            l2_size: ByteSize::from_kib(256),
+            l2_assoc: 8,
+            llc_size: ByteSize::from_mib(20),
+            llc_assoc: 20,
+        }
+    }
+}
+
+/// Private L2s plus one shared, inclusive LLC.
+///
+/// Inclusion is enforced: when the LLC evicts a line, every L2 copy is
+/// back-invalidated and any L2 dirtiness is merged into the write-back, so
+/// no store is ever lost and no line is dirty in an L2 without the LLC
+/// knowing it resides above.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l2s: Vec<Cache>,
+    llc: Cache,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.contexts` is zero or a cache geometry is invalid.
+    pub fn new(config: HierarchyConfig) -> Self {
+        assert!(config.contexts > 0, "need at least one hardware context");
+        let l2cfg = CacheConfig::new("L2", config.l2_size, config.l2_assoc);
+        Hierarchy {
+            l2s: (0..config.contexts).map(|_| Cache::new(l2cfg)).collect(),
+            llc: Cache::new(CacheConfig::new("LLC", config.llc_size, config.llc_assoc)),
+        }
+    }
+
+    /// Number of hardware contexts.
+    pub fn contexts(&self) -> usize {
+        self.l2s.len()
+    }
+
+    /// The shared LLC (for stats inspection).
+    pub fn llc(&self) -> &Cache {
+        &self.llc
+    }
+
+    /// One context's private L2 (for stats inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn l2(&self, ctx: usize) -> &Cache {
+        &self.l2s[ctx]
+    }
+
+    /// Issues one line access from hardware context `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn access(&mut self, ctx: usize, line: LineAddr, kind: AccessKind) -> HierarchyOutcome {
+        let mut writebacks = Vec::new();
+
+        // L2 probe.
+        let l2r = self.l2s[ctx].access(line, kind);
+        if l2r.hit {
+            return HierarchyOutcome { level: HitLevel::L2, memory_fill: None, memory_writebacks: writebacks };
+        }
+
+        // The L2 displaced a line; a dirty one must merge into the LLC.
+        if let Some(v) = l2r.victim {
+            if v.dirty && !self.llc.mark_dirty(v.line) {
+                // Inclusion violated only transiently: the victim can have
+                // been back-invalidated from the LLC by a concurrent set
+                // conflict. Its data goes straight to memory.
+                writebacks.push(v.line);
+            }
+        }
+
+        // LLC probe. The L2 will hold the written line dirty, so the LLC
+        // access itself is a read-for-fill; dirtiness reaches the LLC later
+        // via the L2 write-back path above.
+        let llcr = self.llc.access(line, AccessKind::Read);
+        let level = if llcr.hit { HitLevel::Llc } else { HitLevel::Memory };
+
+        let mut fill = None;
+        if !llcr.hit {
+            fill = Some(line);
+            if let Some(v) = llcr.victim {
+                // Inclusive LLC: evicting a line expels it from every L2.
+                let mut dirty = v.dirty;
+                for l2 in &mut self.l2s {
+                    if let Some(l2_dirty) = l2.invalidate(v.line) {
+                        dirty |= l2_dirty;
+                    }
+                }
+                if dirty {
+                    writebacks.push(v.line);
+                }
+            }
+        }
+
+        HierarchyOutcome { level, memory_fill: fill, memory_writebacks: writebacks }
+    }
+
+    /// Flushes every dirty line in the whole hierarchy to memory, calling
+    /// `sink` once per line. Used at measurement barriers so that stores
+    /// still buffered in caches are attributed to the iteration that made
+    /// them.
+    pub fn flush<F: FnMut(LineAddr)>(&mut self, mut sink: F) {
+        // L2 dirty lines merge into the LLC copy (or go straight to memory
+        // if inclusion was transiently broken).
+        let mut l2_orphans = Vec::new();
+        for l2 in &mut self.l2s {
+            let llc = &mut self.llc;
+            l2.flush_dirty(|line| {
+                if !llc.mark_dirty(line) {
+                    l2_orphans.push(line);
+                }
+            });
+        }
+        for line in l2_orphans {
+            sink(line);
+        }
+        self.llc.flush_dirty(&mut sink);
+    }
+
+    /// Resets statistics on every cache (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        for l2 in &mut self.l2s {
+            l2.reset_stats();
+        }
+        self.llc.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(contexts: usize) -> Hierarchy {
+        // L2: 2 sets x 2 ways; LLC: 4 sets x 4 ways.
+        Hierarchy::new(HierarchyConfig {
+            contexts,
+            l2_size: ByteSize::new(256),
+            l2_assoc: 2,
+            llc_size: ByteSize::new(1024),
+            llc_assoc: 4,
+        })
+    }
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn first_access_misses_to_memory() {
+        let mut h = tiny(1);
+        let o = h.access(0, l(0), AccessKind::Read);
+        assert_eq!(o.level, HitLevel::Memory);
+        assert_eq!(o.memory_fill, Some(l(0)));
+        assert!(o.memory_writebacks.is_empty());
+    }
+
+    #[test]
+    fn second_access_hits_l2() {
+        let mut h = tiny(1);
+        h.access(0, l(0), AccessKind::Read);
+        let o = h.access(0, l(0), AccessKind::Write);
+        assert_eq!(o.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn sibling_context_hits_llc() {
+        let mut h = tiny(2);
+        h.access(0, l(0), AccessKind::Read);
+        let o = h.access(1, l(0), AccessKind::Read);
+        assert_eq!(o.level, HitLevel::Llc, "fill left the line in the shared LLC");
+    }
+
+    #[test]
+    fn dirty_l2_eviction_merges_into_llc_not_memory() {
+        let mut h = tiny(1);
+        h.access(0, l(0), AccessKind::Write);
+        // Evict line 0 from the (2-way) L2 set 0 with lines 2 and 4.
+        h.access(0, l(2), AccessKind::Read);
+        let o = h.access(0, l(4), AccessKind::Read);
+        assert!(o.memory_writebacks.is_empty(), "dirty data is still buffered in the LLC");
+        assert_eq!(h.llc().is_dirty(l(0)), Some(true));
+    }
+
+    #[test]
+    fn llc_eviction_of_dirty_line_writes_memory() {
+        let mut h = tiny(1);
+        h.access(0, l(0), AccessKind::Write);
+        // LLC set 0 holds multiples of 4: fill ways with 0,4,8,12 then touch 16.
+        for n in [4u64, 8, 12] {
+            h.access(0, l(n), AccessKind::Read);
+        }
+        let o = h.access(0, l(16), AccessKind::Read);
+        // Line 0's dirtiness lives in the L2 (never evicted from L2 yet);
+        // inclusion back-invalidates it and must carry the dirty data out.
+        assert_eq!(o.memory_writebacks, vec![l(0)]);
+        assert!(!h.l2(0).contains(l(0)), "back-invalidation removed the L2 copy");
+    }
+
+    #[test]
+    fn clean_llc_eviction_is_silent() {
+        let mut h = tiny(1);
+        for n in [0u64, 4, 8, 12] {
+            h.access(0, l(n), AccessKind::Read);
+        }
+        let o = h.access(0, l(16), AccessKind::Read);
+        assert!(o.memory_writebacks.is_empty());
+    }
+
+    #[test]
+    fn flush_emits_each_dirty_line_exactly_once() {
+        let mut h = tiny(2);
+        h.access(0, l(0), AccessKind::Write);
+        h.access(1, l(1), AccessKind::Write);
+        h.access(0, l(2), AccessKind::Read);
+        let mut out = Vec::new();
+        h.flush(|line| out.push(line));
+        out.sort_by_key(|x| x.raw());
+        assert_eq!(out, vec![l(0), l(1)]);
+        let mut again = Vec::new();
+        h.flush(|line| again.push(line));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn repeated_writes_in_cache_produce_no_memory_traffic() {
+        // The mechanism behind the paper's Finding 1: a nursery that fits in
+        // the LLC absorbs nearly all its writes.
+        let mut h = tiny(1);
+        let mut mem_writes = 0;
+        for _ in 0..50 {
+            for n in 0..4u64 {
+                let o = h.access(0, l(n), AccessKind::Write);
+                mem_writes += o.memory_writebacks.len();
+            }
+        }
+        assert_eq!(mem_writes, 0);
+    }
+
+    #[test]
+    fn llc_contention_between_contexts_causes_writebacks() {
+        // Two contexts each writing a working set that alone fits the LLC
+        // but together overflows it: the multiprogramming mechanism of
+        // Fig. 4 in miniature.
+        let mut h = tiny(2);
+        let mut mem_writes = 0;
+        for round in 0..20 {
+            for n in 0..10u64 {
+                let o0 = h.access(0, l(n), AccessKind::Write);
+                let o1 = h.access(1, l(n + 100), AccessKind::Write);
+                if round > 0 {
+                    mem_writes += o0.memory_writebacks.len() + o1.memory_writebacks.len();
+                }
+            }
+        }
+        assert!(mem_writes > 0, "combined working set must overflow the LLC");
+    }
+}

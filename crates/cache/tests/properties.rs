@@ -1,0 +1,127 @@
+//! Property-based tests for the cache hierarchy: conservation of dirty
+//! data, the inclusion invariant, and agreement with a reference model.
+
+use hemu_cache::{Cache, CacheConfig, Hierarchy, HierarchyConfig, HitLevel};
+use hemu_types::{AccessKind, ByteSize, LineAddr};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn tiny_hierarchy(contexts: usize) -> Hierarchy {
+    Hierarchy::new(HierarchyConfig {
+        contexts,
+        l2_size: ByteSize::new(512),
+        l2_assoc: 2,
+        llc_size: ByteSize::new(4096),
+        llc_assoc: 4,
+    })
+}
+
+proptest! {
+    /// No store is ever lost: after an arbitrary access stream, every line
+    /// that was ever written is either still dirty somewhere in the
+    /// hierarchy or has been written back to memory at least once.
+    #[test]
+    fn dirty_data_is_conserved(
+        ops in prop::collection::vec((0usize..3, 0u64..64, prop::bool::ANY), 1..400)
+    ) {
+        let mut h = tiny_hierarchy(3);
+        let mut written: HashSet<u64> = HashSet::new();
+        let mut written_back: HashSet<u64> = HashSet::new();
+        for (ctx, line, is_write) in ops {
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            if is_write {
+                written.insert(line);
+            }
+            let out = h.access(ctx, LineAddr::new(line), kind);
+            for wb in &out.memory_writebacks {
+                written_back.insert(wb.raw());
+            }
+        }
+        // Flush the rest.
+        h.flush(|l| {
+            written_back.insert(l.raw());
+        });
+        for line in written {
+            prop_assert!(
+                written_back.contains(&line),
+                "line {line} was written but never reached memory"
+            );
+        }
+    }
+
+    /// Inclusion: every line resident in any L2 is also resident in the
+    /// LLC, after any access stream.
+    #[test]
+    fn hierarchy_is_inclusive(
+        ops in prop::collection::vec((0usize..3, 0u64..64, prop::bool::ANY), 1..400)
+    ) {
+        let mut h = tiny_hierarchy(3);
+        for (ctx, line, is_write) in ops {
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            h.access(ctx, LineAddr::new(line), kind);
+        }
+        for ctx in 0..3 {
+            for (line, _) in h.l2(ctx).iter_resident() {
+                prop_assert!(
+                    h.llc().contains(line),
+                    "L2[{ctx}] holds {line} but the LLC does not (inclusion violated)"
+                );
+            }
+        }
+    }
+
+    /// A single cache agrees with a reference model on residency: a line
+    /// is resident iff it is among the `assoc` most recently used lines of
+    /// its set.
+    #[test]
+    fn cache_matches_lru_reference(
+        lines in prop::collection::vec(0u64..32, 1..200)
+    ) {
+        // 2 sets x 2 ways.
+        let mut c = Cache::new(CacheConfig::new("t", ByteSize::new(256), 2));
+        // Reference: per set, the LRU-ordered recency list.
+        let mut recency: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+        for &line in &lines {
+            c.access(LineAddr::new(line), AccessKind::Read);
+            let set = (line % 2) as usize;
+            recency[set].retain(|&l| l != line);
+            recency[set].push(line);
+        }
+        for set in 0..2 {
+            let expect: HashSet<u64> =
+                recency[set].iter().rev().take(2).copied().collect();
+            for line in 0u64..32 {
+                if line % 2 == set as u64 {
+                    prop_assert_eq!(
+                        c.contains(LineAddr::new(line)),
+                        expect.contains(&line),
+                        "line {} residency mismatch", line
+                    );
+                }
+            }
+        }
+    }
+
+    /// Total memory traffic equals misses: every miss fills exactly once
+    /// from memory, and hits never touch memory.
+    #[test]
+    fn fills_equal_misses(
+        ops in prop::collection::vec((0u64..128, prop::bool::ANY), 1..300)
+    ) {
+        let mut h = tiny_hierarchy(1);
+        let mut fills = 0u64;
+        let mut memory_level = 0u64;
+        for (line, is_write) in ops {
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let out = h.access(0, LineAddr::new(line), kind);
+            if out.memory_fill.is_some() {
+                fills += 1;
+                prop_assert_eq!(out.memory_fill, Some(LineAddr::new(line)));
+            }
+            if out.level == HitLevel::Memory {
+                memory_level += 1;
+            }
+        }
+        prop_assert_eq!(fills, memory_level);
+    }
+}

@@ -1,0 +1,368 @@
+//! Experiment configuration and the multiprogrammed runner.
+
+use crate::monitor::WriteRateMonitor;
+use crate::report::RunReport;
+use hemu_heap::chunks::ChunkPolicy;
+use hemu_heap::{CollectorKind, GcStats, ManagedHeap};
+use hemu_machine::{CtxId, Machine, MachineProfile};
+use hemu_malloc::{NativeHeap, NativeStats};
+use hemu_types::{ByteSize, HemuError, Result, SocketId};
+use hemu_workloads::{Language, Memory, StepResult, Workload, WorkloadSpec};
+
+/// A configured experiment: workload × collector × instances × machine.
+///
+/// Built with a fluent API and executed with [`Experiment::run`], which
+/// follows the paper's measurement methodology (replay compilation:
+/// warm-up iteration, barrier, measured iteration; §IV).
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    spec: WorkloadSpec,
+    collector: CollectorKind,
+    instances: usize,
+    profile: MachineProfile,
+    seed: u64,
+    chunk_policy: ChunkPolicy,
+    warmup: bool,
+    monitor_interval: f64,
+    nursery_override: Option<ByteSize>,
+    track_wear: bool,
+}
+
+impl Experiment {
+    /// Creates an experiment with the paper's defaults: one instance,
+    /// PCM-Only collector, the emulation machine profile.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        Experiment {
+            spec,
+            collector: CollectorKind::PcmOnly,
+            instances: 1,
+            profile: MachineProfile::emulation(),
+            seed: 42,
+            chunk_policy: ChunkPolicy::TwoLists,
+            warmup: true,
+            monitor_interval: 0.01,
+            nursery_override: None,
+            track_wear: false,
+        }
+    }
+
+    /// Enables per-line PCM wear tracking; the report then carries a
+    /// measured wear-levelling efficiency instead of the paper's assumed
+    /// 50 %.
+    pub fn track_wear(mut self) -> Self {
+        self.track_wear = true;
+        self
+    }
+
+    /// Overrides the suite's base nursery size (nursery-sensitivity
+    /// studies; the KG-B configurations still scale it 3×).
+    pub fn nursery(mut self, nursery: ByteSize) -> Self {
+        self.nursery_override = Some(nursery);
+        self
+    }
+
+    /// Sets the collector configuration.
+    pub fn collector(mut self, collector: CollectorKind) -> Self {
+        self.collector = collector;
+        self
+    }
+
+    /// Sets the number of co-running instances (multiprogramming).
+    pub fn instances(mut self, instances: usize) -> Self {
+        self.instances = instances;
+        self
+    }
+
+    /// Sets the machine profile (emulation vs simulation, LLC size, …).
+    pub fn profile(mut self, profile: MachineProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the chunk free-list policy (ablation).
+    pub fn chunk_policy(mut self, policy: ChunkPolicy) -> Self {
+        self.chunk_policy = policy;
+        self
+    }
+
+    /// Disables the warm-up iteration (quick tests only — measured results
+    /// then include cold-start effects).
+    pub fn without_warmup(mut self) -> Self {
+        self.warmup = false;
+        self
+    }
+
+    /// Sets the write-rate monitor's sampling interval in virtual seconds.
+    pub fn monitor_interval(mut self, seconds: f64) -> Self {
+        self.monitor_interval = seconds;
+        self
+    }
+
+    /// Runs the experiment to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::InvalidConfig`] for inconsistent
+    /// configurations (zero instances, more instances than hardware
+    /// contexts, or a C++ workload with a hybrid collector — the paper
+    /// evaluates the C++ implementations on the PCM-Only reference
+    /// system), and propagates heap or machine exhaustion.
+    pub fn run(&self) -> Result<RunReport> {
+        if self.instances == 0 {
+            return Err(HemuError::InvalidConfig("need at least one instance".into()));
+        }
+        if self.instances > self.profile.contexts {
+            return Err(HemuError::InvalidConfig(format!(
+                "{} instances exceed the profile's {} hardware contexts",
+                self.instances, self.profile.contexts
+            )));
+        }
+        if self.spec.language == Language::Cpp && self.collector != CollectorKind::PcmOnly {
+            return Err(HemuError::InvalidConfig(
+                "C++ workloads run on the PCM-Only reference system".into(),
+            ));
+        }
+
+        let mut machine = Machine::new(self.profile);
+        if self.track_wear {
+            machine.enable_wear_tracking();
+        }
+        let mut instances: Vec<(Box<dyn Workload>, Memory)> = Vec::new();
+        for i in 0..self.instances {
+            let workload = self.spec.instantiate(self.seed);
+            let ctx = CtxId(i % machine.contexts());
+            let mem = match self.spec.language {
+                Language::Java => {
+                    let nursery = self.nursery_override.unwrap_or(workload.base_nursery());
+                    let cfg = self.collector.config(nursery, workload.heap_size());
+                    let proc = machine.add_process(cfg.young_socket());
+                    Memory::managed(ManagedHeap::with_chunk_policy(
+                        &mut machine,
+                        proc,
+                        ctx,
+                        cfg,
+                        self.chunk_policy,
+                    )?)
+                }
+                Language::Cpp => {
+                    let proc = machine.add_process(SocketId::PCM);
+                    Memory::native(NativeHeap::new(&mut machine, proc, ctx, SocketId::PCM))
+                }
+            };
+            instances.push((workload, mem));
+        }
+
+        // Warm-up iteration (replay compilation's compile iteration).
+        if self.warmup {
+            run_iteration(&mut machine, &mut instances, None)?;
+            // All instances synchronize at a barrier and start the second
+            // iteration at the same time (§IV).
+            machine.barrier();
+            for (w, _) in &mut instances {
+                w.start_iteration();
+            }
+        }
+
+        // Snapshot per-instance stats, then measure the steady iteration.
+        machine.start_measured_iteration();
+        let gc_before: Vec<Option<GcStats>> =
+            instances.iter().map(|(_, m)| m.gc_stats().copied()).collect();
+        let native_before: Vec<Option<NativeStats>> =
+            instances.iter().map(|(_, m)| m.native_stats().copied()).collect();
+        let alloc_before: u64 = instances.iter().map(|(_, m)| m.allocated_bytes()).sum();
+
+        let mut monitor = WriteRateMonitor::new(self.monitor_interval);
+        run_iteration(&mut machine, &mut instances, Some(&mut monitor))?;
+        // No cache flush here: the measured iteration starts with warm,
+        // dirty caches (steady state after warm-up) and ends the same way,
+        // so eviction traffic during the interval is exactly the
+        // steady-state write stream `pcm-memory` samples on the real
+        // platform. Flushing would mis-attribute the entire resident dirty
+        // set to this iteration.
+        monitor.finish(&machine);
+
+        // Aggregate.
+        let elapsed = machine.elapsed_seconds();
+        let pcm_writes = machine.socket_writes(SocketId::PCM);
+        let gc = aggregate_gc(&instances, &gc_before);
+        let native = aggregate_native(&instances, &native_before);
+        let allocated =
+            instances.iter().map(|(_, m)| m.allocated_bytes()).sum::<u64>() - alloc_before;
+
+        Ok(RunReport {
+            workload: format!("{}", self.spec),
+            collector: if self.spec.language == Language::Cpp {
+                "malloc".into()
+            } else {
+                self.collector.name().into()
+            },
+            profile: self.profile.name.into(),
+            instances: self.instances,
+            pcm_writes,
+            pcm_reads: machine.socket_reads(SocketId::PCM),
+            dram_writes: machine.socket_writes(SocketId::DRAM),
+            dram_reads: machine.socket_reads(SocketId::DRAM),
+            elapsed_seconds: elapsed,
+            pcm_write_rate_mbs: if elapsed > 0.0 {
+                pcm_writes.bytes() as f64 / 1e6 / elapsed
+            } else {
+                0.0
+            },
+            allocated: ByteSize::new(allocated),
+            gc,
+            native,
+            machine: *machine.stats(),
+            samples: monitor.into_samples(),
+            wear: machine.memory().wear().map(|w| crate::report::WearSummary {
+                pcm_lines_touched: w.lines_touched() as u64,
+                max_line_writes: w.max_line_writes(),
+                levelling_efficiency: w.levelling_efficiency(
+                    self.profile.numa.capacity_per_socket.bytes() / 64,
+                ),
+            }),
+        })
+    }
+}
+
+/// Round-robin scheduler: one quantum per running instance per round, so
+/// co-running instances interleave in the shared LLC. Instances that
+/// finish are not restarted (§IV).
+fn run_iteration(
+    machine: &mut Machine,
+    instances: &mut [(Box<dyn Workload>, Memory)],
+    mut monitor: Option<&mut WriteRateMonitor>,
+) -> Result<()> {
+    let mut done = vec![false; instances.len()];
+    let mut remaining = instances.len();
+    // A generous runaway bound: no experiment needs this many quanta.
+    let mut fuel: u64 = 50_000_000;
+    while remaining > 0 {
+        for (i, (w, mem)) in instances.iter_mut().enumerate() {
+            if done[i] {
+                continue;
+            }
+            if w.step(machine, mem)? == StepResult::IterationDone {
+                done[i] = true;
+                remaining -= 1;
+            }
+            fuel -= 1;
+            if fuel == 0 {
+                return Err(HemuError::InvalidConfig(
+                    "workload did not terminate within the quantum budget".into(),
+                ));
+            }
+        }
+        if let Some(mon) = monitor.as_deref_mut() {
+            mon.poll(machine);
+        }
+    }
+    Ok(())
+}
+
+fn aggregate_gc(
+    instances: &[(Box<dyn Workload>, Memory)],
+    before: &[Option<GcStats>],
+) -> Option<GcStats> {
+    let mut any = false;
+    let mut total = GcStats::default();
+    for ((_, mem), earlier) in instances.iter().zip(before) {
+        if let Some(stats) = mem.gc_stats() {
+            any = true;
+            let delta = diff_gc(stats, earlier.as_ref().unwrap_or(&GcStats::default()));
+            total = add_gc(&total, &delta);
+        }
+    }
+    any.then_some(total)
+}
+
+fn diff_gc(now: &GcStats, then: &GcStats) -> GcStats {
+    GcStats {
+        minor_gcs: now.minor_gcs - then.minor_gcs,
+        observer_gcs: now.observer_gcs - then.observer_gcs,
+        full_gcs: now.full_gcs - then.full_gcs,
+        allocated_bytes: now.allocated_bytes - then.allocated_bytes,
+        allocated_objects: now.allocated_objects - then.allocated_objects,
+        large_allocated_bytes: now.large_allocated_bytes - then.large_allocated_bytes,
+        loo_nursery_large: now.loo_nursery_large - then.loo_nursery_large,
+        copied_minor_bytes: now.copied_minor_bytes - then.copied_minor_bytes,
+        copied_observer_bytes: now.copied_observer_bytes - then.copied_observer_bytes,
+        promoted_dram_objects: now.promoted_dram_objects - then.promoted_dram_objects,
+        promoted_pcm_objects: now.promoted_pcm_objects - then.promoted_pcm_objects,
+        large_rescued: now.large_rescued - then.large_rescued,
+        mark_writes: now.mark_writes - then.mark_writes,
+        remset_entries: now.remset_entries - then.remset_entries,
+        monitor_marks: now.monitor_marks - then.monitor_marks,
+    }
+}
+
+fn add_gc(a: &GcStats, b: &GcStats) -> GcStats {
+    GcStats {
+        minor_gcs: a.minor_gcs + b.minor_gcs,
+        observer_gcs: a.observer_gcs + b.observer_gcs,
+        full_gcs: a.full_gcs + b.full_gcs,
+        allocated_bytes: a.allocated_bytes + b.allocated_bytes,
+        allocated_objects: a.allocated_objects + b.allocated_objects,
+        large_allocated_bytes: a.large_allocated_bytes + b.large_allocated_bytes,
+        loo_nursery_large: a.loo_nursery_large + b.loo_nursery_large,
+        copied_minor_bytes: a.copied_minor_bytes + b.copied_minor_bytes,
+        copied_observer_bytes: a.copied_observer_bytes + b.copied_observer_bytes,
+        promoted_dram_objects: a.promoted_dram_objects + b.promoted_dram_objects,
+        promoted_pcm_objects: a.promoted_pcm_objects + b.promoted_pcm_objects,
+        large_rescued: a.large_rescued + b.large_rescued,
+        mark_writes: a.mark_writes + b.mark_writes,
+        remset_entries: a.remset_entries + b.remset_entries,
+        monitor_marks: a.monitor_marks + b.monitor_marks,
+    }
+}
+
+fn aggregate_native(
+    instances: &[(Box<dyn Workload>, Memory)],
+    before: &[Option<NativeStats>],
+) -> Option<NativeStats> {
+    let mut any = false;
+    let mut total = NativeStats::default();
+    for ((_, mem), earlier) in instances.iter().zip(before) {
+        if let Some(stats) = mem.native_stats() {
+            any = true;
+            let then = earlier.unwrap_or_default();
+            total.allocated_bytes += stats.allocated_bytes - then.allocated_bytes;
+            total.allocated_objects += stats.allocated_objects - then.allocated_objects;
+            total.freed_bytes += stats.freed_bytes - then.freed_bytes;
+            total.in_use += stats.in_use;
+            total.peak += stats.peak;
+        }
+    }
+    any.then_some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_instances_is_invalid() {
+        let e = Experiment::new(WorkloadSpec::by_name("avrora").unwrap()).instances(0);
+        assert!(matches!(e.run(), Err(HemuError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn too_many_instances_is_invalid() {
+        let e = Experiment::new(WorkloadSpec::by_name("avrora").unwrap()).instances(64);
+        assert!(matches!(e.run(), Err(HemuError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn cpp_requires_pcm_only() {
+        let spec = WorkloadSpec::by_name("pr")
+            .unwrap()
+            .with_language(Language::Cpp);
+        let e = Experiment::new(spec).collector(CollectorKind::KgN);
+        assert!(matches!(e.run(), Err(HemuError::InvalidConfig(_))));
+    }
+}

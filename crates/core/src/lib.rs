@@ -1,0 +1,42 @@
+//! The emulation platform: configure and run hybrid-memory experiments.
+//!
+//! This crate is the top of the stack — the equivalent of the paper's
+//! measurement harness. An [`Experiment`] names a workload, a collector
+//! configuration, an instance count (for multiprogrammed workloads), a
+//! machine profile (emulation vs simulation) and a seed; running it:
+//!
+//! 1. builds the machine and one process + heap + workload per instance;
+//! 2. runs a **warm-up iteration** (replay compilation's first iteration);
+//! 3. synchronizes all instances at a **barrier**, resets the
+//!    memory-controller counters, clocks and cache statistics;
+//! 4. runs the **measured iteration**, interleaving instance quanta on the
+//!    shared cache hierarchy while the write-rate [`monitor`] samples the
+//!    PCM socket's counters;
+//! 5. flushes the caches and produces a [`RunReport`].
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use hemu_core::Experiment;
+//! use hemu_heap::CollectorKind;
+//! use hemu_workloads::WorkloadSpec;
+//!
+//! let report = Experiment::new(WorkloadSpec::by_name("lusearch").unwrap())
+//!     .collector(CollectorKind::KgW)
+//!     .instances(2)
+//!     .run()?;
+//! println!("PCM writes: {}, rate {:.1} MB/s", report.pcm_writes, report.pcm_write_rate_mbs);
+//! # Ok::<(), hemu_types::HemuError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod lifetime;
+pub mod monitor;
+pub mod report;
+
+pub use experiment::Experiment;
+pub use lifetime::{lifetime_years, LifetimeModel};
+pub use monitor::{RateSample, WriteRateMonitor};
+pub use report::RunReport;

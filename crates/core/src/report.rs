@@ -1,0 +1,153 @@
+//! Experiment results.
+
+use crate::monitor::RateSample;
+use hemu_heap::GcStats;
+use hemu_machine::MachineStats;
+use hemu_malloc::NativeStats;
+use hemu_types::ByteSize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything measured during one experiment's measured iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Workload display name (`pr.cpp.large`, `lusearch`, …).
+    pub workload: String,
+    /// Collector name (`KG-W`, `PCM-Only`, …; `malloc` for native runs).
+    pub collector: String,
+    /// Machine profile name (`emulation` or `simulation`).
+    pub profile: String,
+    /// Number of co-running instances.
+    pub instances: usize,
+    /// Bytes written at the PCM socket's controller — the headline metric.
+    pub pcm_writes: ByteSize,
+    /// Bytes read at the PCM socket.
+    pub pcm_reads: ByteSize,
+    /// Bytes written at the DRAM socket.
+    pub dram_writes: ByteSize,
+    /// Bytes read at the DRAM socket.
+    pub dram_reads: ByteSize,
+    /// Virtual elapsed time of the measured iteration, in seconds.
+    pub elapsed_seconds: f64,
+    /// Average PCM write rate in MB/s (decimal megabytes, as the paper and
+    /// `pcm-memory` report).
+    pub pcm_write_rate_mbs: f64,
+    /// Total bytes the applications allocated during the measured
+    /// iteration.
+    pub allocated: ByteSize,
+    /// Aggregated GC statistics (managed runs).
+    pub gc: Option<GcStats>,
+    /// Aggregated native allocator statistics (C++ runs).
+    pub native: Option<NativeStats>,
+    /// Machine-level statistics.
+    pub machine: MachineStats,
+    /// Interval samples from the write-rate monitor.
+    pub samples: Vec<RateSample>,
+    /// Measured PCM wear statistics (present when the experiment enabled
+    /// wear tracking).
+    pub wear: Option<WearSummary>,
+}
+
+/// Per-line PCM wear statistics from the opt-in wear tracker.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WearSummary {
+    /// Distinct PCM lines written during the measured iteration.
+    pub pcm_lines_touched: u64,
+    /// Writes absorbed by the hottest line.
+    pub max_line_writes: u64,
+    /// Estimated rotation-levelling efficiency for this write stream in
+    /// `(0, 1]` (the paper assumes 0.5).
+    pub levelling_efficiency: f64,
+}
+
+impl RunReport {
+    /// Total memory writes (both sockets).
+    pub fn total_writes(&self) -> ByteSize {
+        self.pcm_writes + self.dram_writes
+    }
+
+    /// Percentage reduction of PCM writes relative to `baseline`
+    /// (positive = fewer writes than the baseline), the metric of
+    /// Table II and Fig. 7.
+    pub fn pcm_write_reduction_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.pcm_writes.bytes() == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.pcm_writes.bytes() as f64 / baseline.pcm_writes.bytes() as f64)
+    }
+
+    /// PCM writes normalized to `baseline` (Fig. 3 / Fig. 7 style).
+    pub fn pcm_writes_normalized_to(&self, baseline: &RunReport) -> f64 {
+        if baseline.pcm_writes.bytes() == 0 {
+            return f64::INFINITY;
+        }
+        self.pcm_writes.bytes() as f64 / baseline.pcm_writes.bytes() as f64
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} × {} [{}] on {}: PCM W {} ({:.1} MB/s), R {}; DRAM W {}; {:.3}s virtual",
+            self.instances,
+            self.workload,
+            self.collector,
+            self.profile,
+            self.pcm_writes,
+            self.pcm_write_rate_mbs,
+            self.pcm_reads,
+            self.dram_writes,
+            self.elapsed_seconds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pcm: u64) -> RunReport {
+        RunReport {
+            workload: "x".into(),
+            collector: "KG-N".into(),
+            profile: "emulation".into(),
+            instances: 1,
+            pcm_writes: ByteSize::new(pcm),
+            pcm_reads: ByteSize::ZERO,
+            dram_writes: ByteSize::new(10),
+            dram_reads: ByteSize::ZERO,
+            elapsed_seconds: 1.0,
+            pcm_write_rate_mbs: pcm as f64 / 1e6,
+            allocated: ByteSize::ZERO,
+            gc: None,
+            native: None,
+            machine: MachineStats::default(),
+            samples: Vec::new(),
+            wear: None,
+        }
+    }
+
+    #[test]
+    fn reduction_is_relative_to_baseline() {
+        let base = report(1000);
+        let better = report(400);
+        assert!((better.pcm_write_reduction_vs(&base) - 60.0).abs() < 1e-9);
+        assert!((better.pcm_writes_normalized_to(&base) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baseline_is_handled() {
+        let base = report(0);
+        let r = report(5);
+        assert_eq!(r.pcm_write_reduction_vs(&base), 0.0);
+        assert!(r.pcm_writes_normalized_to(&base).is_infinite());
+    }
+
+    #[test]
+    fn display_has_the_essentials() {
+        let s = format!("{}", report(2_000_000));
+        assert!(s.contains("KG-N"));
+        assert!(s.contains("MB/s"));
+    }
+}

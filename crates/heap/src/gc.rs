@@ -1,0 +1,414 @@
+//! The collection algorithms: minor (nursery / young) collections and
+//! full-heap (mature) collections, shared by every plan.
+//!
+//! All tracing, copying and mark bookkeeping issues machine accesses, so
+//! collector-induced writes (object copying, forwarding words, mark bytes)
+//! are measured exactly like mutator writes — this is how the paper's
+//! KG-W−MDO experiment can observe collector marking writes landing on PCM.
+
+use crate::heap::ManagedHeap;
+use crate::object::{ObjectId, SpaceKind, HEADER_SIZE, LARGE_THRESHOLD};
+use hemu_machine::Machine;
+use hemu_types::{Cycles, MemoryAccess, Result, WORD};
+
+/// Where an evacuated object is copied to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dest {
+    Observer,
+    MatureDram,
+    MaturePcm,
+    LargeDram,
+    LargePcm,
+}
+
+impl Dest {
+    fn space(self) -> SpaceKind {
+        match self {
+            Dest::Observer => SpaceKind::Observer,
+            Dest::MatureDram => SpaceKind::MatureDram,
+            Dest::MaturePcm => SpaceKind::MaturePcm,
+            Dest::LargeDram => SpaceKind::LargeDram,
+            Dest::LargePcm => SpaceKind::LargePcm,
+        }
+    }
+}
+
+/// Bytes the collector reads when scanning an object for references.
+fn scan_bytes(size: u32, ref_count: u16) -> u32 {
+    (HEADER_SIZE + ref_count as u32 * WORD as u32).min(size)
+}
+
+/// Destination for an observer survivor: segregation by observed writes is
+/// the heart of Kingsguard-writers.
+fn observer_dest(written: bool, size: u32) -> Dest {
+    match (written, size >= LARGE_THRESHOLD) {
+        (true, true) => Dest::LargeDram,
+        (true, false) => Dest::MatureDram,
+        (false, true) => Dest::LargePcm,
+        (false, false) => Dest::MaturePcm,
+    }
+}
+
+/// Destination for a nursery survivor.
+fn nursery_dest(heap: &ManagedHeap, size: u32) -> Dest {
+    if heap.config.has_observer() {
+        Dest::Observer
+    } else if size >= LARGE_THRESHOLD {
+        Dest::LargePcm
+    } else {
+        Dest::MaturePcm
+    }
+}
+
+/// Copies one live object to `dest`: read at the old location, write at the
+/// new one, plus a forwarding-pointer store in the old header.
+fn evacuate(
+    heap: &mut ManagedHeap,
+    machine: &mut Machine,
+    id: ObjectId,
+    dest: Dest,
+) -> Result<()> {
+    let (old_addr, size) = {
+        let info = heap.table.get(id);
+        (info.addr, info.size)
+    };
+    let new_addr = match dest {
+        Dest::Observer => heap
+            .observer
+            .as_mut()
+            .expect("evacuating to a plan without an observer space")
+            .alloc(size)
+            .expect("observer space overflow: collection scheduling bug"),
+        Dest::MatureDram => heap.mature_dram.alloc(machine, &mut heap.chunks, size)?,
+        Dest::MaturePcm => heap.mature_pcm.alloc(machine, &mut heap.chunks, size)?,
+        Dest::LargeDram => heap.los_dram.alloc(machine, &mut heap.chunks, size)?,
+        Dest::LargePcm => heap.los_pcm.alloc(machine, &mut heap.chunks, size)?,
+    };
+
+    let (ctx, proc) = (heap.ctx, heap.proc);
+    machine.access(ctx, proc, MemoryAccess::read(old_addr, size))?;
+    machine.access(ctx, proc, MemoryAccess::write(new_addr, size))?;
+    // Forwarding pointer in the old header, read by other tracers.
+    machine.access(ctx, proc, MemoryAccess::write(old_addr, WORD as u32))?;
+    // Per-object copy work: size check, forwarding CAS, table update.
+    machine.compute(ctx, Cycles::new(60 + size as u64 / 4));
+    // Evacuating an observed object additionally consults and resets the
+    // write-monitoring state — the bookkeeping behind KG-W's overhead (§V).
+    if heap.table.get(id).space == SpaceKind::Observer {
+        machine.compute(ctx, Cycles::new(600));
+    }
+
+    let space = dest.space();
+    let needs_meta = {
+        let info = heap.table.get_mut(id);
+        info.addr = new_addr;
+        info.space = space;
+        // Entering the observer (re)starts write observation; leaving any
+        // young space ends it.
+        info.written = false;
+        info.meta.is_none() && !space.is_young()
+    };
+    if needs_meta {
+        let slot = heap.meta_slot_for(machine, space)?;
+        heap.table.get_mut(id).meta = Some(slot);
+    }
+    Ok(())
+}
+
+/// Scans an object's header and reference slots (collector read traffic)
+/// and returns its outgoing references.
+fn scan(heap: &mut ManagedHeap, machine: &mut Machine, id: ObjectId) -> Result<Vec<ObjectId>> {
+    let (addr, size, ref_count, refs) = {
+        let info = heap.table.get(id);
+        (info.addr, info.size, info.ref_count, info.refs.clone())
+    };
+    machine.access(heap.ctx, heap.proc, MemoryAccess::read(addr, scan_bytes(size, ref_count)))?;
+    // Per-object trace work: type lookup and reference-map decoding.
+    machine.compute(heap.ctx, Cycles::new(30 + 4 * ref_count as u64));
+    Ok(refs.into_iter().flatten().collect())
+}
+
+/// A minor collection: evacuates the nursery (and, when it is full, the
+/// observer space), seeded from roots and the remembered sets.
+pub(crate) fn minor_gc(heap: &mut ManagedHeap, machine: &mut Machine) -> Result<()> {
+    heap.stats.minor_gcs += 1;
+    heap.minor_since_full += 1;
+    let collect_observer = heap.config.has_observer()
+        && heap
+            .observer
+            .as_ref()
+            .map(|o| o.available() < heap.nursery.used())
+            .unwrap_or(false);
+    if collect_observer {
+        heap.stats.observer_gcs += 1;
+    }
+    // Stop-the-world pause setup: stack and register root scan.
+    machine.compute(heap.ctx, Cycles::new(30_000));
+
+    let in_evacuated = |s: SpaceKind| {
+        s == SpaceKind::Nursery || (collect_observer && s == SpaceKind::Observer)
+    };
+
+    // --- Mark ---
+    let mut gray: Vec<ObjectId> = Vec::new();
+    let mut survivors: Vec<ObjectId> = Vec::new();
+    let mark = |heap: &mut ManagedHeap, id: ObjectId, gray: &mut Vec<ObjectId>,
+                    survivors: &mut Vec<ObjectId>| {
+        let info = heap.table.get_mut(id);
+        if in_evacuated(info.space) && !info.marked {
+            info.marked = true;
+            gray.push(id);
+            survivors.push(id);
+        }
+    };
+
+    for root in heap.roots.clone().into_iter().flatten() {
+        mark(heap, root, &mut gray, &mut survivors);
+    }
+    // Remembered sets: re-scan each remembered source object.
+    let mut remembered: Vec<ObjectId> = heap.remset_old.clone();
+    remembered.extend(heap.remset_obs.iter().copied());
+    for src in remembered {
+        if !heap.table.is_live(src) || in_evacuated(heap.table.get(src).space) {
+            continue;
+        }
+        for t in scan(heap, machine, src)? {
+            mark(heap, t, &mut gray, &mut survivors);
+        }
+    }
+    while let Some(o) = gray.pop() {
+        for t in scan(heap, machine, o)? {
+            mark(heap, t, &mut gray, &mut survivors);
+        }
+    }
+
+    // --- Evacuate: observer first, then the nursery into the freed space.
+    if collect_observer {
+        for &id in &survivors {
+            if heap.table.get(id).space == SpaceKind::Observer {
+                let (written, size) = {
+                    let i = heap.table.get(id);
+                    (i.written, i.size)
+                };
+                let dest = observer_dest(written, size);
+                if written {
+                    heap.stats.promoted_dram_objects += 1;
+                } else {
+                    heap.stats.promoted_pcm_objects += 1;
+                }
+                heap.stats.copied_observer_bytes += size as u64;
+                evacuate(heap, machine, id, dest)?;
+            }
+        }
+        if let Some(obs) = heap.observer.as_mut() {
+            obs.reset();
+        }
+    }
+    for &id in &survivors {
+        if heap.table.get(id).space == SpaceKind::Nursery {
+            let size = heap.table.get(id).size;
+            let dest = nursery_dest(heap, size);
+            heap.stats.copied_minor_bytes += size as u64;
+            evacuate(heap, machine, id, dest)?;
+        }
+    }
+
+    // --- Sweep the evacuated spaces ---
+    let dead: Vec<ObjectId> = heap
+        .table
+        .iter_live()
+        .filter(|&id| {
+            let i = heap.table.get(id);
+            in_evacuated(i.space) && !i.marked
+        })
+        .collect();
+    for d in dead {
+        heap.table.remove(d);
+    }
+    heap.nursery.reset();
+    for &id in &survivors {
+        heap.table.get_mut(id).marked = false;
+    }
+
+    // --- Remembered set maintenance ---
+    for &src in &heap.remset_obs.clone() {
+        if heap.table.is_live(src) {
+            heap.table.get_mut(src).logged = false;
+        }
+    }
+    heap.remset_obs.clear();
+    if collect_observer {
+        for &src in &heap.remset_old.clone() {
+            if heap.table.is_live(src) {
+                heap.table.get_mut(src).logged = false;
+            }
+        }
+        heap.remset_old.clear();
+    }
+    Ok(())
+}
+
+/// A full-heap (mature) collection: traces the whole object graph, writes
+/// mark bytes, reclaims mature lines and dead large objects, evacuates the
+/// young generation, and rescues written PCM large objects to DRAM.
+pub(crate) fn full_gc(heap: &mut ManagedHeap, machine: &mut Machine) -> Result<()> {
+    heap.stats.full_gcs += 1;
+    heap.minor_since_full = 0;
+    machine.compute(heap.ctx, Cycles::new(120_000));
+
+    // --- Mark the whole graph ---
+    let mut gray: Vec<ObjectId> = Vec::new();
+    let mut live: Vec<ObjectId> = Vec::new();
+    let mark = |heap: &mut ManagedHeap, id: ObjectId, gray: &mut Vec<ObjectId>,
+                    live: &mut Vec<ObjectId>| {
+        let info = heap.table.get_mut(id);
+        if !info.marked {
+            info.marked = true;
+            gray.push(id);
+            live.push(id);
+        }
+    };
+    let boot_roots: Vec<ObjectId> = heap
+        .table
+        .iter_live()
+        .filter(|&id| heap.table.get(id).space == SpaceKind::Boot)
+        .collect();
+    for root in heap.roots.clone().into_iter().flatten().chain(boot_roots) {
+        mark(heap, root, &mut gray, &mut live);
+    }
+    while let Some(o) = gray.pop() {
+        for t in scan(heap, machine, o)? {
+            mark(heap, t, &mut gray, &mut live);
+        }
+    }
+
+    // --- Mark-state writes ---
+    // Marking live objects writes their metadata: a mark byte in a metadata
+    // space for mature/large objects (the MDO decides which socket that
+    // lands on), or a header bit for young and boot objects.
+    for &id in &live {
+        let (space, meta, addr) = {
+            let i = heap.table.get(id);
+            (i.space, i.meta, i.addr)
+        };
+        heap.stats.mark_writes += 1;
+        match space {
+            SpaceKind::MatureDram | SpaceKind::MaturePcm | SpaceKind::LargeDram
+            | SpaceKind::LargePcm => {
+                let slot = meta.expect("mature object without a metadata slot");
+                machine.access(heap.ctx, heap.proc, MemoryAccess::write(slot, 1))?;
+            }
+            _ => {
+                machine.access(heap.ctx, heap.proc, MemoryAccess::write(addr, WORD as u32))?;
+            }
+        }
+    }
+
+    // --- Sweep: drop the dead ---
+    let dead: Vec<ObjectId> = heap
+        .table
+        .iter_live()
+        .filter(|&id| {
+            let i = heap.table.get(id);
+            !i.marked && i.space != SpaceKind::Boot
+        })
+        .collect();
+    for d in dead {
+        let (space, addr, size) = {
+            let i = heap.table.get(d);
+            (i.space, i.addr, i.size)
+        };
+        match space {
+            SpaceKind::LargeDram => heap.los_dram.free(addr, size),
+            SpaceKind::LargePcm => heap.los_pcm.free(addr, size),
+            _ => {}
+        }
+        heap.table.remove(d);
+    }
+
+    // --- Rebuild mature line maps from the survivors ---
+    heap.mature_dram.begin_sweep();
+    heap.mature_pcm.begin_sweep();
+    for &id in &live {
+        if !heap.table.is_live(id) {
+            continue;
+        }
+        let (space, addr, size) = {
+            let i = heap.table.get(id);
+            (i.space, i.addr, i.size)
+        };
+        match space {
+            SpaceKind::MatureDram => heap.mature_dram.mark_object(addr, size),
+            SpaceKind::MaturePcm => heap.mature_pcm.mark_object(addr, size),
+            _ => {}
+        }
+    }
+
+    // --- Rescue written PCM large objects to DRAM (KG-W family) ---
+    if heap.config.has_observer() {
+        let rescue: Vec<ObjectId> = live
+            .iter()
+            .copied()
+            .filter(|&id| {
+                heap.table.is_live(id) && {
+                    let i = heap.table.get(id);
+                    i.space == SpaceKind::LargePcm && i.written
+                }
+            })
+            .collect();
+        for id in rescue {
+            let (addr, size) = {
+                let i = heap.table.get(id);
+                (i.addr, i.size)
+            };
+            heap.los_pcm.free(addr, size);
+            evacuate(heap, machine, id, Dest::LargeDram)?;
+            heap.stats.large_rescued += 1;
+        }
+    }
+
+    // --- Evacuate the young generation ---
+    let young: Vec<ObjectId> = live
+        .iter()
+        .copied()
+        .filter(|&id| heap.table.is_live(id) && heap.table.get(id).space.is_young())
+        .collect();
+    for &id in &young {
+        if heap.table.get(id).space == SpaceKind::Observer {
+            let (written, size) = {
+                let i = heap.table.get(id);
+                (i.written, i.size)
+            };
+            if written {
+                heap.stats.promoted_dram_objects += 1;
+            } else {
+                heap.stats.promoted_pcm_objects += 1;
+            }
+            heap.stats.copied_observer_bytes += size as u64;
+            evacuate(heap, machine, id, observer_dest(written, size))?;
+        }
+    }
+    if let Some(obs) = heap.observer.as_mut() {
+        obs.reset();
+    }
+    for &id in &young {
+        if heap.table.get(id).space == SpaceKind::Nursery {
+            let size = heap.table.get(id).size;
+            heap.stats.copied_minor_bytes += size as u64;
+            evacuate(heap, machine, id, nursery_dest(heap, size))?;
+        }
+    }
+    heap.nursery.reset();
+
+    // --- Clear marks, logged bits, remembered sets ---
+    for &id in &live {
+        if heap.table.is_live(id) {
+            let i = heap.table.get_mut(id);
+            i.marked = false;
+            i.logged = false;
+        }
+    }
+    heap.remset_old.clear();
+    heap.remset_obs.clear();
+    Ok(())
+}

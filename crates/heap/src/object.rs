@@ -1,0 +1,356 @@
+//! The object model and object table.
+//!
+//! The simulated machine carries no data, so the semantic state of every
+//! object (its reference fields, liveness, written bit) lives in an
+//! [`ObjectTable`] on the Rust side, while its *location* (virtual address,
+//! size, space) determines the memory traffic its uses generate.
+
+use hemu_types::{Addr, ByteSize, WORD};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size of an object header in bytes (status word + type information
+/// block pointer, as in Jikes RVM).
+pub const HEADER_SIZE: u32 = 16;
+
+/// Objects at least this big go to the large object space (the 8 KiB MMTk
+/// LOS threshold).
+pub const LARGE_THRESHOLD: u32 = 8 * 1024;
+
+/// A stable handle to a managed object.
+///
+/// The id survives copying collections — the garbage collector updates the
+/// object's address, not its identity — which is exactly the indirection a
+/// real VM's object-to-forwarding map provides during a moving collection.
+/// Ids are generation-tagged: a handle to a collected object never aliases
+/// a later object that reuses the same table slot, so stale handles are
+/// reliably detected instead of silently corrupting an unrelated object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub(crate) u64);
+
+impl ObjectId {
+    pub(crate) fn new(index: u32, generation: u32) -> Self {
+        ObjectId((generation as u64) << 32 | index as u64)
+    }
+
+    pub(crate) fn index(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
+    pub(crate) fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// Raw value (for diagnostics and adapter layers).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs an id from [`ObjectId::raw`]. For adapter layers that
+    /// store ids as plain integers; the id must have come from this heap.
+    pub fn from_raw(raw: u64) -> Self {
+        ObjectId(raw)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}v{}", self.index(), self.generation())
+    }
+}
+
+/// Which space an object currently resides in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpaceKind {
+    /// The boot image.
+    Boot,
+    /// The copying nursery.
+    Nursery,
+    /// KG-W's DRAM observer space.
+    Observer,
+    /// Mark-region mature space on DRAM.
+    MatureDram,
+    /// Mark-region mature space on PCM.
+    MaturePcm,
+    /// Large object space on DRAM.
+    LargeDram,
+    /// Large object space on PCM.
+    LargePcm,
+}
+
+impl SpaceKind {
+    /// Young spaces are collected at every minor collection.
+    pub fn is_young(self) -> bool {
+        matches!(self, SpaceKind::Nursery | SpaceKind::Observer)
+    }
+
+    /// Spaces whose storage is on the emulated PCM socket under a hybrid
+    /// plan.
+    pub fn is_pcm_side(self) -> bool {
+        matches!(self, SpaceKind::MaturePcm | SpaceKind::LargePcm)
+    }
+
+    /// Large-object spaces (non-moving, page granular).
+    pub fn is_large(self) -> bool {
+        matches!(self, SpaceKind::LargeDram | SpaceKind::LargePcm)
+    }
+}
+
+/// Everything the runtime knows about one object.
+#[derive(Debug, Clone)]
+pub struct ObjectInfo {
+    /// Current virtual address of the header.
+    pub addr: Addr,
+    /// Total size in bytes (header + reference slots + data payload).
+    pub size: u32,
+    /// Number of reference slots.
+    pub ref_count: u16,
+    /// Space the object currently lives in.
+    pub space: SpaceKind,
+    /// Reference fields (indices into the object table).
+    pub refs: Vec<Option<ObjectId>>,
+    /// Set when the mutator writes the object while it is being observed
+    /// (KG-W write monitoring), or while it lives in PCM large space.
+    pub written: bool,
+    /// Mark state for tracing collections.
+    pub marked: bool,
+    /// Set when the object is registered in a remembered set (write
+    /// barrier dedup).
+    pub logged: bool,
+    /// Address of the object's one-byte GC mark slot in a metadata space
+    /// (assigned on promotion into a mature or large space).
+    pub meta: Option<Addr>,
+    /// Slot generation for use-after-free detection in debug builds.
+    pub alive: bool,
+}
+
+impl ObjectInfo {
+    /// Creates a fresh object record at `addr` in `space`.
+    pub fn fresh(addr: Addr, size: u32, ref_count: usize, space: SpaceKind) -> Self {
+        ObjectInfo {
+            addr,
+            size,
+            ref_count: ref_count as u16,
+            space,
+            refs: vec![None; ref_count],
+            written: false,
+            marked: false,
+            logged: false,
+            meta: None,
+            alive: true,
+        }
+    }
+}
+
+impl ObjectInfo {
+    /// Address of reference slot `i` (slots follow the header).
+    pub fn ref_slot_addr(&self, i: usize) -> Addr {
+        self.addr.offset(HEADER_SIZE as u64 + (i as u64) * WORD as u64)
+    }
+
+    /// Address of the data payload (after header and reference slots).
+    pub fn data_addr(&self) -> Addr {
+        self.addr.offset(HEADER_SIZE as u64 + self.ref_count as u64 * WORD as u64)
+    }
+
+    /// Size of the data payload in bytes.
+    pub fn data_size(&self) -> u32 {
+        self.size - HEADER_SIZE - self.ref_count as u32 * WORD as u32
+    }
+}
+
+/// Computes the total size of an object with `ref_count` reference slots
+/// and `data_bytes` of scalar payload, rounded up to word alignment.
+pub fn object_size(ref_count: usize, data_bytes: usize) -> u32 {
+    let raw = HEADER_SIZE as usize + ref_count * WORD + data_bytes;
+    ((raw + WORD - 1) / WORD * WORD) as u32
+}
+
+/// The table of all live objects, with generation-tagged slot recycling.
+#[derive(Debug, Default)]
+pub struct ObjectTable {
+    slots: Vec<ObjectInfo>,
+    generations: Vec<u32>,
+    free: Vec<u32>,
+    live_count: usize,
+    live_bytes: u64,
+}
+
+impl ObjectTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new object and returns its id.
+    pub fn insert(&mut self, info: ObjectInfo) -> ObjectId {
+        debug_assert!(info.alive);
+        self.live_count += 1;
+        self.live_bytes += info.size as u64;
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = info;
+            ObjectId::new(idx, self.generations[idx as usize])
+        } else {
+            self.slots.push(info);
+            self.generations.push(0);
+            ObjectId::new(self.slots.len() as u32 - 1, 0)
+        }
+    }
+
+    /// Removes a dead object, making its slot reusable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is already dead.
+    pub fn remove(&mut self, id: ObjectId) {
+        let idx = id.index();
+        assert_eq!(self.generations[idx], id.generation(), "remove of stale handle {id}");
+        let slot = &mut self.slots[idx];
+        assert!(slot.alive, "double free of {id}");
+        slot.alive = false;
+        slot.refs = Vec::new();
+        self.live_count -= 1;
+        self.live_bytes -= slot.size as u64;
+        self.generations[idx] = self.generations[idx].wrapping_add(1);
+        self.free.push(idx as u32);
+    }
+
+    /// Immutable access to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is dead (use-after-free in the workload or
+    /// collector).
+    #[inline]
+    pub fn get(&self, id: ObjectId) -> &ObjectInfo {
+        debug_assert!(self.is_live(id), "use of dead or stale object {id}");
+        &self.slots[id.index()]
+    }
+
+    /// Mutable access to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is dead.
+    #[inline]
+    pub fn get_mut(&mut self, id: ObjectId) -> &mut ObjectInfo {
+        debug_assert!(self.is_live(id), "use of dead or stale object {id}");
+        &mut self.slots[id.index()]
+    }
+
+    /// Returns `true` if `id` currently names a live object (stale handles
+    /// from a previous occupant of the slot report dead).
+    pub fn is_live(&self, id: ObjectId) -> bool {
+        self.slots.get(id.index()).map(|s| s.alive).unwrap_or(false)
+            && self.generations[id.index()] == id.generation()
+    }
+
+    /// Number of live objects.
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Total bytes of live objects.
+    pub fn live_bytes(&self) -> ByteSize {
+        ByteSize::new(self.live_bytes)
+    }
+
+    /// Iterates over the ids of all live objects.
+    pub fn iter_live(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| ObjectId::new(i as u32, self.generations[i]))
+    }
+
+    /// Adjusts accounted size when an object is resized in place (only used
+    /// by tests; real objects never change size).
+    #[cfg(test)]
+    pub(crate) fn slots_len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(size: u32, refs: usize) -> ObjectInfo {
+        ObjectInfo::fresh(Addr::new(0x1000), size, refs, SpaceKind::Nursery)
+    }
+
+    #[test]
+    fn object_size_is_word_aligned_and_includes_header() {
+        assert_eq!(object_size(0, 0), 16);
+        assert_eq!(object_size(2, 0), 32);
+        assert_eq!(object_size(0, 1), 24);
+        assert_eq!(object_size(1, 9), 40);
+        assert_eq!(object_size(0, 8) % WORD as u32, 0);
+    }
+
+    #[test]
+    fn slot_addresses_follow_header_then_refs() {
+        let o = obj(object_size(2, 8), 2);
+        assert_eq!(o.ref_slot_addr(0), Addr::new(0x1010));
+        assert_eq!(o.ref_slot_addr(1), Addr::new(0x1018));
+        assert_eq!(o.data_addr(), Addr::new(0x1020));
+        assert_eq!(o.data_size(), 8);
+    }
+
+    #[test]
+    fn insert_remove_recycles_slots() {
+        let mut t = ObjectTable::new();
+        let a = t.insert(obj(16, 0));
+        let b = t.insert(obj(16, 0));
+        assert_ne!(a, b);
+        t.remove(a);
+        assert!(!t.is_live(a));
+        let c = t.insert(obj(16, 0));
+        assert_eq!(c.index(), a.index(), "slot is recycled");
+        assert_ne!(c, a, "but the generation tag differs");
+        assert!(!t.is_live(a), "stale handle stays dead");
+        assert!(t.is_live(c));
+        assert_eq!(t.slots_len(), 2);
+    }
+
+    #[test]
+    fn live_accounting_tracks_bytes() {
+        let mut t = ObjectTable::new();
+        let a = t.insert(obj(100, 0));
+        let _b = t.insert(obj(28, 0));
+        assert_eq!(t.live_count(), 2);
+        assert_eq!(t.live_bytes().bytes(), 128);
+        t.remove(a);
+        assert_eq!(t.live_bytes().bytes(), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale handle")]
+    fn double_remove_panics() {
+        let mut t = ObjectTable::new();
+        let a = t.insert(obj(16, 0));
+        t.remove(a);
+        t.remove(a);
+    }
+
+    #[test]
+    fn iter_live_skips_dead() {
+        let mut t = ObjectTable::new();
+        let a = t.insert(obj(16, 0));
+        let b = t.insert(obj(16, 0));
+        t.remove(a);
+        let live: Vec<_> = t.iter_live().collect();
+        assert_eq!(live, vec![b]);
+    }
+
+    #[test]
+    fn space_kind_predicates() {
+        assert!(SpaceKind::Nursery.is_young());
+        assert!(SpaceKind::Observer.is_young());
+        assert!(!SpaceKind::MaturePcm.is_young());
+        assert!(SpaceKind::MaturePcm.is_pcm_side());
+        assert!(!SpaceKind::MatureDram.is_pcm_side());
+        assert!(SpaceKind::LargePcm.is_large());
+    }
+}

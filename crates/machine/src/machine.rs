@@ -1,0 +1,364 @@
+//! The [`Machine`]: the single object the runtime layers talk to.
+
+use crate::profile::MachineProfile;
+use hemu_cache::{Hierarchy, HitLevel};
+use hemu_numa::{AddressSpace, NumaMemory};
+use hemu_types::{
+    AccessKind, Addr, ByteSize, Cycles, MemoryAccess, Result, SocketId, VirtualClock,
+};
+use serde::{Deserialize, Serialize};
+
+/// Index of a hardware context (logical core) on the local socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CtxId(pub usize);
+
+/// Index of an emulated process (one address space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub usize);
+
+/// Aggregate machine statistics for a measured interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Line-granularity accesses issued to the hierarchy.
+    pub line_accesses: u64,
+    /// Fills served by the local (DRAM) socket.
+    pub local_fills: u64,
+    /// Fills served by the remote (PCM) socket, i.e. over QPI.
+    pub remote_fills: u64,
+}
+
+/// The emulated machine.
+///
+/// Owns the memory system, the cache hierarchy, one address space per
+/// process, and one virtual clock per hardware context. All mutator and
+/// collector work flows through [`Machine::access`] and
+/// [`Machine::compute`], so memory traffic and virtual time are accounted
+/// in exactly one place.
+#[derive(Debug)]
+pub struct Machine {
+    profile: MachineProfile,
+    mem: NumaMemory,
+    hierarchy: Hierarchy,
+    spaces: Vec<AddressSpace>,
+    clocks: Vec<VirtualClock>,
+    stats: MachineStats,
+}
+
+impl Machine {
+    /// Builds a machine from a profile.
+    pub fn new(profile: MachineProfile) -> Self {
+        Machine {
+            mem: NumaMemory::new(profile.numa),
+            hierarchy: Hierarchy::new(profile.hierarchy_config()),
+            spaces: Vec::new(),
+            clocks: (0..profile.contexts)
+                .map(|_| VirtualClock::new(profile.freq_hz))
+                .collect(),
+            stats: MachineStats::default(),
+            profile,
+        }
+    }
+
+    /// The profile this machine was built from.
+    pub fn profile(&self) -> &MachineProfile {
+        &self.profile
+    }
+
+    /// Creates a new process; unbound pages fault onto `default_socket`.
+    ///
+    /// The paper binds all threads to socket 0, except in the PCM-Only
+    /// reference setup where they run on socket 1 — `default_socket`
+    /// captures where that process's anonymous memory lands by default.
+    pub fn add_process(&mut self, default_socket: SocketId) -> ProcId {
+        self.spaces.push(AddressSpace::with_default_socket(default_socket));
+        ProcId(self.spaces.len() - 1)
+    }
+
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// Number of hardware contexts.
+    pub fn contexts(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Binds a virtual range of `proc` to a socket (the `mbind` call the
+    /// modified chunk allocator makes after `mmap`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range or `len` is zero.
+    pub fn mbind(&mut self, proc: ProcId, start: Addr, len: ByteSize, socket: SocketId) {
+        self.spaces[proc.0].mbind(start, len, socket);
+    }
+
+    /// Unmaps a virtual range (monolithic-free-list ablation only).
+    pub fn unmap(&mut self, proc: ProcId, start: Addr, len: ByteSize) {
+        let Machine { spaces, mem, .. } = self;
+        spaces[proc.0].unmap(start, len, mem);
+    }
+
+    /// Which socket a fault at `addr` in `proc` would allocate on.
+    pub fn socket_of(&self, proc: ProcId, addr: Addr) -> SocketId {
+        self.spaces[proc.0].socket_of(addr)
+    }
+
+    /// The address space of `proc` (for inspection in tests).
+    pub fn address_space(&self, proc: ProcId) -> &AddressSpace {
+        &self.spaces[proc.0]
+    }
+
+    /// Issues a memory access from hardware context `ctx` in process
+    /// `proc`'s address space, advancing `ctx`'s clock by the access cost.
+    ///
+    /// The access is split into cache-line accesses; each is translated,
+    /// sent through the hierarchy, and any fills and write-backs are
+    /// recorded at the owning memory controllers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if physical memory is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` or `proc` is out of range.
+    pub fn access(&mut self, ctx: CtxId, proc: ProcId, access: MemoryAccess) -> Result<()> {
+        let Machine { profile, mem, hierarchy, spaces, clocks, stats } = self;
+        let space = &mut spaces[proc.0];
+        let clock = &mut clocks[ctx.0];
+        let lat = &profile.latency;
+
+        for vline in access.lines() {
+            let pa = space.translate(vline, mem)?;
+            let line = pa.line();
+            stats.line_accesses += 1;
+            let outcome = hierarchy.access(ctx.0, line, access.kind);
+
+            // Timing: the requesting core stalls for the fill path.
+            let cost = match outcome.level {
+                HitLevel::L2 => lat.l2_hit,
+                HitLevel::Llc => lat.llc_hit,
+                HitLevel::Memory => {
+                    let socket = mem.socket_of_line(line);
+                    if socket == SocketId::DRAM {
+                        stats.local_fills += 1;
+                        lat.local_fill
+                    } else {
+                        stats.remote_fills += 1;
+                        lat.local_fill + profile.qpi.transfer_cost(1)
+                    }
+                }
+            };
+            clock.advance(cost);
+
+            // Traffic: fills read from memory; write-backs write to memory.
+            // Write-backs drain through write buffers and do not stall the
+            // requesting core, so they cost no time here.
+            if let Some(fill) = outcome.memory_fill {
+                mem.record_line_access(fill, AccessKind::Read);
+            }
+            for wb in outcome.memory_writebacks {
+                mem.record_line_access(wb, AccessKind::Write);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances `ctx`'s clock by pure compute work (no memory traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn compute(&mut self, ctx: CtxId, cycles: Cycles) {
+        self.clocks[ctx.0].advance(cycles);
+    }
+
+    /// The virtual clock of one context.
+    pub fn clock(&self, ctx: CtxId) -> &VirtualClock {
+        &self.clocks[ctx.0]
+    }
+
+    /// The latest clock across all contexts — elapsed virtual time of the
+    /// whole (parallel) machine.
+    pub fn elapsed(&self) -> Cycles {
+        self.clocks.iter().map(|c| c.now()).max().unwrap_or(Cycles::ZERO)
+    }
+
+    /// Elapsed virtual time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed().as_seconds(self.profile.freq_hz)
+    }
+
+    /// Synchronizes all context clocks to the latest one (the barrier that
+    /// multiprogrammed instances hit before the measured iteration).
+    pub fn barrier(&mut self) {
+        let latest = self.elapsed();
+        for c in &mut self.clocks {
+            c.sync_to(latest);
+        }
+    }
+
+    /// Writes back every dirty line in the hierarchy to memory, so that all
+    /// stores issued so far are visible in the controller counters.
+    pub fn flush_caches(&mut self) {
+        let Machine { mem, hierarchy, .. } = self;
+        hierarchy.flush(|line| mem.record_line_access(line, AccessKind::Write));
+    }
+
+    /// Total bytes written at a socket's memory controller.
+    pub fn socket_writes(&self, socket: SocketId) -> ByteSize {
+        self.mem.counters(socket).written()
+    }
+
+    /// Total bytes read at a socket's memory controller.
+    pub fn socket_reads(&self, socket: SocketId) -> ByteSize {
+        self.mem.counters(socket).read()
+    }
+
+    /// Shorthand: bytes written to the PCM socket — the paper's headline
+    /// metric.
+    pub fn pcm_writes(&self) -> ByteSize {
+        self.socket_writes(SocketId::PCM)
+    }
+
+    /// Interval machine statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// The memory system (for inspection).
+    pub fn memory(&self) -> &NumaMemory {
+        &self.mem
+    }
+
+    /// Enables per-line wear tracking on the PCM socket (an analysis
+    /// extension; costs a hash-map update per PCM line write).
+    pub fn enable_wear_tracking(&mut self) {
+        self.mem.enable_wear_tracking();
+    }
+
+    /// The cache hierarchy (for inspection).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Resets measurement state — controller counters, cache stats, machine
+    /// stats and clocks — *without* touching cache or memory contents.
+    ///
+    /// This is the replay-compilation measurement protocol: run the warm-up
+    /// iteration, reset, then measure the steady-state iteration.
+    pub fn start_measured_iteration(&mut self) {
+        self.mem.reset_counters();
+        self.hierarchy.reset_stats();
+        self.stats = MachineStats::default();
+        for c in &mut self.clocks {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(MachineProfile::emulation())
+    }
+
+    #[test]
+    fn writes_to_pcm_bound_region_reach_pcm_counter() {
+        let mut m = machine();
+        let p = m.add_process(SocketId::DRAM);
+        m.mbind(p, Addr::new(0x1000_0000), ByteSize::from_mib(64), SocketId::PCM);
+        // Write 32 MiB (larger than the 20 MiB LLC) so most lines spill.
+        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0x1000_0000), 32 << 20)).unwrap();
+        m.flush_caches();
+        let written = m.pcm_writes();
+        assert_eq!(written.bytes(), 32 << 20, "every written line reaches PCM after flush");
+        assert_eq!(m.socket_writes(SocketId::DRAM), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn small_working_set_is_absorbed_by_cache() {
+        let mut m = machine();
+        let p = m.add_process(SocketId::DRAM);
+        m.mbind(p, Addr::new(0x1000_0000), ByteSize::from_mib(4), SocketId::PCM);
+        // Overwrite the same 1 MiB a hundred times without flushing.
+        for _ in 0..100 {
+            m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0x1000_0000), 1 << 20)).unwrap();
+        }
+        // Only the cold fill traffic has reached memory; writes stay cached.
+        assert_eq!(m.pcm_writes(), ByteSize::ZERO);
+        m.flush_caches();
+        assert_eq!(m.pcm_writes().bytes(), 1 << 20, "one working set, not one hundred");
+    }
+
+    #[test]
+    fn remote_fills_cost_more_time_than_local() {
+        let mut ml = machine();
+        let pl = ml.add_process(SocketId::DRAM);
+        ml.access(CtxId(0), pl, MemoryAccess::read(Addr::new(0), 1 << 20)).unwrap();
+        let local_time = ml.clock(CtxId(0)).now();
+
+        let mut mr = machine();
+        let pr = mr.add_process(SocketId::PCM);
+        mr.access(CtxId(0), pr, MemoryAccess::read(Addr::new(0), 1 << 20)).unwrap();
+        let remote_time = mr.clock(CtxId(0)).now();
+
+        assert!(remote_time > local_time);
+    }
+
+    #[test]
+    fn compute_advances_only_that_context() {
+        let mut m = machine();
+        m.compute(CtxId(3), Cycles::new(1000));
+        assert_eq!(m.clock(CtxId(3)).now(), Cycles::new(1000));
+        assert_eq!(m.clock(CtxId(0)).now(), Cycles::ZERO);
+        assert_eq!(m.elapsed(), Cycles::new(1000));
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let mut m = machine();
+        m.compute(CtxId(0), Cycles::new(500));
+        m.barrier();
+        assert_eq!(m.clock(CtxId(7)).now(), Cycles::new(500));
+    }
+
+    #[test]
+    fn measured_iteration_reset_preserves_cache_contents() {
+        let mut m = machine();
+        let p = m.add_process(SocketId::DRAM);
+        m.mbind(p, Addr::new(0x1000_0000), ByteSize::from_mib(1), SocketId::PCM);
+        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0x1000_0000), 4096)).unwrap();
+        m.start_measured_iteration();
+        assert_eq!(m.pcm_writes(), ByteSize::ZERO);
+        // Lines are still cached: re-reading them is free of memory fills.
+        m.access(CtxId(0), p, MemoryAccess::read(Addr::new(0x1000_0000), 4096)).unwrap();
+        assert_eq!(m.stats().local_fills + m.stats().remote_fills, 0);
+    }
+
+    #[test]
+    fn fills_are_counted_as_reads_at_the_controller() {
+        let mut m = machine();
+        let p = m.add_process(SocketId::PCM);
+        m.access(CtxId(0), p, MemoryAccess::read(Addr::new(0), 64 * 10)).unwrap();
+        assert_eq!(m.socket_reads(SocketId::PCM).bytes(), 640);
+        assert_eq!(m.pcm_writes(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn processes_are_isolated_in_physical_memory() {
+        let mut m = machine();
+        let a = m.add_process(SocketId::DRAM);
+        let b = m.add_process(SocketId::DRAM);
+        // Same VA in both processes: the second process's access must not
+        // hit the first one's cached line.
+        m.access(CtxId(0), a, MemoryAccess::read(Addr::new(0x5000), 64)).unwrap();
+        let fills_before = m.stats().local_fills;
+        m.access(CtxId(1), b, MemoryAccess::read(Addr::new(0x5000), 64)).unwrap();
+        assert_eq!(m.stats().local_fills, fills_before + 1);
+    }
+}

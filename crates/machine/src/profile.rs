@@ -1,0 +1,148 @@
+//! Machine profiles: the hardware parameter sets the platform can emulate.
+
+use hemu_cache::HierarchyConfig;
+use hemu_numa::{NumaConfig, QpiLink};
+use hemu_types::{ByteSize, Cycles};
+
+/// Per-level access latencies in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Private L2 hit.
+    pub l2_hit: Cycles,
+    /// Shared LLC hit.
+    pub llc_hit: Cycles,
+    /// Local-socket memory fill.
+    pub local_fill: Cycles,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // ~2.2 ns L2, ~17 ns LLC, ~75 ns local DRAM at 1.8 GHz.
+        LatencyModel {
+            l2_hit: Cycles::new(4),
+            llc_hit: Cycles::new(30),
+            local_fill: Cycles::new(135),
+        }
+    }
+}
+
+/// A complete hardware configuration for the emulated machine.
+///
+/// Two presets reproduce the paper's §V methodology comparison:
+/// [`MachineProfile::emulation`] models the NUMA platform (Intel E5-2650L:
+/// 8 cores × 2 SMT = 16 contexts per socket, 20 MB LLC), and
+/// [`MachineProfile::simulation`] models the Sniper configuration (8
+/// out-of-order cores, no SMT, 256 KB private L2s, shared 20 MB L3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineProfile {
+    /// Profile name for reports.
+    pub name: &'static str,
+    /// Hardware contexts available to software (all on socket 0).
+    pub contexts: usize,
+    /// Private L2 capacity.
+    pub l2_size: ByteSize,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// Shared LLC capacity.
+    pub llc_size: ByteSize,
+    /// LLC associativity.
+    pub llc_assoc: usize,
+    /// Core frequency in Hz.
+    pub freq_hz: u64,
+    /// Physical memory configuration.
+    pub numa: NumaConfig,
+    /// Socket interconnect model.
+    pub qpi: QpiLink,
+    /// Cache/memory latencies.
+    pub latency: LatencyModel,
+}
+
+impl MachineProfile {
+    /// The paper's emulation platform: one E5-2650L socket of 16 logical
+    /// cores runs all threads; the second socket provides the PCM memory.
+    pub fn emulation() -> Self {
+        MachineProfile {
+            name: "emulation",
+            contexts: 16,
+            l2_size: ByteSize::from_kib(256),
+            l2_assoc: 8,
+            llc_size: ByteSize::from_mib(20),
+            llc_assoc: 20,
+            freq_hz: 1_800_000_000,
+            numa: NumaConfig::default(),
+            qpi: QpiLink::e5_2650l(),
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// The paper's simulation reference (Sniper): 8 cores, no SMT, same
+    /// cache sizes. Timing constants differ slightly, as a high-level core
+    /// model's do.
+    pub fn simulation() -> Self {
+        MachineProfile {
+            name: "simulation",
+            contexts: 8,
+            latency: LatencyModel {
+                l2_hit: Cycles::new(6),
+                llc_hit: Cycles::new(36),
+                local_fill: Cycles::new(150),
+            },
+            ..Self::emulation()
+        }
+    }
+
+    /// Returns this profile with a different LLC capacity (associativity is
+    /// kept; capacity must stay divisible into power-of-two sets). Used by
+    /// the Table II / §V analysis of KG-N's sensitivity to LLC size.
+    pub fn with_llc(mut self, llc_size: ByteSize) -> Self {
+        self.llc_size = llc_size;
+        self
+    }
+
+    /// Returns this profile with a different context count.
+    pub fn with_contexts(mut self, contexts: usize) -> Self {
+        self.contexts = contexts;
+        self
+    }
+
+    /// The cache-hierarchy geometry of this profile.
+    pub fn hierarchy_config(&self) -> HierarchyConfig {
+        HierarchyConfig {
+            contexts: self.contexts,
+            l2_size: self.l2_size,
+            l2_assoc: self.l2_assoc,
+            llc_size: self.llc_size,
+            llc_assoc: self.llc_assoc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_hardware() {
+        let emu = MachineProfile::emulation();
+        assert_eq!(emu.contexts, 16);
+        assert_eq!(emu.llc_size, ByteSize::from_mib(20));
+        let sim = MachineProfile::simulation();
+        assert_eq!(sim.contexts, 8);
+        assert_eq!(sim.llc_size, emu.llc_size);
+    }
+
+    #[test]
+    fn with_llc_overrides_only_llc() {
+        let p = MachineProfile::emulation().with_llc(ByteSize::from_mib(4));
+        assert_eq!(p.llc_size, ByteSize::from_mib(4));
+        assert_eq!(p.contexts, 16);
+    }
+
+    #[test]
+    fn hierarchy_config_is_consistent() {
+        let p = MachineProfile::simulation();
+        let h = p.hierarchy_config();
+        assert_eq!(h.contexts, 8);
+        assert_eq!(h.llc_assoc, 20);
+    }
+}

@@ -1,0 +1,315 @@
+//! The physical side of the machine: sockets, frames, and controllers.
+
+use crate::counters::MemoryCounters;
+use crate::wear::WearTracker;
+use hemu_types::{
+    AccessKind, ByteSize, HemuError, LineAddr, PageNum, Result, SocketId, PAGE_SIZE,
+};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the physical memory system.
+///
+/// Defaults mirror the paper's platform: two sockets, memory evenly split
+/// (66 GiB each on the real machine; we default to a smaller but still
+/// never-exhausted 8 GiB per socket since the simulator allocates frames
+/// lazily).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NumaConfig {
+    /// Number of sockets. The emulation platform requires two.
+    pub sockets: usize,
+    /// Physical capacity per socket.
+    pub capacity_per_socket: ByteSize,
+}
+
+impl Default for NumaConfig {
+    fn default() -> Self {
+        NumaConfig { sockets: 2, capacity_per_socket: ByteSize::from_gib(8) }
+    }
+}
+
+/// One socket's physical memory: a frame allocator plus controller counters.
+#[derive(Debug, Clone)]
+pub struct SocketMemory {
+    id: SocketId,
+    first_frame: u64,
+    frame_count: u64,
+    next_fresh: u64,
+    free: Vec<PageNum>,
+    counters: MemoryCounters,
+}
+
+impl SocketMemory {
+    fn new(id: SocketId, first_frame: u64, frame_count: u64) -> Self {
+        SocketMemory {
+            id,
+            first_frame,
+            frame_count,
+            next_fresh: first_frame,
+            free: Vec::new(),
+            counters: MemoryCounters::new(),
+        }
+    }
+
+    /// The socket this memory belongs to.
+    pub fn id(&self) -> SocketId {
+        self.id
+    }
+
+    /// Total number of frames this socket owns.
+    pub fn frame_count(&self) -> u64 {
+        self.frame_count
+    }
+
+    /// Number of frames currently handed out.
+    pub fn frames_in_use(&self) -> u64 {
+        (self.next_fresh - self.first_frame) - self.free.len() as u64
+    }
+
+    /// Traffic counters of this socket's memory controller.
+    pub fn counters(&self) -> &MemoryCounters {
+        &self.counters
+    }
+
+    /// Allocates one physical frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::OutOfPhysicalMemory`] when the socket is full.
+    pub fn allocate_frame(&mut self) -> Result<PageNum> {
+        if let Some(f) = self.free.pop() {
+            return Ok(f);
+        }
+        if self.next_fresh < self.first_frame + self.frame_count {
+            let f = PageNum::new(self.next_fresh);
+            self.next_fresh += 1;
+            Ok(f)
+        } else {
+            Err(HemuError::OutOfPhysicalMemory {
+                socket: self.id,
+                requested: ByteSize::new(PAGE_SIZE as u64),
+            })
+        }
+    }
+
+    /// Returns a frame to the socket's free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame does not belong to this socket.
+    pub fn free_frame(&mut self, frame: PageNum) {
+        assert!(
+            self.owns_frame(frame),
+            "frame {frame} does not belong to socket {}",
+            self.id
+        );
+        self.free.push(frame);
+    }
+
+    /// Returns `true` if `frame` lies in this socket's physical range.
+    pub fn owns_frame(&self, frame: PageNum) -> bool {
+        (self.first_frame..self.first_frame + self.frame_count).contains(&frame.raw())
+    }
+}
+
+/// The whole physical memory system: all sockets plus the routing of
+/// physical line addresses to the owning controller.
+///
+/// Physical address space is statically partitioned: socket `i` owns frames
+/// `[i * frames_per_socket, (i + 1) * frames_per_socket)`, so the owning
+/// socket of any physical address is a division, exactly like a real
+/// system's SAD (source address decoder) with one contiguous range per
+/// socket.
+#[derive(Debug, Clone)]
+pub struct NumaMemory {
+    config: NumaConfig,
+    sockets: Vec<SocketMemory>,
+    frames_per_socket: u64,
+    /// Opt-in per-line wear tracking on the PCM socket.
+    wear: Option<WearTracker>,
+}
+
+impl NumaMemory {
+    /// Creates the memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.sockets` is zero.
+    pub fn new(config: NumaConfig) -> Self {
+        assert!(config.sockets > 0, "need at least one socket");
+        let frames_per_socket = config.capacity_per_socket.bytes() / PAGE_SIZE as u64;
+        let sockets = (0..config.sockets)
+            .map(|i| {
+                SocketMemory::new(
+                    SocketId::new(i as u8),
+                    i as u64 * frames_per_socket,
+                    frames_per_socket,
+                )
+            })
+            .collect();
+        NumaMemory { config, sockets, frames_per_socket, wear: None }
+    }
+
+    /// Enables per-line wear tracking on the PCM socket (socket 1). Costs
+    /// one hash-map update per PCM line write; off by default.
+    pub fn enable_wear_tracking(&mut self) {
+        self.wear = Some(WearTracker::new());
+    }
+
+    /// The wear tracker, if enabled.
+    pub fn wear(&self) -> Option<&WearTracker> {
+        self.wear.as_ref()
+    }
+
+    /// The configuration this memory was built with.
+    pub fn config(&self) -> &NumaConfig {
+        &self.config
+    }
+
+    /// Immutable access to one socket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` is out of range.
+    pub fn socket(&self, socket: SocketId) -> &SocketMemory {
+        &self.sockets[socket.index()]
+    }
+
+    /// Mutable access to one socket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` is out of range.
+    pub fn socket_mut(&mut self, socket: SocketId) -> &mut SocketMemory {
+        &mut self.sockets[socket.index()]
+    }
+
+    /// Shorthand for `self.socket(socket).counters()`.
+    pub fn counters(&self, socket: SocketId) -> &MemoryCounters {
+        self.sockets[socket.index()].counters()
+    }
+
+    /// Which socket owns the given physical frame.
+    pub fn socket_of_frame(&self, frame: PageNum) -> SocketId {
+        SocketId::new((frame.raw() / self.frames_per_socket) as u8)
+    }
+
+    /// Which socket owns the given physical line.
+    pub fn socket_of_line(&self, line: LineAddr) -> SocketId {
+        self.socket_of_frame(line.frame())
+    }
+
+    /// Allocates a frame on the requested socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::OutOfPhysicalMemory`] when that socket is full.
+    pub fn allocate_frame(&mut self, socket: SocketId) -> Result<PageNum> {
+        self.sockets[socket.index()].allocate_frame()
+    }
+
+    /// Frees a frame back to its owning socket.
+    pub fn free_frame(&mut self, frame: PageNum) {
+        let s = self.socket_of_frame(frame);
+        self.sockets[s.index()].free_frame(frame);
+    }
+
+    /// Records one cache-line transfer arriving at the memory controller
+    /// that owns `line`. This is the single point where all memory traffic
+    /// is counted.
+    pub fn record_line_access(&mut self, line: LineAddr, kind: AccessKind) {
+        let s = self.socket_of_line(line);
+        self.sockets[s.index()].counters.record(kind);
+        if kind.is_write() && s == SocketId::PCM {
+            if let Some(w) = self.wear.as_mut() {
+                w.record(line);
+            }
+        }
+    }
+
+    /// Resets all controllers' counters (start of a measured iteration).
+    pub fn reset_counters(&mut self) {
+        for s in &mut self.sockets {
+            s.counters.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> NumaMemory {
+        NumaMemory::new(NumaConfig {
+            sockets: 2,
+            capacity_per_socket: ByteSize::from_kib(16), // 4 frames each
+        })
+    }
+
+    #[test]
+    fn frames_partition_by_socket() {
+        let mut m = small();
+        let f0 = m.allocate_frame(SocketId::DRAM).unwrap();
+        let f1 = m.allocate_frame(SocketId::PCM).unwrap();
+        assert_eq!(m.socket_of_frame(f0), SocketId::DRAM);
+        assert_eq!(m.socket_of_frame(f1), SocketId::PCM);
+        assert_ne!(f0, f1);
+    }
+
+    #[test]
+    fn exhaustion_errors_with_socket() {
+        let mut m = small();
+        for _ in 0..4 {
+            m.allocate_frame(SocketId::PCM).unwrap();
+        }
+        let err = m.allocate_frame(SocketId::PCM).unwrap_err();
+        assert!(matches!(err, HemuError::OutOfPhysicalMemory { socket, .. } if socket == SocketId::PCM));
+        // The other socket is unaffected.
+        assert!(m.allocate_frame(SocketId::DRAM).is_ok());
+    }
+
+    #[test]
+    fn freed_frames_are_recycled() {
+        let mut m = small();
+        let f = m.allocate_frame(SocketId::DRAM).unwrap();
+        m.free_frame(f);
+        let again = m.allocate_frame(SocketId::DRAM).unwrap();
+        assert_eq!(f, again);
+    }
+
+    #[test]
+    fn line_access_routes_to_owning_controller() {
+        let mut m = small();
+        let f = m.allocate_frame(SocketId::PCM).unwrap();
+        let line = f.phys_base().line();
+        m.record_line_access(line, AccessKind::Write);
+        assert_eq!(m.counters(SocketId::PCM).write_lines(), 1);
+        assert_eq!(m.counters(SocketId::DRAM).write_lines(), 0);
+    }
+
+    #[test]
+    fn frames_in_use_tracks_alloc_and_free() {
+        let mut m = small();
+        let f = m.allocate_frame(SocketId::DRAM).unwrap();
+        let _g = m.allocate_frame(SocketId::DRAM).unwrap();
+        assert_eq!(m.socket(SocketId::DRAM).frames_in_use(), 2);
+        m.free_frame(f);
+        assert_eq!(m.socket(SocketId::DRAM).frames_in_use(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn freeing_foreign_frame_panics() {
+        let mut m = small();
+        let f = m.allocate_frame(SocketId::PCM).unwrap();
+        m.socket_mut(SocketId::DRAM).free_frame(f);
+    }
+
+    #[test]
+    fn reset_clears_all_sockets() {
+        let mut m = small();
+        let f = m.allocate_frame(SocketId::DRAM).unwrap();
+        m.record_line_access(f.phys_base().line(), AccessKind::Write);
+        m.reset_counters();
+        assert_eq!(m.counters(SocketId::DRAM).write_lines(), 0);
+    }
+}

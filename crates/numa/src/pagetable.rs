@@ -1,0 +1,262 @@
+//! Per-process virtual address spaces: page tables plus `mbind` policy.
+
+use crate::memory::NumaMemory;
+use hemu_types::{Addr, ByteSize, PageNum, PhysAddr, Result, SocketId, PAGE_SIZE};
+use std::collections::{BTreeMap, HashMap};
+
+/// A binding-policy range: pages `[start, end)` must be faulted in on
+/// `socket`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PolicyRange {
+    end: u64,
+    socket: SocketId,
+}
+
+/// One emulated process's virtual address space.
+///
+/// Combines a page table (virtual page → physical frame) with an
+/// `mbind`-style policy map (virtual range → socket). Pages are faulted in
+/// lazily on first touch, on the socket the policy names — mirroring how the
+/// paper's runtime calls `mbind()` after each `mmap()` and lets first touch
+/// allocate physical memory on the bound socket.
+///
+/// # Examples
+///
+/// ```
+/// use hemu_numa::{AddressSpace, NumaConfig, NumaMemory};
+/// use hemu_types::{Addr, ByteSize, SocketId};
+///
+/// let mut mem = NumaMemory::new(NumaConfig::default());
+/// let mut asp = AddressSpace::new();
+/// asp.mbind(Addr::new(0x4000_0000), ByteSize::from_mib(4), SocketId::PCM);
+/// let pa = asp.translate(Addr::new(0x4000_0123), &mut mem)?;
+/// assert_eq!(mem.socket_of_frame(pa.frame()), SocketId::PCM);
+/// # Ok::<(), hemu_types::HemuError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    table: HashMap<u64, PageNum>,
+    policy: BTreeMap<u64, PolicyRange>,
+    default_socket: SocketId,
+    faults: u64,
+    unmapped_pages: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space whose unbound pages fault onto the
+    /// local (DRAM) socket, like Linux's default local-allocation policy for
+    /// threads pinned to socket 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an address space with a different default socket, used when
+    /// emulating a PCM-Only system with threads bound to socket 1.
+    pub fn with_default_socket(socket: SocketId) -> Self {
+        AddressSpace { default_socket: socket, ..Self::default() }
+    }
+
+    /// Sets the binding policy for the virtual range `[start, start + len)`.
+    ///
+    /// Only affects pages faulted in afterwards; already-mapped pages keep
+    /// their current frames (as with `mbind` without `MPOL_MF_MOVE`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn mbind(&mut self, start: Addr, len: ByteSize, socket: SocketId) {
+        assert!(len.bytes() > 0, "mbind of empty range");
+        let p0 = start.page().raw();
+        let p1 = start.offset(len.bytes() - 1).page().raw() + 1;
+
+        // Collect every existing range overlapping [p0, p1).
+        let overlapping: Vec<(u64, PolicyRange)> = self
+            .policy
+            .range(..p1)
+            .rev()
+            .take_while(|(_, r)| r.end > p0)
+            .filter(|(s, _)| **s < p1)
+            .map(|(s, r)| (*s, *r))
+            .collect();
+        for (s, r) in overlapping {
+            self.policy.remove(&s);
+            if s < p0 {
+                self.policy.insert(s, PolicyRange { end: p0, socket: r.socket });
+            }
+            if r.end > p1 {
+                self.policy.insert(p1, PolicyRange { end: r.end, socket: r.socket });
+            }
+        }
+        self.policy.insert(p0, PolicyRange { end: p1, socket });
+    }
+
+    /// The socket a fault at `addr` would allocate on.
+    pub fn socket_of(&self, addr: Addr) -> SocketId {
+        let page = addr.page().raw();
+        self.policy
+            .range(..=page)
+            .next_back()
+            .filter(|(_, r)| r.end > page)
+            .map(|(_, r)| r.socket)
+            .unwrap_or(self.default_socket)
+    }
+
+    /// Translates a virtual address, faulting the page in if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::OutOfPhysicalMemory`] if the policy socket has
+    /// no free frames.
+    pub fn translate(&mut self, addr: Addr, mem: &mut NumaMemory) -> Result<PhysAddr> {
+        let vpage = addr.page().raw();
+        let frame = match self.table.get(&vpage) {
+            Some(f) => *f,
+            None => {
+                let socket = self.socket_of(addr);
+                let f = mem.allocate_frame(socket)?;
+                self.table.insert(vpage, f);
+                self.faults += 1;
+                f
+            }
+        };
+        Ok(frame.phys_base().offset(addr.raw() % PAGE_SIZE as u64))
+    }
+
+    /// Translates without faulting; `None` if the page is not mapped.
+    pub fn translate_existing(&self, addr: Addr) -> Option<PhysAddr> {
+        let vpage = addr.page().raw();
+        self.table
+            .get(&vpage)
+            .map(|f| f.phys_base().offset(addr.raw() % PAGE_SIZE as u64))
+    }
+
+    /// Unmaps the virtual range, returning its frames to their sockets.
+    ///
+    /// Used only by the monolithic-free-list ablation: the paper's two-list
+    /// design deliberately *never* unmaps recycled chunks (§III.A).
+    pub fn unmap(&mut self, start: Addr, len: ByteSize, mem: &mut NumaMemory) {
+        if len.bytes() == 0 {
+            return;
+        }
+        let p0 = start.page().raw();
+        let p1 = start.offset(len.bytes() - 1).page().raw() + 1;
+        for vpage in p0..p1 {
+            if let Some(frame) = self.table.remove(&vpage) {
+                mem.free_frame(frame);
+                self.unmapped_pages += 1;
+            }
+        }
+    }
+
+    /// Number of pages currently mapped.
+    pub fn mapped_pages(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of page faults taken (pages lazily mapped) so far.
+    pub fn fault_count(&self) -> u64 {
+        self.faults
+    }
+
+    /// Number of pages explicitly unmapped so far (ablation metric).
+    pub fn unmap_count(&self) -> u64 {
+        self.unmapped_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::NumaConfig;
+
+    fn mem() -> NumaMemory {
+        NumaMemory::new(NumaConfig { sockets: 2, capacity_per_socket: ByteSize::from_mib(64) })
+    }
+
+    #[test]
+    fn unbound_pages_fault_on_default_socket() {
+        let mut m = mem();
+        let mut asp = AddressSpace::new();
+        let pa = asp.translate(Addr::new(0x1234), &mut m).unwrap();
+        assert_eq!(m.socket_of_frame(pa.frame()), SocketId::DRAM);
+
+        let mut asp2 = AddressSpace::with_default_socket(SocketId::PCM);
+        let pa2 = asp2.translate(Addr::new(0x1234), &mut m).unwrap();
+        assert_eq!(m.socket_of_frame(pa2.frame()), SocketId::PCM);
+    }
+
+    #[test]
+    fn mbind_directs_faults() {
+        let mut m = mem();
+        let mut asp = AddressSpace::new();
+        asp.mbind(Addr::new(0x10000), ByteSize::from_kib(8), SocketId::PCM);
+        let inside = asp.translate(Addr::new(0x10fff), &mut m).unwrap();
+        let outside = asp.translate(Addr::new(0x20000), &mut m).unwrap();
+        assert_eq!(m.socket_of_frame(inside.frame()), SocketId::PCM);
+        assert_eq!(m.socket_of_frame(outside.frame()), SocketId::DRAM);
+    }
+
+    #[test]
+    fn mbind_end_is_exclusive_of_following_page() {
+        let mut asp = AddressSpace::new();
+        asp.mbind(Addr::new(0), ByteSize::from_kib(4), SocketId::PCM);
+        assert_eq!(asp.socket_of(Addr::new(4095)), SocketId::PCM);
+        assert_eq!(asp.socket_of(Addr::new(4096)), SocketId::DRAM);
+    }
+
+    #[test]
+    fn rebinding_splits_existing_range() {
+        let mut asp = AddressSpace::new();
+        // Bind 4 pages to PCM, then re-bind the middle two to DRAM.
+        asp.mbind(Addr::new(0), ByteSize::from_kib(16), SocketId::PCM);
+        asp.mbind(Addr::new(4096), ByteSize::from_kib(8), SocketId::DRAM);
+        assert_eq!(asp.socket_of(Addr::new(0)), SocketId::PCM);
+        assert_eq!(asp.socket_of(Addr::new(4096)), SocketId::DRAM);
+        assert_eq!(asp.socket_of(Addr::new(8192)), SocketId::DRAM);
+        assert_eq!(asp.socket_of(Addr::new(12288)), SocketId::PCM);
+    }
+
+    #[test]
+    fn translation_is_stable_across_calls() {
+        let mut m = mem();
+        let mut asp = AddressSpace::new();
+        let a = asp.translate(Addr::new(0x5000), &mut m).unwrap();
+        let b = asp.translate(Addr::new(0x5008), &mut m).unwrap();
+        assert_eq!(a.frame(), b.frame());
+        assert_eq!(b.raw() - a.raw(), 8);
+        assert_eq!(asp.fault_count(), 1);
+    }
+
+    #[test]
+    fn mbind_after_fault_does_not_move_page() {
+        let mut m = mem();
+        let mut asp = AddressSpace::new();
+        let before = asp.translate(Addr::new(0x9000), &mut m).unwrap();
+        asp.mbind(Addr::new(0x9000), ByteSize::from_kib(4), SocketId::PCM);
+        let after = asp.translate(Addr::new(0x9000), &mut m).unwrap();
+        assert_eq!(before, after, "already-mapped page must keep its frame");
+    }
+
+    #[test]
+    fn unmap_frees_frames_for_reuse() {
+        let mut m = mem();
+        let mut asp = AddressSpace::new();
+        let pa = asp.translate(Addr::new(0x3000), &mut m).unwrap();
+        asp.unmap(Addr::new(0x3000), ByteSize::from_kib(4), &mut m);
+        assert_eq!(asp.mapped_pages(), 0);
+        assert_eq!(asp.unmap_count(), 1);
+        // The frame is recycled by the next fault on the same socket.
+        let pa2 = asp.translate(Addr::new(0x7000), &mut m).unwrap();
+        assert_eq!(pa.frame(), pa2.frame());
+    }
+
+    #[test]
+    fn distinct_address_spaces_do_not_collide() {
+        let mut m = mem();
+        let mut a = AddressSpace::new();
+        let mut b = AddressSpace::new();
+        let pa = a.translate(Addr::new(0x1000), &mut m).unwrap();
+        let pb = b.translate(Addr::new(0x1000), &mut m).unwrap();
+        assert_ne!(pa.frame(), pb.frame(), "same VA in two processes gets different frames");
+    }
+}

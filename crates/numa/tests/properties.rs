@@ -1,0 +1,88 @@
+//! Property-based tests for the NUMA memory substrate.
+
+use hemu_numa::{AddressSpace, NumaConfig, NumaMemory};
+use hemu_types::{Addr, ByteSize, SocketId, PAGE_SIZE};
+use proptest::prelude::*;
+
+fn mem() -> NumaMemory {
+    NumaMemory::new(NumaConfig { sockets: 2, capacity_per_socket: ByteSize::from_mib(256) })
+}
+
+proptest! {
+    /// Translation of any two addresses on the same virtual page lands on
+    /// the same frame with offsets preserved.
+    #[test]
+    fn translation_preserves_page_offsets(base in 0u64..1u64 << 32, off in 0u64..PAGE_SIZE as u64) {
+        let mut m = mem();
+        let mut asp = AddressSpace::new();
+        let page_base = Addr::new(base).page().base();
+        let pa_base = asp.translate(page_base, &mut m).unwrap();
+        let pa_off = asp.translate(page_base.offset(off), &mut m).unwrap();
+        prop_assert_eq!(pa_off.raw() - pa_base.raw(), off);
+        prop_assert_eq!(pa_base.frame(), pa_off.frame());
+    }
+
+    /// After an arbitrary sequence of mbind calls, every address reports a
+    /// socket consistent with the *last* bind covering it (or the default).
+    #[test]
+    fn mbind_last_writer_wins(
+        binds in prop::collection::vec(
+            (0u64..64, 1u64..16, prop::bool::ANY), 1..12)
+    ) {
+        let mut asp = AddressSpace::new();
+        // Reference model: per-page socket array.
+        let mut reference = [SocketId::DRAM; 96];
+        for (start_page, pages, to_pcm) in binds {
+            let socket = if to_pcm { SocketId::PCM } else { SocketId::DRAM };
+            asp.mbind(
+                Addr::new(start_page * PAGE_SIZE as u64),
+                ByteSize::new(pages * PAGE_SIZE as u64),
+                socket,
+            );
+            for p in start_page..(start_page + pages).min(96) {
+                reference[p as usize] = socket;
+            }
+        }
+        for p in 0..96u64 {
+            prop_assert_eq!(
+                asp.socket_of(Addr::new(p * PAGE_SIZE as u64)),
+                reference[p as usize],
+                "page {}", p
+            );
+        }
+    }
+
+    /// Frames are conserved: alloc/free sequences never lose or duplicate a
+    /// frame, and in-use counts match the model.
+    #[test]
+    fn frame_conservation(ops in prop::collection::vec(prop::bool::ANY, 1..200)) {
+        let mut m = NumaMemory::new(NumaConfig {
+            sockets: 2,
+            capacity_per_socket: ByteSize::from_mib(1),
+        });
+        let mut held = Vec::new();
+        for alloc in ops {
+            if alloc || held.is_empty() {
+                if let Ok(f) = m.allocate_frame(SocketId::DRAM) {
+                    prop_assert!(!held.contains(&f), "frame {f} handed out twice");
+                    held.push(f);
+                }
+            } else {
+                let f = held.pop().unwrap();
+                m.free_frame(f);
+            }
+            prop_assert_eq!(m.socket(SocketId::DRAM).frames_in_use(), held.len() as u64);
+        }
+    }
+
+    /// socket_of_line agrees with the frame partition for any frame handed
+    /// out by either socket.
+    #[test]
+    fn line_routing_matches_frame_owner(pick_pcm in prop::bool::ANY, line_in_page in 0u64..64) {
+        let mut m = mem();
+        let socket = if pick_pcm { SocketId::PCM } else { SocketId::DRAM };
+        let f = m.allocate_frame(socket).unwrap();
+        let line = hemu_types::LineAddr::new(f.phys_base().line().raw() + line_in_page);
+        prop_assert_eq!(m.socket_of_line(line), socket);
+    }
+}

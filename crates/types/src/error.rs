@@ -1,0 +1,90 @@
+//! The platform-wide error type.
+
+use crate::addr::{Addr, SocketId};
+use crate::size::ByteSize;
+use std::fmt;
+
+/// Convenience alias for results with [`HemuError`].
+pub type Result<T> = std::result::Result<T, HemuError>;
+
+/// Errors produced by the emulation platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HemuError {
+    /// A socket ran out of physical memory.
+    OutOfPhysicalMemory {
+        /// The exhausted socket.
+        socket: SocketId,
+        /// The allocation that failed.
+        requested: ByteSize,
+    },
+    /// A virtual address was accessed without a page-table mapping.
+    UnmappedAddress {
+        /// The faulting virtual address.
+        addr: Addr,
+    },
+    /// The managed heap cannot satisfy an allocation even after collection.
+    OutOfHeapMemory {
+        /// The allocation that failed.
+        requested: ByteSize,
+        /// Human-readable name of the space that was exhausted.
+        space: &'static str,
+    },
+    /// The native (malloc) heap is exhausted.
+    OutOfNativeMemory {
+        /// The allocation that failed.
+        requested: ByteSize,
+    },
+    /// An experiment configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for HemuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HemuError::OutOfPhysicalMemory { socket, requested } => {
+                write!(f, "socket {socket} out of physical memory (requested {requested})")
+            }
+            HemuError::UnmappedAddress { addr } => {
+                write!(f, "access to unmapped virtual address {addr}")
+            }
+            HemuError::OutOfHeapMemory { requested, space } => {
+                write!(f, "managed heap out of memory in {space} (requested {requested})")
+            }
+            HemuError::OutOfNativeMemory { requested } => {
+                write!(f, "native heap out of memory (requested {requested})")
+            }
+            HemuError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HemuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = HemuError::UnmappedAddress { addr: Addr::new(0x40) };
+        let msg = format!("{e}");
+        assert!(msg.contains("unmapped"));
+        assert!(msg.contains("0x40"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HemuError>();
+    }
+
+    #[test]
+    fn oom_mentions_space() {
+        let e = HemuError::OutOfHeapMemory {
+            requested: ByteSize::from_kib(4),
+            space: "nursery",
+        };
+        assert!(format!("{e}").contains("nursery"));
+    }
+}

@@ -1,0 +1,47 @@
+//! PCM lifetime estimation: how long would a 32 GB PCM main memory last
+//! under a write-heavy benchmark (the Table III experiment for one
+//! benchmark)?
+//!
+//! ```text
+//! cargo run --example lifetime_study --release
+//! ```
+
+use hemu::core::lifetime::{LifetimeModel, ENDURANCE_PROTOTYPES};
+use hemu::core::Experiment;
+use hemu::heap::CollectorKind;
+use hemu::types::HemuError;
+use hemu::workloads::WorkloadSpec;
+
+fn main() -> Result<(), HemuError> {
+    let spec = WorkloadSpec::by_name("pr").expect("pr is registered");
+
+    println!("Estimating PCM lifetime under PageRank (32 GB PCM, 50% wear levelling):\n");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>14}",
+        "collector", "write rate", "10M writes/cell", "30M writes/cell", "50M writes/cell"
+    );
+    for collector in [CollectorKind::PcmOnly, CollectorKind::KgN, CollectorKind::KgW] {
+        let report = Experiment::new(spec).collector(collector).run()?;
+        let rate_bytes = report.pcm_write_rate_mbs * 1e6;
+        let years: Vec<String> = ENDURANCE_PROTOTYPES
+            .iter()
+            .map(|&e| {
+                let y = LifetimeModel::paper(e).years(rate_bytes);
+                if y.is_finite() { format!("{y:.0} yr") } else { "unbounded".into() }
+            })
+            .collect();
+        println!(
+            "{:>10} {:>9.1} MB/s {:>14} {:>14} {:>14}",
+            collector.name(),
+            report.pcm_write_rate_mbs,
+            years[0],
+            years[1],
+            years[2],
+        );
+    }
+    println!(
+        "\nEquation 1 of the paper: Y = S x E / (B x 2^25), halved for realistic\n\
+         wear-levelling. Write-rationing collection multiplies PCM lifetime."
+    );
+    Ok(())
+}

@@ -1,0 +1,156 @@
+//! Whole-platform integration tests: the paper-shape invariants that must
+//! hold for any reproduction of the system, checked on small benchmarks.
+
+use hemu::core::Experiment;
+use hemu::heap::CollectorKind;
+use hemu::machine::MachineProfile;
+use hemu::workloads::{Language, WorkloadSpec};
+
+fn lu_fix() -> WorkloadSpec {
+    WorkloadSpec::by_name("lu.Fix").expect("lu.Fix registered")
+}
+
+#[test]
+fn write_rationing_reduces_pcm_writes_in_order() {
+    // PCM-Only ≥ KG-N ≥ KG-W (Table II / Fig. 7 ordering).
+    let base = Experiment::new(lu_fix()).run().unwrap();
+    let kgn = Experiment::new(lu_fix()).collector(CollectorKind::KgN).run().unwrap();
+    let kgw = Experiment::new(lu_fix()).collector(CollectorKind::KgW).run().unwrap();
+    assert!(
+        kgn.pcm_writes <= base.pcm_writes,
+        "KG-N ({}) must not exceed PCM-Only ({})",
+        kgn.pcm_writes,
+        base.pcm_writes
+    );
+    assert!(
+        kgw.pcm_writes < base.pcm_writes,
+        "KG-W ({}) must beat PCM-Only ({})",
+        kgw.pcm_writes,
+        base.pcm_writes
+    );
+    assert!(
+        kgw.pcm_writes <= kgn.pcm_writes,
+        "KG-W ({}) must not exceed KG-N ({})",
+        kgw.pcm_writes,
+        kgn.pcm_writes
+    );
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let a = Experiment::new(lu_fix()).collector(CollectorKind::KgN).run().unwrap();
+    let b = Experiment::new(lu_fix()).collector(CollectorKind::KgN).run().unwrap();
+    assert_eq!(a.pcm_writes, b.pcm_writes);
+    assert_eq!(a.dram_writes, b.dram_writes);
+    assert_eq!(a.elapsed_seconds, b.elapsed_seconds);
+    let c = Experiment::new(lu_fix()).collector(CollectorKind::KgN).seed(7).run().unwrap();
+    assert_ne!(
+        (a.pcm_writes, a.elapsed_seconds.to_bits()),
+        (c.pcm_writes, c.elapsed_seconds.to_bits()),
+        "different seeds should perturb the run"
+    );
+}
+
+#[test]
+fn multiprogramming_grows_pcm_writes_superlinearly_under_pcm_only() {
+    // Fig. 4(a): the growth from 1 to 4 instances exceeds 4x for cache-
+    // sensitive DaCapo workloads.
+    let one = Experiment::new(lu_fix()).instances(1).run().unwrap();
+    let four = Experiment::new(lu_fix()).instances(4).run().unwrap();
+    let growth = four.pcm_writes.bytes() as f64 / one.pcm_writes.bytes().max(1) as f64;
+    assert!(growth > 4.0, "expected super-linear growth, got {growth:.2}x");
+}
+
+#[test]
+fn kg_w_dampens_multiprogrammed_growth() {
+    // Fig. 4(b): KG-W's growth is well below PCM-Only's. This is an
+    // on-average claim in the paper; xalan shows the mechanism strongly
+    // (its nursery writes dominate and KG-W moves them to DRAM), while a
+    // few benchmarks show growth parity — which is why the figure reports
+    // suite averages.
+    let xalan = WorkloadSpec::by_name("xalan").expect("xalan registered");
+    let p1 = Experiment::new(xalan).instances(1).run().unwrap();
+    let p4 = Experiment::new(xalan).instances(4).run().unwrap();
+    let w1 = Experiment::new(xalan).collector(CollectorKind::KgW).instances(1).run().unwrap();
+    let w4 = Experiment::new(xalan).collector(CollectorKind::KgW).instances(4).run().unwrap();
+    let pcm_only = p4.pcm_writes.bytes() as f64 / p1.pcm_writes.bytes().max(1) as f64;
+    let kg_w = w4.pcm_writes.bytes() as f64 / w1.pcm_writes.bytes().max(1) as f64;
+    assert!(
+        kg_w < pcm_only,
+        "KG-W growth ({kg_w:.2}x) must be below PCM-Only growth ({pcm_only:.2}x)"
+    );
+    // And in absolute terms KG-W stays far below PCM-Only at 4 instances.
+    assert!(w4.pcm_writes.bytes() * 2 < p4.pcm_writes.bytes());
+}
+
+#[test]
+fn java_writes_more_than_cpp_on_pcm_only() {
+    // Fig. 3 for Connected Components.
+    let cc = WorkloadSpec::by_name("cc").unwrap();
+    let cpp = Experiment::new(cc.with_language(Language::Cpp)).run().unwrap();
+    let java = Experiment::new(cc).run().unwrap();
+    assert!(
+        java.pcm_writes > cpp.pcm_writes,
+        "Java ({}) must write more than C++ ({})",
+        java.pcm_writes,
+        cpp.pcm_writes
+    );
+    // And the managed run reports GC statistics while the native one
+    // reports allocator statistics.
+    assert!(java.gc.is_some() && java.native.is_none());
+    assert!(cpp.gc.is_none() && cpp.native.is_some());
+}
+
+#[test]
+fn emulation_and_simulation_profiles_agree_on_the_trend() {
+    // §V: both methodologies must rank the collectors identically.
+    for profile in [MachineProfile::emulation(), MachineProfile::simulation()] {
+        let base = Experiment::new(lu_fix()).profile(profile).run().unwrap();
+        let kgw = Experiment::new(lu_fix())
+            .profile(profile)
+            .collector(CollectorKind::KgW)
+            .run()
+            .unwrap();
+        let reduction = kgw.pcm_write_reduction_vs(&base);
+        assert!(
+            reduction > 30.0,
+            "{}: KG-W should reduce PCM writes substantially, got {reduction:.0}%",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn monitor_integral_matches_the_counters() {
+    let r = Experiment::new(lu_fix()).run().unwrap();
+    // Integrate the sampled PCM write rate over time; it must equal the
+    // total PCM writes to within a few percent.
+    let mut prev_t = 0.0;
+    let mut integral = 0.0;
+    for s in &r.samples {
+        integral += s.pcm_write_mbs * 1e6 * (s.t_seconds - prev_t);
+        prev_t = s.t_seconds;
+    }
+    let total = r.pcm_writes.bytes() as f64;
+    assert!(
+        (integral - total).abs() <= total * 0.05 + 1e6,
+        "monitor integral {integral:.0} vs counter {total:.0}"
+    );
+}
+
+#[test]
+fn pcm_only_reference_keeps_socket0_silent() {
+    // §V's reference setup isolation: with all spaces and threads bound to
+    // socket 1, socket 0 sees no application writes at all.
+    let r = Experiment::new(lu_fix()).collector(CollectorKind::PcmOnly).run().unwrap();
+    assert_eq!(r.dram_writes.bytes(), 0, "PCM-Only run leaked writes to socket 0");
+    assert!(r.pcm_writes.bytes() > 0);
+}
+
+#[test]
+fn write_rate_is_writes_over_virtual_time() {
+    let r = Experiment::new(lu_fix()).run().unwrap();
+    let expect = r.pcm_writes.bytes() as f64 / 1e6 / r.elapsed_seconds;
+    assert!((r.pcm_write_rate_mbs - expect).abs() < 1e-6);
+    assert!(r.elapsed_seconds > 0.0);
+}
