@@ -15,9 +15,10 @@ use hemu_types::{ByteSize, SocketId};
 /// cross-technology chunk (the paper's §III.A argument).
 fn chunk_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_chunk_policy");
-    for (name, policy) in
-        [("two_lists", ChunkPolicy::TwoLists), ("monolithic", ChunkPolicy::Monolithic)]
-    {
+    for (name, policy) in [
+        ("two_lists", ChunkPolicy::TwoLists),
+        ("monolithic", ChunkPolicy::Monolithic),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut m = Machine::new(MachineProfile::emulation());
@@ -25,7 +26,11 @@ fn chunk_policy(c: &mut Criterion) {
                 let mut cm = ChunkManager::new(policy, SideSockets::hybrid(), proc);
                 // Alternate PCM and DRAM requests over a recycled pool.
                 for round in 0..64 {
-                    let side = if round % 2 == 0 { Side::Pcm } else { Side::Dram };
+                    let side = if round % 2 == 0 {
+                        Side::Pcm
+                    } else {
+                        Side::Dram
+                    };
                     let a = cm.acquire(&mut m, side, "bench").unwrap();
                     let b2 = cm.acquire(&mut m, side, "bench").unwrap();
                     cm.release(a);

@@ -10,9 +10,7 @@ use hemu_heap::{CollectorKind, ManagedHeap};
 use hemu_machine::{CtxId, Machine, MachineProfile};
 use hemu_malloc::NativeHeap;
 use hemu_numa::{AddressSpace, NumaConfig, NumaMemory};
-use hemu_types::{
-    AccessKind, Addr, ByteSize, DeterministicRng, LineAddr, MemoryAccess, SocketId,
-};
+use hemu_types::{AccessKind, Addr, ByteSize, DeterministicRng, LineAddr, MemoryAccess, SocketId};
 
 fn cache_hierarchy(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache");
@@ -134,7 +132,8 @@ fn machine_access(c: &mut Criterion) {
             for _ in 0..4096 {
                 i = i.wrapping_add(1);
                 let a = Addr::new((i % 1_000_000) * 64);
-                m.access(CtxId(0), proc, MemoryAccess::write(a, 64)).unwrap();
+                m.access(CtxId(0), proc, MemoryAccess::write(a, 64))
+                    .unwrap();
             }
         })
     });

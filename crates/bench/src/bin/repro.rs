@@ -3,28 +3,69 @@
 //! ```text
 //! cargo run -p hemu-bench --bin repro --release -- all
 //! cargo run -p hemu-bench --bin repro --release -- fig3 fig7 --quick
+//! cargo run -p hemu-bench --bin repro --release -- table2 --json-out out/ --trace-out out/trace.jsonl
 //! ```
 //!
 //! Targets: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 table3 all`.
 //! `--quick` restricts DaCapo to the seven-benchmark §V subset.
+//! `--json-out <dir>` writes one `<run>.json` per executed experiment plus
+//! the combined `runs.json` and `samples.csv`; `--trace-out <file>` appends
+//! every executed run's measured-iteration event trace as JSON Lines.
 
 use hemu_bench::{experiments, Harness, Scale};
 use std::time::Instant;
 
+/// Extracts a `--flag VALUE` pair from `args`, removing both elements.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = take_value_flag(&mut args, "--json-out");
+    let trace_out = take_value_flag(&mut args, "--trace-out");
     let quick = args.iter().any(|a| a == "--quick");
-    let mut targets: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let mut targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     if targets.is_empty() || targets.contains(&"all") {
         targets = vec![
-            "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "fig8",
+            "table1",
+            "table2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "table3",
+            "fig8",
             "ablations",
         ];
     }
 
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let mut h = Harness::new(scale);
+    if let Some(dir) = &json_out {
+        if let Err(e) = h.set_json_dir(dir) {
+            eprintln!("--json-out: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &trace_out {
+        if let Err(e) = h.set_trace_out(path) {
+            eprintln!("--trace-out: {e}");
+            std::process::exit(1);
+        }
+    }
     let t0 = Instant::now();
 
     for target in targets {
@@ -64,6 +105,16 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Err(e) = h.finalize_exports() {
+        eprintln!("export failed: {e}");
+        std::process::exit(1);
+    }
+    if let Some(dir) = &json_out {
+        println!("[JSON reports written to {dir}]");
+    }
+    if let Some(path) = &trace_out {
+        println!("[event trace written to {path}]");
     }
     println!(
         "\nTotal: {} experiments in {:.0?} ({:?} scale).",

@@ -16,10 +16,14 @@ use hemu_workloads::{spec, DatasetSize, Suite, WorkloadSpec};
 /// Table I: space-to-socket mapping of KG-N, KG-W and KG-W−MDO, printed
 /// from the live plan objects.
 pub fn table1() -> String {
-    let configs: Vec<_> = [CollectorKind::KgN, CollectorKind::KgW, CollectorKind::KgWMinusMdo]
-        .iter()
-        .map(|k| k.config(ByteSize::from_mib(4), ByteSize::from_mib(100)))
-        .collect();
+    let configs: Vec<_> = [
+        CollectorKind::KgN,
+        CollectorKind::KgW,
+        CollectorKind::KgWMinusMdo,
+    ]
+    .iter()
+    .map(|k| k.config(ByteSize::from_mib(4), ByteSize::from_mib(100)))
+    .collect();
     format!(
         "Table I: heap spaces and their socket mapping (S0 = DRAM, S1 = PCM)\n\n{}",
         plan::render_table1(&configs)
@@ -42,7 +46,11 @@ pub fn table2(h: &mut Harness) -> Result<String> {
         "(paper sim)".to_string(),
         "(paper emu)".to_string(),
     ]];
-    let paper = [("KG-N", 4.0, 8.0), ("KG-B", 11.0, 13.0), ("KG-W", 64.0, 62.0)];
+    let paper = [
+        ("KG-N", 4.0, 8.0),
+        ("KG-B", 11.0, 13.0),
+        ("KG-W", 64.0, 62.0),
+    ];
     let mut per_profile_total_ratio = Vec::new();
     let mut overheads = Vec::new();
 
@@ -61,8 +69,8 @@ pub fn table2(h: &mut Harness) -> Result<String> {
                 reductions.push(r.pcm_write_reduction_vs(&base));
                 if collector == CollectorKind::KgB {
                     let kgn = h.run(b, CollectorKind::KgN, 1, profile)?;
-                    let t = r.total_writes().bytes() as f64
-                        / kgn.total_writes().bytes().max(1) as f64;
+                    let t =
+                        r.total_writes().bytes() as f64 / kgn.total_writes().bytes().max(1) as f64;
                     total_ratio.push(t);
                 }
                 if collector == CollectorKind::KgW {
@@ -150,15 +158,23 @@ pub fn fig4(h: &mut Harness) -> Result<String> {
         "Fig. 4: PCM writes relative to one instance (paper: super-linear growth under\n\
          PCM-Only — avg 2.3x @2, 6.4x @4 — and roughly linear under KG-W)\n",
     );
-    for (collector, label) in
-        [(CollectorKind::PcmOnly, "(a) PCM-Only"), (CollectorKind::KgW, "(b) KG-W")]
-    {
-        let mut rows =
-            vec![vec!["Suite".to_string(), "N=1".to_string(), "N=2".to_string(), "N=4".to_string()]];
+    for (collector, label) in [
+        (CollectorKind::PcmOnly, "(a) PCM-Only"),
+        (CollectorKind::KgW, "(b) KG-W"),
+    ] {
+        let mut rows = vec![vec![
+            "Suite".to_string(),
+            "N=1".to_string(),
+            "N=2".to_string(),
+            "N=4".to_string(),
+        ]];
         let mut all: Vec<Vec<f64>> = vec![Vec::new(), Vec::new(), Vec::new()];
         for suite in [Suite::DaCapo, Suite::Pjbb, Suite::GraphChi] {
-            let apps: Vec<_> =
-                h.all_apps().into_iter().filter(|s| s.suite == suite).collect();
+            let apps: Vec<_> = h
+                .all_apps()
+                .into_iter()
+                .filter(|s| s.suite == suite)
+                .collect();
             let mut per_n = vec![Vec::new(), Vec::new(), Vec::new()];
             for app in apps {
                 let base = h.run(app, collector, 1, Profile::Emulation)?;
@@ -207,7 +223,11 @@ pub fn fig5(h: &mut Harness) -> Result<String> {
     let mut rates_rows = writes_rows.clone();
     let mut suite_stats = Vec::new();
     for suite in [Suite::DaCapo, Suite::Pjbb, Suite::GraphChi] {
-        let apps: Vec<_> = h.all_apps().into_iter().filter(|s| s.suite == suite).collect();
+        let apps: Vec<_> = h
+            .all_apps()
+            .into_iter()
+            .filter(|s| s.suite == suite)
+            .collect();
         let mut writes = [0.0f64; 3];
         let mut rates = [0.0f64; 3];
         for app in &apps {
@@ -262,9 +282,12 @@ pub fn fig6(h: &mut Harness) -> Result<String> {
     for app in h.all_apps() {
         let mut cells = vec![app.to_string()];
         let mut pcm_only_rate = 0.0;
-        for collector in
-            [CollectorKind::PcmOnly, CollectorKind::KgN, CollectorKind::KgB, CollectorKind::KgW]
-        {
+        for collector in [
+            CollectorKind::PcmOnly,
+            CollectorKind::KgN,
+            CollectorKind::KgB,
+            CollectorKind::KgW,
+        ] {
             let r = h.run1(app, collector)?;
             if collector == CollectorKind::PcmOnly {
                 pcm_only_rate = r.pcm_write_rate_mbs;
@@ -333,7 +356,11 @@ pub fn fig7(h: &mut Harness) -> Result<String> {
 ///
 /// Propagates experiment failures.
 pub fn fig8(h: &mut Harness) -> Result<String> {
-    let collectors = [CollectorKind::PcmOnly, CollectorKind::KgN, CollectorKind::KgW];
+    let collectors = [
+        CollectorKind::PcmOnly,
+        CollectorKind::KgN,
+        CollectorKind::KgW,
+    ];
     let mut rows = vec![vec![
         "Benchmark".to_string(),
         "PCM-Only".to_string(),
@@ -356,9 +383,8 @@ pub fn fig8(h: &mut Harness) -> Result<String> {
             let small = h.run1(app, c)?;
             let large = h.run1(app.with_dataset(DatasetSize::Large), c)?;
             if c == CollectorKind::PcmOnly {
-                write_growth.push(
-                    large.pcm_writes.bytes() as f64 / small.pcm_writes.bytes().max(1) as f64,
-                );
+                write_growth
+                    .push(large.pcm_writes.bytes() as f64 / small.pcm_writes.bytes().max(1) as f64);
             }
             cells.push(ratio(if small.pcm_write_rate_mbs > 0.0 {
                 large.pcm_write_rate_mbs / small.pcm_write_rate_mbs
@@ -448,7 +474,10 @@ pub fn ablations() -> Result<String> {
     for llc_mib in [4u64, 8, 20] {
         let profile = MachineProfile::emulation().with_llc(ByteSize::from_mib(llc_mib));
         let base = Experiment::new(spec).profile(profile).run()?;
-        let kgn = Experiment::new(spec).profile(profile).collector(CollectorKind::KgN).run()?;
+        let kgn = Experiment::new(spec)
+            .profile(profile)
+            .collector(CollectorKind::KgN)
+            .run()?;
         rows.push(vec![
             format!("{llc_mib} MiB"),
             format!("{}", base.pcm_writes),
@@ -491,7 +520,10 @@ pub fn ablations() -> Result<String> {
     ]];
     let mut first: Option<(f64, f64)> = None;
     for n in [1usize, 2, 4] {
-        let r = Experiment::new(spec).collector(CollectorKind::KgN).instances(n).run()?;
+        let r = Experiment::new(spec)
+            .collector(CollectorKind::KgN)
+            .instances(n)
+            .run()?;
         let (nur, mat) = (r.dram_writes.bytes() as f64, r.pcm_writes.bytes() as f64);
         let (n0, m0) = *first.get_or_insert((nur.max(1.0), mat.max(1.0)));
         rows.push(vec![
@@ -509,9 +541,10 @@ pub fn ablations() -> Result<String> {
         "PCM writes".to_string(),
         "Virtual time".to_string(),
     ]];
-    for (name, policy) in
-        [("two lists", ChunkPolicy::TwoLists), ("monolithic", ChunkPolicy::Monolithic)]
-    {
+    for (name, policy) in [
+        ("two lists", ChunkPolicy::TwoLists),
+        ("monolithic", ChunkPolicy::Monolithic),
+    ] {
         let r = Experiment::new(spec)
             .collector(CollectorKind::KgW)
             .chunk_policy(policy)
@@ -538,7 +571,10 @@ pub fn series(name: &str, collector: CollectorKind) -> Result<String> {
     let spec = WorkloadSpec::by_name(name).ok_or_else(|| {
         hemu_types::HemuError::InvalidConfig(format!("unknown benchmark `{name}`"))
     })?;
-    let r = Experiment::new(spec).collector(collector).monitor_interval(0.005).run()?;
+    let r = Experiment::new(spec)
+        .collector(collector)
+        .monitor_interval(0.005)
+        .run()?;
     let mut rows = vec![vec![
         "t (s)".to_string(),
         "PCM MB/s".to_string(),

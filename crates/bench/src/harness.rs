@@ -3,9 +3,13 @@
 use hemu_core::{Experiment, RunReport};
 use hemu_heap::CollectorKind;
 use hemu_machine::MachineProfile;
-use hemu_types::Result;
+use hemu_obs::json::{JsonObject, ToJson};
+use hemu_obs::{to_json_lines, Csv};
+use hemu_types::{HemuError, Result};
 use hemu_workloads::{spec, DatasetSize, Language, WorkloadSpec};
 use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
 
 /// How much of the evaluation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,17 +49,80 @@ pub struct Harness {
     /// Experiments executed (cache misses) — visible in the harness output
     /// so a reader can see how much work a figure took.
     pub runs_executed: usize,
+    /// When set, every executed run writes `<dir>/<key>.json` and
+    /// [`Harness::finalize_exports`] writes the combined artifacts.
+    json_dir: Option<PathBuf>,
+    /// When set, every executed run captures a bounded event trace and
+    /// appends it (JSONL) to this file.
+    trace_out: Option<PathBuf>,
+    /// Keys in execution order, for the combined `runs.json`.
+    run_order: Vec<String>,
+}
+
+/// Records retained per traced run; QPI batching keeps even long runs well
+/// under this.
+const TRACE_CAPACITY: usize = 1 << 16;
+
+fn io_err(context: &str, path: &Path, e: &std::io::Error) -> HemuError {
+    HemuError::Io(format!("{context} {}: {e}", path.display()))
+}
+
+/// Turns a run key (`lusearch.small|KG-N|1|Emulation`) into a file stem.
+fn slug(key: &str) -> String {
+    key.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 impl Harness {
     /// Creates a harness at the given scale.
     pub fn new(scale: Scale) -> Self {
-        Harness { scale, ..Self::default() }
+        Harness {
+            scale,
+            ..Self::default()
+        }
     }
 
     /// The configured scale.
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// Enables JSON export: every executed run writes
+    /// `<dir>/<key>.json`, and [`Harness::finalize_exports`] adds the
+    /// combined `runs.json` and `samples.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::Io`] if the directory cannot be created.
+    pub fn set_json_dir(&mut self, dir: impl Into<PathBuf>) -> Result<()> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err("creating", &dir, &e))?;
+        self.json_dir = Some(dir);
+        Ok(())
+    }
+
+    /// Enables event tracing: every executed run captures a bounded trace
+    /// of its measured iteration and appends it as JSON Lines to `path`
+    /// (each run preceded by a `{"run": "<key>"}` marker record).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::Io`] if the file cannot be truncated.
+    pub fn set_trace_out(&mut self, path: impl Into<PathBuf>) -> Result<()> {
+        let path = path.into();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent).map_err(|e| io_err("creating", parent, &e))?;
+        }
+        fs::write(&path, "").map_err(|e| io_err("truncating", &path, &e))?;
+        self.trace_out = Some(path);
+        Ok(())
     }
 
     /// The DaCapo benchmarks in scope at this scale.
@@ -91,14 +158,86 @@ impl Harness {
             return Ok(r.clone());
         }
         eprintln!("  running {key} ...");
-        let report = Experiment::new(spec)
+        let experiment = Experiment::new(spec)
             .collector(collector)
             .instances(instances)
-            .profile(profile.machine())
-            .run()?;
-        self.cache.insert(key, report.clone());
+            .profile(profile.machine());
+        let report = if self.trace_out.is_some() {
+            let (report, trace) = experiment.run_with_trace(TRACE_CAPACITY)?;
+            self.append_trace(&key, &trace)?;
+            report
+        } else {
+            experiment.run()?
+        };
+        if self.json_dir.is_some() {
+            self.write_run_json(&key, &report)?;
+        }
+        self.cache.insert(key.clone(), report.clone());
+        self.run_order.push(key);
         self.runs_executed += 1;
         Ok(report)
+    }
+
+    fn append_trace(&self, key: &str, trace: &[hemu_obs::TraceRecord]) -> Result<()> {
+        let path = self
+            .trace_out
+            .as_ref()
+            .expect("trace_out checked by caller");
+        let mut text = String::from("{\"run\":");
+        hemu_obs::json::push_json_str(&mut text, key);
+        text.push_str("}\n");
+        text.push_str(&to_json_lines(trace));
+        let existing = fs::read_to_string(path).map_err(|e| io_err("reading", path, &e))?;
+        fs::write(path, existing + &text).map_err(|e| io_err("writing", path, &e))
+    }
+
+    fn write_run_json(&self, key: &str, report: &RunReport) -> Result<()> {
+        let dir = self.json_dir.as_ref().expect("json_dir checked by caller");
+        let path = dir.join(format!("{}.json", slug(key)));
+        let mut text = report.to_json();
+        text.push('\n');
+        fs::write(&path, text).map_err(|e| io_err("writing", &path, &e))
+    }
+
+    /// Writes the combined export artifacts: `runs.json` (array of
+    /// `{"key", "report"}` objects in execution order) and `samples.csv`
+    /// (all monitor samples, one row per interval per run). A no-op unless
+    /// [`Harness::set_json_dir`] was called.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::Io`] on write failure.
+    pub fn finalize_exports(&self) -> Result<()> {
+        let Some(dir) = self.json_dir.as_ref() else {
+            return Ok(());
+        };
+        let mut combined = String::from("[");
+        for (i, key) in self.run_order.iter().enumerate() {
+            if i > 0 {
+                combined.push(',');
+            }
+            let report = &self.cache[key];
+            let mut obj = JsonObject::new(&mut combined);
+            obj.field("key", &key.as_str()).field("report", report);
+            obj.finish();
+        }
+        combined.push_str("]\n");
+        let path = dir.join("runs.json");
+        fs::write(&path, combined).map_err(|e| io_err("writing", &path, &e))?;
+
+        let mut csv = Csv::new(&["key", "t_seconds", "pcm_write_mbs", "dram_write_mbs"]);
+        for key in &self.run_order {
+            for s in &self.cache[key].samples {
+                csv.row(&[
+                    key as &dyn std::fmt::Display,
+                    &s.t_seconds,
+                    &s.pcm_write_mbs,
+                    &s.dram_write_mbs,
+                ]);
+            }
+        }
+        let path = dir.join("samples.csv");
+        fs::write(&path, csv.finish()).map_err(|e| io_err("writing", &path, &e))
     }
 
     /// Convenience: single instance on the emulation profile.

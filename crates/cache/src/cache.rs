@@ -32,7 +32,10 @@ impl CacheConfig {
             "capacity {size} not divisible into {assoc}-way sets"
         );
         let sets = lines / assoc;
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         CacheConfig { name, size, assoc }
     }
 
@@ -139,7 +142,10 @@ impl Cache {
                 if kind.is_write() {
                     self.dirty[way] = true;
                 }
-                return AccessResult { hit: true, victim: None };
+                return AccessResult {
+                    hit: true,
+                    victim: None,
+                };
             }
             if self.tags[way] == INVALID {
                 // Prefer an invalid way; lru 0 beats every valid stamp.
@@ -161,7 +167,10 @@ impl Cache {
             if dirty {
                 self.stats.writebacks += 1;
             }
-            Some(Victim { line: LineAddr::new(self.tags[victim_way]), dirty })
+            Some(Victim {
+                line: LineAddr::new(self.tags[victim_way]),
+                dirty,
+            })
         } else {
             None
         };
@@ -280,7 +289,13 @@ mod tests {
         c.access(l(2), AccessKind::Read);
         c.access(l(0), AccessKind::Read); // 2 is now LRU
         let r = c.access(l(4), AccessKind::Read);
-        assert_eq!(r.victim, Some(Victim { line: l(2), dirty: false }));
+        assert_eq!(
+            r.victim,
+            Some(Victim {
+                line: l(2),
+                dirty: false
+            })
+        );
         assert!(c.contains(l(0)));
         assert!(!c.contains(l(2)));
     }
@@ -291,7 +306,13 @@ mod tests {
         c.access(l(0), AccessKind::Write);
         c.access(l(2), AccessKind::Read);
         let r = c.access(l(4), AccessKind::Read); // evicts line 0 (LRU, dirty)
-        assert_eq!(r.victim, Some(Victim { line: l(0), dirty: true }));
+        assert_eq!(
+            r.victim,
+            Some(Victim {
+                line: l(0),
+                dirty: true
+            })
+        );
         assert_eq!(c.stats().writebacks, 1);
     }
 

@@ -115,7 +115,11 @@ impl Hierarchy {
         // L2 probe.
         let l2r = self.l2s[ctx].access(line, kind);
         if l2r.hit {
-            return HierarchyOutcome { level: HitLevel::L2, memory_fill: None, memory_writebacks: writebacks };
+            return HierarchyOutcome {
+                level: HitLevel::L2,
+                memory_fill: None,
+                memory_writebacks: writebacks,
+            };
         }
 
         // The L2 displaced a line; a dirty one must merge into the LLC.
@@ -132,7 +136,11 @@ impl Hierarchy {
         // access itself is a read-for-fill; dirtiness reaches the LLC later
         // via the L2 write-back path above.
         let llcr = self.llc.access(line, AccessKind::Read);
-        let level = if llcr.hit { HitLevel::Llc } else { HitLevel::Memory };
+        let level = if llcr.hit {
+            HitLevel::Llc
+        } else {
+            HitLevel::Memory
+        };
 
         let mut fill = None;
         if !llcr.hit {
@@ -151,7 +159,11 @@ impl Hierarchy {
             }
         }
 
-        HierarchyOutcome { level, memory_fill: fill, memory_writebacks: writebacks }
+        HierarchyOutcome {
+            level,
+            memory_fill: fill,
+            memory_writebacks: writebacks,
+        }
     }
 
     /// Flushes every dirty line in the whole hierarchy to memory, calling
@@ -226,7 +238,11 @@ mod tests {
         let mut h = tiny(2);
         h.access(0, l(0), AccessKind::Read);
         let o = h.access(1, l(0), AccessKind::Read);
-        assert_eq!(o.level, HitLevel::Llc, "fill left the line in the shared LLC");
+        assert_eq!(
+            o.level,
+            HitLevel::Llc,
+            "fill left the line in the shared LLC"
+        );
     }
 
     #[test]
@@ -236,7 +252,10 @@ mod tests {
         // Evict line 0 from the (2-way) L2 set 0 with lines 2 and 4.
         h.access(0, l(2), AccessKind::Read);
         let o = h.access(0, l(4), AccessKind::Read);
-        assert!(o.memory_writebacks.is_empty(), "dirty data is still buffered in the LLC");
+        assert!(
+            o.memory_writebacks.is_empty(),
+            "dirty data is still buffered in the LLC"
+        );
         assert_eq!(h.llc().is_dirty(l(0)), Some(true));
     }
 
@@ -252,7 +271,10 @@ mod tests {
         // Line 0's dirtiness lives in the L2 (never evicted from L2 yet);
         // inclusion back-invalidates it and must carry the dirty data out.
         assert_eq!(o.memory_writebacks, vec![l(0)]);
-        assert!(!h.l2(0).contains(l(0)), "back-invalidation removed the L2 copy");
+        assert!(
+            !h.l2(0).contains(l(0)),
+            "back-invalidation removed the L2 copy"
+        );
     }
 
     #[test]

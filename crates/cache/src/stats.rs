@@ -1,10 +1,10 @@
 //! Per-cache hit/miss/write-back statistics.
 
-use serde::{Deserialize, Serialize};
+use hemu_obs::json::{JsonObject, ToJson};
 use std::fmt;
 
 /// Counters kept by every cache in the hierarchy.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that found their line resident.
     pub hits: u64,
@@ -38,6 +38,18 @@ impl CacheStats {
     }
 }
 
+impl ToJson for CacheStats {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        obj.field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .field("evictions", &self.evictions)
+            .field("writebacks", &self.writebacks)
+            .field("hit_ratio", &self.hit_ratio());
+        obj.finish();
+    }
+}
+
 impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -62,14 +74,24 @@ mod tests {
 
     #[test]
     fn hit_ratio_counts() {
-        let s = CacheStats { hits: 3, misses: 1, evictions: 0, writebacks: 0 };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+            writebacks: 0,
+        };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(s.accesses(), 4);
     }
 
     #[test]
     fn reset_zeroes_everything() {
-        let mut s = CacheStats { hits: 1, misses: 2, evictions: 3, writebacks: 4 };
+        let mut s = CacheStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            writebacks: 4,
+        };
         s.reset();
         assert_eq!(s, CacheStats::default());
     }

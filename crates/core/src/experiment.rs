@@ -6,6 +6,7 @@ use hemu_heap::chunks::ChunkPolicy;
 use hemu_heap::{CollectorKind, GcStats, ManagedHeap};
 use hemu_machine::{CtxId, Machine, MachineProfile};
 use hemu_malloc::{NativeHeap, NativeStats};
+use hemu_obs::{TraceRecord, Tracer};
 use hemu_types::{ByteSize, HemuError, Result, SocketId};
 use hemu_workloads::{Language, Memory, StepResult, Workload, WorkloadSpec};
 
@@ -114,8 +115,29 @@ impl Experiment {
     /// evaluates the C++ implementations on the PCM-Only reference
     /// system), and propagates heap or machine exhaustion.
     pub fn run(&self) -> Result<RunReport> {
+        self.run_traced(Tracer::disabled())
+            .map(|(report, _)| report)
+    }
+
+    /// Runs the experiment with event tracing enabled for the measured
+    /// iteration, returning the report together with the captured trace.
+    ///
+    /// The tracer is installed at the start of the measured iteration, so
+    /// warm-up activity never appears in the trace; `capacity` bounds the
+    /// number of retained records (the oldest are dropped beyond it).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Experiment::run`].
+    pub fn run_with_trace(&self, capacity: usize) -> Result<(RunReport, Vec<TraceRecord>)> {
+        self.run_traced(Tracer::bounded(capacity))
+    }
+
+    fn run_traced(&self, tracer: Tracer) -> Result<(RunReport, Vec<TraceRecord>)> {
         if self.instances == 0 {
-            return Err(HemuError::InvalidConfig("need at least one instance".into()));
+            return Err(HemuError::InvalidConfig(
+                "need at least one instance".into(),
+            ));
         }
         if self.instances > self.profile.contexts {
             return Err(HemuError::InvalidConfig(format!(
@@ -170,11 +192,18 @@ impl Experiment {
         }
 
         // Snapshot per-instance stats, then measure the steady iteration.
+        // The tracer goes in only now, so the trace covers exactly the
+        // measured iteration (metrics are reset at the same point).
+        machine.set_tracer(tracer);
         machine.start_measured_iteration();
-        let gc_before: Vec<Option<GcStats>> =
-            instances.iter().map(|(_, m)| m.gc_stats().copied()).collect();
-        let native_before: Vec<Option<NativeStats>> =
-            instances.iter().map(|(_, m)| m.native_stats().copied()).collect();
+        let gc_before: Vec<Option<GcStats>> = instances
+            .iter()
+            .map(|(_, m)| m.gc_stats().copied())
+            .collect();
+        let native_before: Vec<Option<NativeStats>> = instances
+            .iter()
+            .map(|(_, m)| m.native_stats().copied())
+            .collect();
         let alloc_before: u64 = instances.iter().map(|(_, m)| m.allocated_bytes()).sum();
 
         let mut monitor = WriteRateMonitor::new(self.monitor_interval);
@@ -192,10 +221,21 @@ impl Experiment {
         let pcm_writes = machine.socket_writes(SocketId::PCM);
         let gc = aggregate_gc(&instances, &gc_before);
         let native = aggregate_native(&instances, &native_before);
-        let allocated =
-            instances.iter().map(|(_, m)| m.allocated_bytes()).sum::<u64>() - alloc_before;
+        let allocated = instances
+            .iter()
+            .map(|(_, m)| m.allocated_bytes())
+            .sum::<u64>()
+            - alloc_before;
 
-        Ok(RunReport {
+        machine.publish_metrics();
+        let trace = machine.obs().tracer.drain();
+        let gc_pause_histogram = machine
+            .obs()
+            .metrics
+            .histogram_snapshot("gc.pause_cycles")
+            .filter(|h| h.count > 0);
+
+        let report = RunReport {
             workload: format!("{}", self.spec),
             collector: if self.spec.language == Language::Cpp {
                 "malloc".into()
@@ -222,11 +262,12 @@ impl Experiment {
             wear: machine.memory().wear().map(|w| crate::report::WearSummary {
                 pcm_lines_touched: w.lines_touched() as u64,
                 max_line_writes: w.max_line_writes(),
-                levelling_efficiency: w.levelling_efficiency(
-                    self.profile.numa.capacity_per_socket.bytes() / 64,
-                ),
+                levelling_efficiency: w
+                    .levelling_efficiency(self.profile.numa.capacity_per_socket.bytes() / 64),
             }),
-        })
+            gc_pause_histogram,
+        };
+        Ok((report, trace))
     }
 }
 
@@ -286,6 +327,7 @@ fn diff_gc(now: &GcStats, then: &GcStats) -> GcStats {
         minor_gcs: now.minor_gcs - then.minor_gcs,
         observer_gcs: now.observer_gcs - then.observer_gcs,
         full_gcs: now.full_gcs - then.full_gcs,
+        pause_cycles: now.pause_cycles - then.pause_cycles,
         allocated_bytes: now.allocated_bytes - then.allocated_bytes,
         allocated_objects: now.allocated_objects - then.allocated_objects,
         large_allocated_bytes: now.large_allocated_bytes - then.large_allocated_bytes,
@@ -306,6 +348,7 @@ fn add_gc(a: &GcStats, b: &GcStats) -> GcStats {
         minor_gcs: a.minor_gcs + b.minor_gcs,
         observer_gcs: a.observer_gcs + b.observer_gcs,
         full_gcs: a.full_gcs + b.full_gcs,
+        pause_cycles: a.pause_cycles + b.pause_cycles,
         allocated_bytes: a.allocated_bytes + b.allocated_bytes,
         allocated_objects: a.allocated_objects + b.allocated_objects,
         large_allocated_bytes: a.large_allocated_bytes + b.large_allocated_bytes,

@@ -13,13 +13,12 @@
 //! the default model halves the ideal lifetime.
 
 use hemu_types::ByteSize;
-use serde::{Deserialize, Serialize};
 
 /// The three PCM endurance prototypes of Table III (writes per cell).
 pub const ENDURANCE_PROTOTYPES: [u64; 3] = [10_000_000, 30_000_000, 50_000_000];
 
 /// Parameters of the lifetime estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LifetimeModel {
     /// PCM main-memory capacity (32 GB in the paper).
     pub capacity: ByteSize,

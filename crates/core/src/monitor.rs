@@ -8,11 +8,12 @@
 //! emulating the emulator.
 
 use hemu_machine::Machine;
+use hemu_obs::json::{JsonObject, ToJson};
+use hemu_obs::TraceEvent;
 use hemu_types::{ByteSize, SocketId};
-use serde::{Deserialize, Serialize};
 
 /// One monitor sample: interval rates in MB/s (decimal megabytes).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RateSample {
     /// Virtual time at the end of the interval, seconds.
     pub t_seconds: f64,
@@ -20,6 +21,16 @@ pub struct RateSample {
     pub pcm_write_mbs: f64,
     /// DRAM write rate over the interval.
     pub dram_write_mbs: f64,
+}
+
+impl ToJson for RateSample {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        obj.field("t_seconds", &self.t_seconds)
+            .field("pcm_write_mbs", &self.pcm_write_mbs)
+            .field("dram_write_mbs", &self.dram_write_mbs);
+        obj.finish();
+    }
 }
 
 /// Samples socket write counters over virtual time.
@@ -76,11 +87,21 @@ impl WriteRateMonitor {
         if dt <= 0.0 {
             return;
         }
-        self.samples.push(RateSample {
+        let sample = RateSample {
             t_seconds: t,
             pcm_write_mbs: (pcm.bytes() - self.last_pcm.bytes()) as f64 / 1e6 / dt,
             dram_write_mbs: (dram.bytes() - self.last_dram.bytes()) as f64 / 1e6 / dt,
-        });
+        };
+        machine.obs().tracer.record(
+            machine.elapsed(),
+            TraceEvent::MonitorSample {
+                t_seconds: sample.t_seconds,
+                pcm_write_mbs: sample.pcm_write_mbs,
+                dram_write_mbs: sample.dram_write_mbs,
+            },
+        );
+        machine.publish_metrics();
+        self.samples.push(sample);
         self.last_t = t;
         self.last_pcm = pcm;
         self.last_dram = dram;
@@ -98,7 +119,10 @@ impl WriteRateMonitor {
 
     /// Peak interval PCM write rate seen so far (MB/s).
     pub fn peak_pcm_rate(&self) -> f64 {
-        self.samples.iter().map(|s| s.pcm_write_mbs).fold(0.0, f64::max)
+        self.samples
+            .iter()
+            .map(|s| s.pcm_write_mbs)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -114,7 +138,8 @@ mod tests {
         let p = m.add_process(SocketId::PCM);
         let mut mon = WriteRateMonitor::new(0.0005);
         // Write 8 MiB (beyond LLC) to the PCM socket.
-        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0), 8 << 20)).unwrap();
+        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0), 8 << 20))
+            .unwrap();
         m.flush_caches();
         mon.poll(&m);
         mon.finish(&m);
@@ -127,7 +152,10 @@ mod tests {
             .sum();
         // Integrated rate ≈ total bytes written.
         let expected = m.socket_writes(SocketId::PCM).bytes() as f64 / 1e6;
-        assert!((total - expected).abs() < expected * 0.05, "{total} vs {expected}");
+        assert!(
+            (total - expected).abs() < expected * 0.05,
+            "{total} vs {expected}"
+        );
     }
 
     #[test]
@@ -135,7 +163,8 @@ mod tests {
         let mut m = Machine::new(MachineProfile::emulation());
         let p = m.add_process(SocketId::PCM);
         let mut mon = WriteRateMonitor::new(1e9); // never fires on its own
-        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0), 1 << 20)).unwrap();
+        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0), 1 << 20))
+            .unwrap();
         m.flush_caches();
         mon.finish(&m);
         assert_eq!(mon.samples().len(), 1);

@@ -4,12 +4,13 @@ use crate::monitor::RateSample;
 use hemu_heap::GcStats;
 use hemu_machine::MachineStats;
 use hemu_malloc::NativeStats;
+use hemu_obs::json::{JsonObject, ToJson};
+use hemu_obs::HistogramSnapshot;
 use hemu_types::ByteSize;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Everything measured during one experiment's measured iteration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Workload display name (`pr.cpp.large`, `lusearch`, …).
     pub workload: String,
@@ -46,10 +47,13 @@ pub struct RunReport {
     /// Measured PCM wear statistics (present when the experiment enabled
     /// wear tracking).
     pub wear: Option<WearSummary>,
+    /// Distribution of stop-the-world GC pauses (virtual cycles) over the
+    /// measured iteration, from the `gc.pause_cycles` metric.
+    pub gc_pause_histogram: Option<HistogramSnapshot>,
 }
 
 /// Per-line PCM wear statistics from the opt-in wear tracker.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct WearSummary {
     /// Distinct PCM lines written during the measured iteration.
     pub pcm_lines_touched: u64,
@@ -82,6 +86,40 @@ impl RunReport {
             return f64::INFINITY;
         }
         self.pcm_writes.bytes() as f64 / baseline.pcm_writes.bytes() as f64
+    }
+}
+
+impl ToJson for WearSummary {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        obj.field("pcm_lines_touched", &self.pcm_lines_touched)
+            .field("max_line_writes", &self.max_line_writes)
+            .field("levelling_efficiency", &self.levelling_efficiency);
+        obj.finish();
+    }
+}
+
+impl ToJson for RunReport {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        obj.field("workload", &self.workload)
+            .field("collector", &self.collector)
+            .field("profile", &self.profile)
+            .field("instances", &self.instances)
+            .field("pcm_writes", &self.pcm_writes)
+            .field("pcm_reads", &self.pcm_reads)
+            .field("dram_writes", &self.dram_writes)
+            .field("dram_reads", &self.dram_reads)
+            .field("elapsed_seconds", &self.elapsed_seconds)
+            .field("pcm_write_rate_mbs", &self.pcm_write_rate_mbs)
+            .field("allocated", &self.allocated)
+            .field("gc", &self.gc)
+            .field("native", &self.native)
+            .field("machine", &self.machine)
+            .field("samples", &self.samples)
+            .field("wear", &self.wear)
+            .field("gc_pause_histogram", &self.gc_pause_histogram);
+        obj.finish();
     }
 }
 
@@ -125,6 +163,7 @@ mod tests {
             machine: MachineStats::default(),
             samples: Vec::new(),
             wear: None,
+            gc_pause_histogram: None,
         }
     }
 

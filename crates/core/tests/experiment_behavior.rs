@@ -27,7 +27,10 @@ fn warmup_changes_the_measured_iteration() {
 
 #[test]
 fn gc_stats_cover_only_the_measured_iteration() {
-    let r = Experiment::new(avrora()).collector(CollectorKind::KgN).run().unwrap();
+    let r = Experiment::new(avrora())
+        .collector(CollectorKind::KgN)
+        .run()
+        .unwrap();
     let gc = r.gc.expect("managed run has GC stats");
     // avrora allocates ~12 MiB per iteration; the delta accounting must
     // not include the warm-up iteration's ~equal allocation volume.
@@ -40,8 +43,14 @@ fn gc_stats_cover_only_the_measured_iteration() {
 
 #[test]
 fn monitor_interval_controls_sample_density() {
-    let sparse = Experiment::new(avrora()).monitor_interval(0.05).run().unwrap();
-    let dense = Experiment::new(avrora()).monitor_interval(0.002).run().unwrap();
+    let sparse = Experiment::new(avrora())
+        .monitor_interval(0.05)
+        .run()
+        .unwrap();
+    let dense = Experiment::new(avrora())
+        .monitor_interval(0.002)
+        .run()
+        .unwrap();
     assert!(dense.samples.len() > sparse.samples.len());
 }
 
@@ -58,21 +67,33 @@ fn bigger_nursery_via_override_changes_gc_counts() {
         .run()
         .unwrap();
     let (s, b) = (small.gc.unwrap().minor_gcs, big.gc.unwrap().minor_gcs);
-    assert!(b < s, "8 MiB nursery ({b} minor GCs) must collect less often than 1 MiB ({s})");
+    assert!(
+        b < s,
+        "8 MiB nursery ({b} minor GCs) must collect less often than 1 MiB ({s})"
+    );
 }
 
 #[test]
 fn chunk_policies_produce_similar_writes() {
     // The monolithic free list is a performance pessimisation, not a
     // semantic change: PCM writes should be in the same ballpark.
-    let two = Experiment::new(avrora()).collector(CollectorKind::KgW).run().unwrap();
+    let two = Experiment::new(avrora())
+        .collector(CollectorKind::KgW)
+        .run()
+        .unwrap();
     let mono = Experiment::new(avrora())
         .collector(CollectorKind::KgW)
         .chunk_policy(ChunkPolicy::Monolithic)
         .run()
         .unwrap();
-    let (a, b) = (two.pcm_writes.bytes() as f64, mono.pcm_writes.bytes() as f64);
-    assert!((a - b).abs() <= a.max(b) * 0.5 + 1e6, "two-lists {a} vs monolithic {b}");
+    let (a, b) = (
+        two.pcm_writes.bytes() as f64,
+        mono.pcm_writes.bytes() as f64,
+    );
+    assert!(
+        (a - b).abs() <= a.max(b) * 0.5 + 1e6,
+        "two-lists {a} vs monolithic {b}"
+    );
 }
 
 #[test]
@@ -80,5 +101,8 @@ fn instances_scale_total_allocation() {
     let one = Experiment::new(avrora()).run().unwrap();
     let two = Experiment::new(avrora()).instances(2).run().unwrap();
     let ratio = two.allocated.bytes() as f64 / one.allocated.bytes() as f64;
-    assert!((1.8..2.2).contains(&ratio), "2 instances should allocate ~2x, got {ratio:.2}x");
+    assert!(
+        (1.8..2.2).contains(&ratio),
+        "2 instances should allocate ~2x, got {ratio:.2}x"
+    );
 }

@@ -1,0 +1,146 @@
+//! End-to-end observability tests: the event trace, the metrics registry,
+//! and the JSON export must all tell the same story as the aggregate
+//! statistics.
+
+use hemu_core::{Experiment, RunReport, WearSummary};
+use hemu_heap::{CollectorKind, GcStats};
+use hemu_machine::MachineStats;
+use hemu_obs::{ToJson, TraceEvent};
+use hemu_types::ByteSize;
+use hemu_workloads::WorkloadSpec;
+
+const TRACE_CAPACITY: usize = 1 << 16;
+
+/// A traced `lusearch | KG-N` run: the GC events in the trace must be
+/// internally consistent and agree with the aggregated [`GcStats`] and the
+/// pause histogram in the report.
+#[test]
+fn trace_gc_events_match_gc_stats() {
+    let spec = WorkloadSpec::by_name("lusearch").unwrap();
+    let (report, trace) = Experiment::new(spec)
+        .collector(CollectorKind::KgN)
+        .run_with_trace(TRACE_CAPACITY)
+        .unwrap();
+
+    // Nothing was dropped: the ring only overwrites once full.
+    assert!(
+        trace.len() < TRACE_CAPACITY,
+        "trace filled its ring; grow the capacity"
+    );
+
+    let gc = report.gc.expect("managed run has GC stats");
+    assert!(gc.total_gcs() > 0, "lusearch must collect at least once");
+
+    let mut starts = 0u64;
+    let mut ends = 0u64;
+    let mut pause_sum = 0u64;
+    for record in &trace {
+        match record.event {
+            TraceEvent::GcStart { .. } => starts += 1,
+            TraceEvent::GcEnd { pause_cycles, .. } => {
+                ends += 1;
+                pause_sum += pause_cycles;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(starts, gc.total_gcs(), "one GcStart per collection");
+    assert_eq!(ends, gc.total_gcs(), "one GcEnd per collection");
+    assert_eq!(
+        pause_sum, gc.pause_cycles,
+        "summed GcEnd pause cycles must equal the aggregate GcStats"
+    );
+
+    let hist = report
+        .gc_pause_histogram
+        .expect("collections imply a pause histogram");
+    assert_eq!(hist.count, gc.total_gcs());
+    assert_eq!(hist.sum, gc.pause_cycles);
+
+    // Timestamps never go backwards within the (single-context) trace of
+    // GC events for one instance.
+    let gc_times: Vec<u64> = trace
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                TraceEvent::GcStart { .. } | TraceEvent::GcEnd { .. }
+            )
+        })
+        .map(|r| r.t.raw())
+        .collect();
+    assert!(
+        gc_times.windows(2).all(|w| w[0] <= w[1]),
+        "GC event times must be monotone"
+    );
+}
+
+/// An untraced run returns byte-identical results to a traced one:
+/// observability must not perturb the simulation.
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let spec = WorkloadSpec::by_name("avrora").unwrap();
+    let plain = Experiment::new(spec)
+        .collector(CollectorKind::KgN)
+        .run()
+        .unwrap();
+    let (traced, _) = Experiment::new(spec)
+        .collector(CollectorKind::KgN)
+        .run_with_trace(TRACE_CAPACITY)
+        .unwrap();
+    assert_eq!(plain.pcm_writes, traced.pcm_writes);
+    assert_eq!(plain.elapsed_seconds, traced.elapsed_seconds);
+    assert_eq!(plain.gc, traced.gc);
+}
+
+/// Golden test of the report's JSON schema: field names, order, and value
+/// formatting are part of the export contract (downstream scripts parse
+/// this), so any change must be deliberate.
+#[test]
+fn report_json_schema_golden() {
+    let report = RunReport {
+        workload: "lusearch".into(),
+        collector: "KG-N".into(),
+        profile: "emulation".into(),
+        instances: 1,
+        pcm_writes: ByteSize::new(1000),
+        pcm_reads: ByteSize::new(2000),
+        dram_writes: ByteSize::new(300),
+        dram_reads: ByteSize::new(400),
+        elapsed_seconds: 1.5,
+        pcm_write_rate_mbs: 0.00066,
+        allocated: ByteSize::new(512),
+        gc: Some(GcStats {
+            minor_gcs: 2,
+            pause_cycles: 77,
+            ..Default::default()
+        }),
+        native: None,
+        machine: MachineStats::default(),
+        samples: Vec::new(),
+        wear: Some(WearSummary {
+            pcm_lines_touched: 5,
+            max_line_writes: 9,
+            levelling_efficiency: 0.5,
+        }),
+        gc_pause_histogram: None,
+    };
+    let expected = concat!(
+        "{\"workload\":\"lusearch\",\"collector\":\"KG-N\",\"profile\":\"emulation\",",
+        "\"instances\":1,\"pcm_writes\":1000,\"pcm_reads\":2000,\"dram_writes\":300,",
+        "\"dram_reads\":400,\"elapsed_seconds\":1.5,\"pcm_write_rate_mbs\":0.00066,",
+        "\"allocated\":512,",
+        "\"gc\":{\"minor_gcs\":2,\"observer_gcs\":0,\"full_gcs\":0,\"pause_cycles\":77,",
+        "\"allocated_bytes\":0,\"allocated_objects\":0,\"large_allocated_bytes\":0,",
+        "\"loo_nursery_large\":0,\"copied_minor_bytes\":0,\"copied_observer_bytes\":0,",
+        "\"promoted_dram_objects\":0,\"promoted_pcm_objects\":0,\"large_rescued\":0,",
+        "\"mark_writes\":0,\"remset_entries\":0,\"monitor_marks\":0},",
+        "\"native\":null,",
+        "\"machine\":{\"line_accesses\":0,\"local_fills\":0,\"remote_fills\":0},",
+        "\"samples\":[],",
+        "\"wear\":{\"pcm_lines_touched\":5,\"max_line_writes\":9,",
+        "\"levelling_efficiency\":0.5},",
+        "\"gc_pause_histogram\":null}",
+    );
+    assert_eq!(report.to_json(), expected);
+}

@@ -14,6 +14,7 @@
 //! re-bound, which costs page faults and page-table churn.
 
 use hemu_machine::{Machine, ProcId};
+use hemu_obs::TraceEvent;
 use hemu_types::{Addr, ByteSize, Result, SocketId, CHUNK_SIZE};
 
 use crate::layout::{DRAM_END, PCM_END, PCM_START};
@@ -53,12 +54,18 @@ pub struct SideSockets {
 impl SideSockets {
     /// Hybrid memory: socket 0 is DRAM, socket 1 is PCM.
     pub fn hybrid() -> Self {
-        SideSockets { pcm: SocketId::PCM, dram: SocketId::DRAM }
+        SideSockets {
+            pcm: SocketId::PCM,
+            dram: SocketId::DRAM,
+        }
     }
 
     /// PCM-Only reference system: every space is physically on socket 1.
     pub fn pcm_only() -> Self {
-        SideSockets { pcm: SocketId::PCM, dram: SocketId::PCM }
+        SideSockets {
+            pcm: SocketId::PCM,
+            dram: SocketId::PCM,
+        }
     }
 
     /// The socket for one side.
@@ -98,6 +105,16 @@ pub struct ChunkStats {
     /// Recycled chunks that had to be unmapped and re-bound (monolithic
     /// design only).
     pub remapped: u64,
+}
+
+impl hemu_obs::ToJson for ChunkStats {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = hemu_obs::json::JsonObject::new(out);
+        obj.field("fresh", &self.fresh)
+            .field("recycled", &self.recycled)
+            .field("remapped", &self.remapped);
+        obj.finish();
+    }
 }
 
 /// The chunk allocator: FreeList-Lo, FreeList-Hi, and the region cursors.
@@ -183,6 +200,7 @@ impl ChunkManager {
             debug_assert!(entry.free);
             entry.free = false;
             entry.owner = Some(owner);
+            let addr = entry.addr;
             if entry.socket != want_socket {
                 // Only possible under the monolithic policy: the physical
                 // pages are on the wrong socket and must be remapped.
@@ -190,10 +208,33 @@ impl ChunkManager {
                 machine.mbind(self.proc, entry.addr, entry.size, want_socket);
                 entry.socket = want_socket;
                 self.stats.remapped += 1;
+                machine.obs().metrics.counter("chunks.remapped").incr();
+                let t = machine.elapsed();
+                machine
+                    .obs()
+                    .tracer
+                    .record(t, TraceEvent::ChunkUnmap { addr });
+                machine.obs().tracer.record(
+                    t,
+                    TraceEvent::ChunkRebind {
+                        addr,
+                        socket: want_socket,
+                    },
+                );
             } else {
                 self.stats.recycled += 1;
+                machine.obs().metrics.counter("chunks.recycled").incr();
+                machine.obs().tracer.record(
+                    machine.elapsed(),
+                    TraceEvent::ChunkMap {
+                        addr,
+                        socket: want_socket,
+                        recycled: true,
+                    },
+                );
             }
-            return Ok(entry.addr);
+            self.publish_free_gauge(machine);
+            return Ok(addr);
         }
 
         // 2. Carve a fresh chunk from the side's virtual region.
@@ -209,7 +250,12 @@ impl ChunkManager {
         }
         let addr = *cursor;
         *cursor = cursor.offset(CHUNK_SIZE as u64);
-        machine.mbind(self.proc, addr, ByteSize::new(CHUNK_SIZE as u64), want_socket);
+        machine.mbind(
+            self.proc,
+            addr,
+            ByteSize::new(CHUNK_SIZE as u64),
+            want_socket,
+        );
         self.entries.push(ChunkEntry {
             addr,
             size: ByteSize::new(CHUNK_SIZE as u64),
@@ -219,7 +265,24 @@ impl ChunkManager {
             side,
         });
         self.stats.fresh += 1;
+        machine.obs().metrics.counter("chunks.fresh").incr();
+        machine.obs().tracer.record(
+            machine.elapsed(),
+            TraceEvent::ChunkMap {
+                addr,
+                socket: want_socket,
+                recycled: false,
+            },
+        );
+        self.publish_free_gauge(machine);
         Ok(addr)
+    }
+
+    /// Publishes the current free-list occupancy (both sides) to the
+    /// `chunks.free` gauge.
+    fn publish_free_gauge(&self, machine: &Machine) {
+        let free = (self.free_lo.len() + self.free_hi.len()) as f64;
+        machine.obs().metrics.gauge("chunks.free").set(free);
     }
 
     /// Releases the chunk at `addr` back to its free list. The chunk keeps

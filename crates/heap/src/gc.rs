@@ -9,7 +9,75 @@
 use crate::heap::ManagedHeap;
 use crate::object::{ObjectId, SpaceKind, HEADER_SIZE, LARGE_THRESHOLD};
 use hemu_machine::Machine;
+use hemu_obs::{GcKind, TraceEvent};
 use hemu_types::{Cycles, MemoryAccess, Result, WORD};
+
+/// Stamps the start of a collection pause: emits a [`TraceEvent::GcStart`]
+/// and returns the pause's start time on the collecting context's clock.
+fn pause_begin(
+    heap: &ManagedHeap,
+    machine: &Machine,
+    kind: GcKind,
+    reason: &'static str,
+) -> Cycles {
+    let t0 = machine.clock(heap.ctx).now();
+    machine
+        .obs()
+        .tracer
+        .record(t0, TraceEvent::GcStart { kind, reason });
+    t0
+}
+
+/// Stamps the end of a collection pause: accumulates `GcStats::pause_cycles`,
+/// feeds the `gc.pause_cycles` histogram, and emits a [`TraceEvent::GcEnd`].
+fn pause_end(heap: &mut ManagedHeap, machine: &Machine, kind: GcKind, t0: Cycles) {
+    let t1 = machine.clock(heap.ctx).now();
+    let pause = t1.raw() - t0.raw();
+    heap.stats.pause_cycles += pause;
+    machine
+        .obs()
+        .metrics
+        .histogram("gc.pause_cycles")
+        .observe(pause);
+    machine.obs().tracer.record(
+        t1,
+        TraceEvent::GcEnd {
+            kind,
+            pause_cycles: pause,
+        },
+    );
+}
+
+/// Re-logs mature→young edges manufactured by evacuation.
+///
+/// Promotion can create old→young pointers that never crossed the mutator's
+/// write barrier: an observer source is promoted to the mature space in the
+/// same collection that moved its nursery target into the observer space,
+/// and a full collection clears every logged bit outright. Any such edge
+/// must be re-remembered, or the next observer-collecting minor GC would
+/// treat the (reachable) young target as garbage and a later scan of the
+/// stale reference would fault. Pure collector bookkeeping — the mutator's
+/// barrier already paid for these entries when the refs were stored.
+fn rebuild_remsets(heap: &mut ManagedHeap) {
+    let candidates: Vec<ObjectId> = heap.table.iter_live().collect();
+    for src in candidates {
+        let (space, logged, refs) = {
+            let i = heap.table.get(src);
+            (i.space, i.logged, i.refs.clone())
+        };
+        if space.is_young() || logged {
+            continue;
+        }
+        let has_young_ref = refs
+            .into_iter()
+            .flatten()
+            .any(|t| heap.table.is_live(t) && heap.table.get(t).space.is_young());
+        if has_young_ref {
+            heap.table.get_mut(src).logged = true;
+            heap.remset_old.push(src);
+        }
+    }
+}
 
 /// Where an evacuated object is copied to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,12 +130,7 @@ fn nursery_dest(heap: &ManagedHeap, size: u32) -> Dest {
 
 /// Copies one live object to `dest`: read at the old location, write at the
 /// new one, plus a forwarding-pointer store in the old header.
-fn evacuate(
-    heap: &mut ManagedHeap,
-    machine: &mut Machine,
-    id: ObjectId,
-    dest: Dest,
-) -> Result<()> {
+fn evacuate(heap: &mut ManagedHeap, machine: &mut Machine, id: ObjectId, dest: Dest) -> Result<()> {
     let (old_addr, size) = {
         let info = heap.table.get(id);
         (info.addr, info.size)
@@ -122,7 +185,11 @@ fn scan(heap: &mut ManagedHeap, machine: &mut Machine, id: ObjectId) -> Result<V
         let info = heap.table.get(id);
         (info.addr, info.size, info.ref_count, info.refs.clone())
     };
-    machine.access(heap.ctx, heap.proc, MemoryAccess::read(addr, scan_bytes(size, ref_count)))?;
+    machine.access(
+        heap.ctx,
+        heap.proc,
+        MemoryAccess::read(addr, scan_bytes(size, ref_count)),
+    )?;
     // Per-object trace work: type lookup and reference-map decoding.
     machine.compute(heap.ctx, Cycles::new(30 + 4 * ref_count as u64));
     Ok(refs.into_iter().flatten().collect())
@@ -130,7 +197,11 @@ fn scan(heap: &mut ManagedHeap, machine: &mut Machine, id: ObjectId) -> Result<V
 
 /// A minor collection: evacuates the nursery (and, when it is full, the
 /// observer space), seeded from roots and the remembered sets.
-pub(crate) fn minor_gc(heap: &mut ManagedHeap, machine: &mut Machine) -> Result<()> {
+pub(crate) fn minor_gc(
+    heap: &mut ManagedHeap,
+    machine: &mut Machine,
+    reason: &'static str,
+) -> Result<()> {
     heap.stats.minor_gcs += 1;
     heap.minor_since_full += 1;
     let collect_observer = heap.config.has_observer()
@@ -142,18 +213,25 @@ pub(crate) fn minor_gc(heap: &mut ManagedHeap, machine: &mut Machine) -> Result<
     if collect_observer {
         heap.stats.observer_gcs += 1;
     }
+    let kind = if collect_observer {
+        GcKind::MinorObserver
+    } else {
+        GcKind::Minor
+    };
+    let pause_t0 = pause_begin(heap, machine, kind, reason);
     // Stop-the-world pause setup: stack and register root scan.
     machine.compute(heap.ctx, Cycles::new(30_000));
 
-    let in_evacuated = |s: SpaceKind| {
-        s == SpaceKind::Nursery || (collect_observer && s == SpaceKind::Observer)
-    };
+    let in_evacuated =
+        |s: SpaceKind| s == SpaceKind::Nursery || (collect_observer && s == SpaceKind::Observer);
 
     // --- Mark ---
     let mut gray: Vec<ObjectId> = Vec::new();
     let mut survivors: Vec<ObjectId> = Vec::new();
-    let mark = |heap: &mut ManagedHeap, id: ObjectId, gray: &mut Vec<ObjectId>,
-                    survivors: &mut Vec<ObjectId>| {
+    let mark = |heap: &mut ManagedHeap,
+                id: ObjectId,
+                gray: &mut Vec<ObjectId>,
+                survivors: &mut Vec<ObjectId>| {
         let info = heap.table.get_mut(id);
         if in_evacuated(info.space) && !info.marked {
             info.marked = true;
@@ -244,23 +322,32 @@ pub(crate) fn minor_gc(heap: &mut ManagedHeap, machine: &mut Machine) -> Result<
             }
         }
         heap.remset_old.clear();
+        rebuild_remsets(heap);
     }
+    pause_end(heap, machine, kind, pause_t0);
     Ok(())
 }
 
 /// A full-heap (mature) collection: traces the whole object graph, writes
 /// mark bytes, reclaims mature lines and dead large objects, evacuates the
 /// young generation, and rescues written PCM large objects to DRAM.
-pub(crate) fn full_gc(heap: &mut ManagedHeap, machine: &mut Machine) -> Result<()> {
+pub(crate) fn full_gc(
+    heap: &mut ManagedHeap,
+    machine: &mut Machine,
+    reason: &'static str,
+) -> Result<()> {
     heap.stats.full_gcs += 1;
     heap.minor_since_full = 0;
+    let pause_t0 = pause_begin(heap, machine, GcKind::Full, reason);
     machine.compute(heap.ctx, Cycles::new(120_000));
 
     // --- Mark the whole graph ---
     let mut gray: Vec<ObjectId> = Vec::new();
     let mut live: Vec<ObjectId> = Vec::new();
-    let mark = |heap: &mut ManagedHeap, id: ObjectId, gray: &mut Vec<ObjectId>,
-                    live: &mut Vec<ObjectId>| {
+    let mark = |heap: &mut ManagedHeap,
+                id: ObjectId,
+                gray: &mut Vec<ObjectId>,
+                live: &mut Vec<ObjectId>| {
         let info = heap.table.get_mut(id);
         if !info.marked {
             info.marked = true;
@@ -293,7 +380,9 @@ pub(crate) fn full_gc(heap: &mut ManagedHeap, machine: &mut Machine) -> Result<(
         };
         heap.stats.mark_writes += 1;
         match space {
-            SpaceKind::MatureDram | SpaceKind::MaturePcm | SpaceKind::LargeDram
+            SpaceKind::MatureDram
+            | SpaceKind::MaturePcm
+            | SpaceKind::LargeDram
             | SpaceKind::LargePcm => {
                 let slot = meta.expect("mature object without a metadata slot");
                 machine.access(heap.ctx, heap.proc, MemoryAccess::write(slot, 1))?;
@@ -410,5 +499,9 @@ pub(crate) fn full_gc(heap: &mut ManagedHeap, machine: &mut Machine) -> Result<(
     }
     heap.remset_old.clear();
     heap.remset_obs.clear();
+    if heap.config.has_observer() {
+        rebuild_remsets(heap);
+    }
+    pause_end(heap, machine, GcKind::Full, pause_t0);
     Ok(())
 }

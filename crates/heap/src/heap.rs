@@ -14,6 +14,7 @@ use crate::plan::GcConfig;
 use crate::space::{BumpSpace, ImmixSpace, LargeObjectSpace, MetaAllocator};
 use crate::stats::GcStats;
 use hemu_machine::{CtxId, Machine, ProcId};
+use hemu_obs::Counter;
 use hemu_types::{Addr, ByteSize, MemoryAccess, Result, WORD};
 
 /// Handle to a root slot (a VM-level reference such as a static or a stack
@@ -82,6 +83,12 @@ pub struct ManagedHeap {
     /// scheduling cooldown).
     pub(crate) minor_since_full: u32,
     pub(crate) stats: GcStats,
+    /// Cached handle to the `barrier.fast` metric (stores that skip the
+    /// remembered-set log).
+    barrier_fast: Counter,
+    /// Cached handle to the `barrier.slow` metric (stores that log a
+    /// remembered-set entry).
+    barrier_slow: Counter,
 }
 
 impl ManagedHeap {
@@ -93,12 +100,7 @@ impl ManagedHeap {
     ///
     /// Returns [`hemu_types::HemuError::InvalidConfig`] for degenerate
     /// configurations (zero-sized nursery or heap).
-    pub fn new(
-        machine: &mut Machine,
-        proc: ProcId,
-        ctx: CtxId,
-        config: GcConfig,
-    ) -> Result<Self> {
+    pub fn new(machine: &mut Machine, proc: ProcId, ctx: CtxId, config: GcConfig) -> Result<Self> {
         Self::with_chunk_policy(machine, proc, ctx, config, ChunkPolicy::TwoLists)
     }
 
@@ -130,8 +132,18 @@ impl ManagedHeap {
             machine.mbind(proc, layout::OBSERVER_START, sz, young_socket);
             BumpSpace::new("observer", layout::OBSERVER_START, sz)
         });
-        machine.mbind(proc, layout::BOOT_START, layout::BOOT_SIZE, config.boot_socket());
-        machine.mbind(proc, layout::REMSET_BUFFER, layout::REMSET_BUFFER_SIZE, young_socket);
+        machine.mbind(
+            proc,
+            layout::BOOT_START,
+            layout::BOOT_SIZE,
+            config.boot_socket(),
+        );
+        machine.mbind(
+            proc,
+            layout::REMSET_BUFFER,
+            layout::REMSET_BUFFER_SIZE,
+            young_socket,
+        );
 
         Ok(ManagedHeap {
             proc,
@@ -154,6 +166,8 @@ impl ManagedHeap {
             boot_cursor: layout::BOOT_START,
             minor_since_full: 0,
             stats: GcStats::default(),
+            barrier_fast: machine.obs().metrics.counter("barrier.fast"),
+            barrier_slow: machine.obs().metrics.counter("barrier.slow"),
             config,
         })
     }
@@ -204,8 +218,7 @@ impl ManagedHeap {
     /// The budget that triggers a full-heap collection: the heap size minus
     /// the young reservations (never less than a quarter of the heap).
     pub fn old_gen_budget(&self) -> ByteSize {
-        let young = self.config.nursery
-            + self.config.observer.unwrap_or(ByteSize::ZERO);
+        let young = self.config.nursery + self.config.observer.unwrap_or(ByteSize::ZERO);
         let quarter = ByteSize::new(self.config.heap_size.bytes() / 4);
         self.config.heap_size.saturating_sub(young).max(quarter)
     }
@@ -277,12 +290,14 @@ impl ManagedHeap {
         if let Some(a) = self.nursery.alloc(size) {
             return Ok(a);
         }
-        gc::minor_gc(self, machine)?;
+        gc::minor_gc(self, machine, "nursery_full")?;
         self.maybe_full_gc(machine, size)?;
-        self.nursery.alloc(size).ok_or(hemu_types::HemuError::OutOfHeapMemory {
-            requested: ByteSize::new(size as u64),
-            space: "nursery",
-        })
+        self.nursery
+            .alloc(size)
+            .ok_or(hemu_types::HemuError::OutOfHeapMemory {
+                requested: ByteSize::new(size as u64),
+                space: "nursery",
+            })
     }
 
     fn maybe_full_gc(&mut self, machine: &mut Machine, upcoming: u32) -> Result<()> {
@@ -292,7 +307,7 @@ impl ManagedHeap {
         if self.old_gen_used().bytes() + upcoming as u64 > self.old_gen_budget().bytes()
             && self.minor_since_full >= 2
         {
-            gc::full_gc(self, machine)?;
+            gc::full_gc(self, machine, "old_gen_pressure")?;
         }
         Ok(())
     }
@@ -303,7 +318,7 @@ impl ManagedHeap {
     ///
     /// Propagates machine memory exhaustion.
     pub fn collect_full(&mut self, machine: &mut Machine) -> Result<()> {
-        gc::full_gc(self, machine)
+        gc::full_gc(self, machine, "forced")
     }
 
     /// Allocates an object in the boot space. Boot objects are permanent
@@ -333,7 +348,9 @@ impl ManagedHeap {
         machine.access(self.ctx, self.proc, MemoryAccess::write(addr, size))?;
         self.stats.allocated_bytes += size as u64;
         self.stats.allocated_objects += 1;
-        Ok(self.table.insert(ObjectInfo::fresh(addr, size, ref_count, SpaceKind::Boot)))
+        Ok(self
+            .table
+            .insert(ObjectInfo::fresh(addr, size, ref_count, SpaceKind::Boot)))
     }
 
     pub(crate) fn meta_slot_for(
@@ -374,15 +391,23 @@ impl ManagedHeap {
     ) -> Result<()> {
         let slot_addr = {
             let info = self.table.get(src);
-            assert!(slot < info.ref_count as usize, "ref slot {slot} out of range");
+            assert!(
+                slot < info.ref_count as usize,
+                "ref slot {slot} out of range"
+            );
             info.ref_slot_addr(slot)
         };
         // The store itself.
-        machine.access(self.ctx, self.proc, MemoryAccess::write(slot_addr, WORD as u32))?;
+        machine.access(
+            self.ctx,
+            self.proc,
+            MemoryAccess::write(slot_addr, WORD as u32),
+        )?;
         self.monitor_write(machine, src)?;
 
         // Boundary write barrier: remember old→young and observer→nursery
         // pointers, one entry per source object (object remembering).
+        let mut took_slow_path = false;
         if let Some(t) = target {
             let target_space = self.table.get(t).space;
             let src_space = self.table.get(src).space;
@@ -393,6 +418,7 @@ impl ManagedHeap {
                     _ => true,
                 };
                 if log {
+                    took_slow_path = true;
                     self.table.get_mut(src).logged = true;
                     if src_space == SpaceKind::Observer {
                         self.remset_obs.push(src);
@@ -402,13 +428,17 @@ impl ManagedHeap {
                     self.stats.remset_entries += 1;
                     // The barrier appends the source to a buffer in DRAM.
                     let buf = layout::REMSET_BUFFER.offset(
-                        (self.remset_cursor * WORD as u64)
-                            % layout::REMSET_BUFFER_SIZE.bytes(),
+                        (self.remset_cursor * WORD as u64) % layout::REMSET_BUFFER_SIZE.bytes(),
                     );
                     self.remset_cursor += 1;
                     machine.access(self.ctx, self.proc, MemoryAccess::write(buf, WORD as u32))?;
                 }
             }
+        }
+        if took_slow_path {
+            self.barrier_slow.incr();
+        } else {
+            self.barrier_fast.incr();
         }
 
         self.table.get_mut(src).refs[slot] = target;
@@ -432,7 +462,10 @@ impl ManagedHeap {
     ) -> Result<Option<ObjectId>> {
         let (addr, value) = {
             let info = self.table.get(src);
-            assert!(slot < info.ref_count as usize, "ref slot {slot} out of range");
+            assert!(
+                slot < info.ref_count as usize,
+                "ref slot {slot} out of range"
+            );
             (info.ref_slot_addr(slot), info.refs[slot])
         };
         machine.access(self.ctx, self.proc, MemoryAccess::read(addr, WORD as u32))?;

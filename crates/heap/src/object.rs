@@ -6,7 +6,6 @@
 //! size, space) determines the memory traffic its uses generate.
 
 use hemu_types::{Addr, ByteSize, WORD};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Size of an object header in bytes (status word + type information
@@ -25,7 +24,7 @@ pub const LARGE_THRESHOLD: u32 = 8 * 1024;
 /// Ids are generation-tagged: a handle to a collected object never aliases
 /// a later object that reuses the same table slot, so stale handles are
 /// reliably detected instead of silently corrupting an unrelated object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub(crate) u64);
 
 impl ObjectId {
@@ -60,7 +59,7 @@ impl fmt::Display for ObjectId {
 }
 
 /// Which space an object currently resides in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpaceKind {
     /// The boot image.
     Boot,
@@ -145,12 +144,14 @@ impl ObjectInfo {
 impl ObjectInfo {
     /// Address of reference slot `i` (slots follow the header).
     pub fn ref_slot_addr(&self, i: usize) -> Addr {
-        self.addr.offset(HEADER_SIZE as u64 + (i as u64) * WORD as u64)
+        self.addr
+            .offset(HEADER_SIZE as u64 + (i as u64) * WORD as u64)
     }
 
     /// Address of the data payload (after header and reference slots).
     pub fn data_addr(&self) -> Addr {
-        self.addr.offset(HEADER_SIZE as u64 + self.ref_count as u64 * WORD as u64)
+        self.addr
+            .offset(HEADER_SIZE as u64 + self.ref_count as u64 * WORD as u64)
     }
 
     /// Size of the data payload in bytes.
@@ -204,7 +205,11 @@ impl ObjectTable {
     /// Panics if the object is already dead.
     pub fn remove(&mut self, id: ObjectId) {
         let idx = id.index();
-        assert_eq!(self.generations[idx], id.generation(), "remove of stale handle {id}");
+        assert_eq!(
+            self.generations[idx],
+            id.generation(),
+            "remove of stale handle {id}"
+        );
         let slot = &mut self.slots[idx];
         assert!(slot.alive, "double free of {id}");
         slot.alive = false;

@@ -16,11 +16,10 @@
 
 use crate::chunks::SideSockets;
 use hemu_types::{ByteSize, SocketId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The collector configurations evaluated on the platform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollectorKind {
     /// Baseline generational Immix with every space bound to the PCM
     /// socket (the reference system of §V).
@@ -79,15 +78,27 @@ impl CollectorKind {
             CollectorKind::KgB => (big, None, false, false, false),
             CollectorKind::KgNLoo => (base_nursery, None, true, false, false),
             CollectorKind::KgBLoo => (big, None, true, false, false),
-            CollectorKind::KgW => {
-                (base_nursery, Some(ByteSize::new(base_nursery.bytes() * 2)), true, true, false)
-            }
-            CollectorKind::KgWMinusLoo => {
-                (base_nursery, Some(ByteSize::new(base_nursery.bytes() * 2)), false, true, false)
-            }
-            CollectorKind::KgWMinusMdo => {
-                (base_nursery, Some(ByteSize::new(base_nursery.bytes() * 2)), true, false, false)
-            }
+            CollectorKind::KgW => (
+                base_nursery,
+                Some(ByteSize::new(base_nursery.bytes() * 2)),
+                true,
+                true,
+                false,
+            ),
+            CollectorKind::KgWMinusLoo => (
+                base_nursery,
+                Some(ByteSize::new(base_nursery.bytes() * 2)),
+                false,
+                true,
+                false,
+            ),
+            CollectorKind::KgWMinusMdo => (
+                base_nursery,
+                Some(ByteSize::new(base_nursery.bytes() * 2)),
+                true,
+                false,
+                false,
+            ),
         };
         GcConfig {
             kind: self,
@@ -105,6 +116,12 @@ impl CollectorKind {
 impl fmt::Display for CollectorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl hemu_obs::ToJson for CollectorKind {
+    fn write_json(&self, out: &mut String) {
+        hemu_obs::json::push_json_str(out, self.name());
     }
 }
 
@@ -210,7 +227,12 @@ pub fn render_table1(configs: &[GcConfig]) -> String {
         for c in configs {
             let map = c.space_map();
             let (_, s0, s1) = map[row];
-            let _ = write!(out, " | {:>5} {:>5}", if s0 { "Y" } else { "-" }, if s1 { "Y" } else { "-" });
+            let _ = write!(
+                out,
+                " | {:>5} {:>5}",
+                if s0 { "Y" } else { "-" },
+                if s1 { "Y" } else { "-" }
+            );
         }
         let _ = writeln!(out);
     }
@@ -267,7 +289,11 @@ mod tests {
         assert_eq!(w[2], ("Mature", true, true));
         assert_eq!(w[4], ("Metadata", true, true));
         let mdo = CollectorKind::KgWMinusMdo.config(N4, H100).space_map();
-        assert_eq!(mdo[4], ("Metadata", false, true), "no DRAM metadata space without MDO");
+        assert_eq!(
+            mdo[4],
+            ("Metadata", false, true),
+            "no DRAM metadata space without MDO"
+        );
         assert_eq!(mdo[1], ("Observer", true, false));
     }
 
@@ -284,10 +310,14 @@ mod tests {
 
     #[test]
     fn render_table1_contains_all_plans() {
-        let configs: Vec<_> = [CollectorKind::KgN, CollectorKind::KgW, CollectorKind::KgWMinusMdo]
-            .iter()
-            .map(|k| k.config(N4, H100))
-            .collect();
+        let configs: Vec<_> = [
+            CollectorKind::KgN,
+            CollectorKind::KgW,
+            CollectorKind::KgWMinusMdo,
+        ]
+        .iter()
+        .map(|k| k.config(N4, H100))
+        .collect();
         let s = render_table1(&configs);
         assert!(s.contains("KG-N") && s.contains("KG-W-MDO"));
         assert!(s.contains("Nursery") && s.contains("Metadata"));

@@ -37,7 +37,12 @@ pub struct BumpSpace {
 impl BumpSpace {
     /// Creates a bump space over `[start, start + capacity)`.
     pub fn new(name: &'static str, start: Addr, capacity: ByteSize) -> Self {
-        BumpSpace { name, start, capacity, cursor: start }
+        BumpSpace {
+            name,
+            start,
+            capacity,
+            cursor: start,
+        }
     }
 
     /// The space's name.
@@ -271,7 +276,13 @@ pub struct LargeObjectSpace {
 impl LargeObjectSpace {
     /// Creates an empty large object space on `side`.
     pub fn new(name: &'static str, side: Side) -> Self {
-        LargeObjectSpace { name, side, free_runs: Vec::new(), used_bytes: 0, reserved_bytes: 0 }
+        LargeObjectSpace {
+            name,
+            side,
+            free_runs: Vec::new(),
+            used_bytes: 0,
+            reserved_bytes: 0,
+        }
     }
 
     /// The space's name.
@@ -341,7 +352,8 @@ impl LargeObjectSpace {
         self.reserved_bytes += need_chunks * chunk_bytes;
         let total_pages = need_chunks * chunk_bytes / PAGE_SIZE as u64;
         if total_pages > pages {
-            self.free_runs.push((first.offset(pages * PAGE_SIZE as u64), total_pages - pages));
+            self.free_runs
+                .push((first.offset(pages * PAGE_SIZE as u64), total_pages - pages));
         }
         self.used_bytes += pages * PAGE_SIZE as u64;
         Ok(first)
@@ -374,7 +386,13 @@ pub struct MetaAllocator {
 impl MetaAllocator {
     /// Creates an empty metadata allocator on `side`.
     pub fn new(name: &'static str, side: Side) -> Self {
-        MetaAllocator { name, side, current: None, offset: 0, reserved: 0 }
+        MetaAllocator {
+            name,
+            side,
+            current: None,
+            offset: 0,
+            reserved: 0,
+        }
     }
 
     /// The allocator's name.
@@ -420,7 +438,10 @@ mod tests {
     fn setup() -> (Machine, ChunkManager) {
         let mut m = Machine::new(MachineProfile::emulation());
         let p = m.add_process(SocketId::DRAM);
-        (m, ChunkManager::new(ChunkPolicy::TwoLists, SideSockets::hybrid(), p))
+        (
+            m,
+            ChunkManager::new(ChunkPolicy::TwoLists, SideSockets::hybrid(), p),
+        )
     }
 
     #[test]
@@ -488,7 +509,9 @@ mod tests {
         let mut s = ImmixSpace::new("mature-pcm", Side::Pcm);
         // Fill most of a block, then allocate something that does not fit
         // in the remainder: it must start at a fresh block boundary.
-        let a = s.alloc(&mut m, &mut cm, (BLOCK_SIZE - LINE_SIZE) as u32).unwrap();
+        let a = s
+            .alloc(&mut m, &mut cm, (BLOCK_SIZE - LINE_SIZE) as u32)
+            .unwrap();
         let b = s.alloc(&mut m, &mut cm, 2 * LINE_SIZE as u32).unwrap();
         assert_eq!((b.raw() - a.raw()) % BLOCK_SIZE as u64, 0);
     }

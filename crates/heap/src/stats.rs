@@ -1,11 +1,11 @@
 //! Garbage collection and mutator statistics.
 
+use hemu_obs::json::{JsonObject, ToJson};
 use hemu_types::ByteSize;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Counters accumulated by one managed heap.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GcStats {
     /// Nursery (minor) collections.
     pub minor_gcs: u64,
@@ -13,6 +13,8 @@ pub struct GcStats {
     pub observer_gcs: u64,
     /// Full-heap (mature) collections.
     pub full_gcs: u64,
+    /// Virtual cycles spent inside stop-the-world collection pauses.
+    pub pause_cycles: u64,
     /// Total bytes allocated by the mutator (including zeroing).
     pub allocated_bytes: u64,
     /// Objects allocated.
@@ -51,6 +53,29 @@ impl GcStats {
     }
 }
 
+impl ToJson for GcStats {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        obj.field("minor_gcs", &self.minor_gcs)
+            .field("observer_gcs", &self.observer_gcs)
+            .field("full_gcs", &self.full_gcs)
+            .field("pause_cycles", &self.pause_cycles)
+            .field("allocated_bytes", &self.allocated_bytes)
+            .field("allocated_objects", &self.allocated_objects)
+            .field("large_allocated_bytes", &self.large_allocated_bytes)
+            .field("loo_nursery_large", &self.loo_nursery_large)
+            .field("copied_minor_bytes", &self.copied_minor_bytes)
+            .field("copied_observer_bytes", &self.copied_observer_bytes)
+            .field("promoted_dram_objects", &self.promoted_dram_objects)
+            .field("promoted_pcm_objects", &self.promoted_pcm_objects)
+            .field("large_rescued", &self.large_rescued)
+            .field("mark_writes", &self.mark_writes)
+            .field("remset_entries", &self.remset_entries)
+            .field("monitor_marks", &self.monitor_marks);
+        obj.finish();
+    }
+}
+
 impl fmt::Display for GcStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -75,15 +100,32 @@ mod tests {
 
     #[test]
     fn totals_combine_minor_and_full() {
-        let s = GcStats { minor_gcs: 3, full_gcs: 2, ..Default::default() };
+        let s = GcStats {
+            minor_gcs: 3,
+            full_gcs: 2,
+            ..Default::default()
+        };
         assert_eq!(s.total_gcs(), 5);
     }
 
     #[test]
     fn display_mentions_key_numbers() {
-        let s = GcStats { allocated_bytes: 1024, minor_gcs: 7, ..Default::default() };
+        let s = GcStats {
+            allocated_bytes: 1024,
+            minor_gcs: 7,
+            ..Default::default()
+        };
         let text = format!("{s}");
         assert!(text.contains("7 minor"));
         assert!(text.contains("1.00 KiB"));
+    }
+
+    #[test]
+    fn json_includes_pause_cycles() {
+        let s = GcStats {
+            pause_cycles: 1234,
+            ..Default::default()
+        };
+        assert!(s.to_json().contains("\"pause_cycles\":1234"));
     }
 }

@@ -51,7 +51,11 @@ fn rooted_objects_survive_and_are_promoted_to_pcm_under_kg_n() {
         heap.alloc(&mut m, 0, 512).unwrap();
     }
     assert!(heap.is_live(keep));
-    assert_eq!(heap.space_of(keep), SpaceKind::MaturePcm, "KG-N promotes survivors to PCM");
+    assert_eq!(
+        heap.space_of(keep),
+        SpaceKind::MaturePcm,
+        "KG-N promotes survivors to PCM"
+    );
 }
 
 #[test]
@@ -86,8 +90,16 @@ fn kg_w_survivors_go_to_observer_then_segregate_by_writes() {
         rounds += 1;
         assert!(rounds < 10_000, "observer never evacuated");
     }
-    assert_eq!(heap.space_of(hot), SpaceKind::MatureDram, "written object belongs in DRAM");
-    assert_eq!(heap.space_of(cold), SpaceKind::MaturePcm, "unwritten object belongs in PCM");
+    assert_eq!(
+        heap.space_of(hot),
+        SpaceKind::MatureDram,
+        "written object belongs in DRAM"
+    );
+    assert_eq!(
+        heap.space_of(cold),
+        SpaceKind::MaturePcm,
+        "unwritten object belongs in PCM"
+    );
     assert!(heap.stats().promoted_dram_objects >= 1);
     assert!(heap.stats().promoted_pcm_objects >= 1);
 }
@@ -127,7 +139,10 @@ fn old_to_young_pointers_are_remembered() {
     for _ in 0..2048 {
         heap.alloc(&mut m, 0, 512).unwrap();
     }
-    assert!(heap.is_live(young), "object reachable only through the remset must survive");
+    assert!(
+        heap.is_live(young),
+        "object reachable only through the remset must survive"
+    );
     assert_eq!(heap.read_ref(&mut m, old, 0).unwrap(), Some(young));
 }
 
@@ -145,7 +160,10 @@ fn unreferenced_cycle_is_collected_by_full_gc() {
     assert!(heap.is_live(a) && heap.is_live(b));
     heap.drop_root(root);
     heap.collect_full(&mut m).unwrap();
-    assert!(!heap.is_live(a) && !heap.is_live(b), "cycle must not survive a full trace");
+    assert!(
+        !heap.is_live(a) && !heap.is_live(b),
+        "cycle must not survive a full trace"
+    );
 }
 
 #[test]
@@ -175,7 +193,11 @@ fn kg_w_rescues_written_large_objects_to_dram() {
     let _root = heap.new_root(Some(big));
     heap.write_data(&mut m, big, 0, 4096).unwrap();
     heap.collect_full(&mut m).unwrap();
-    assert_eq!(heap.space_of(big), SpaceKind::LargeDram, "written large object rescued");
+    assert_eq!(
+        heap.space_of(big),
+        SpaceKind::LargeDram,
+        "written large object rescued"
+    );
     assert_eq!(heap.stats().large_rescued, 1);
 }
 
@@ -187,7 +209,10 @@ fn boot_objects_are_permanent_roots() {
     let child = heap.alloc(&mut m, 0, 8).unwrap();
     heap.write_ref(&mut m, boot, 0, Some(child)).unwrap();
     heap.collect_full(&mut m).unwrap();
-    assert!(heap.is_live(boot), "boot objects survive without explicit roots");
+    assert!(
+        heap.is_live(boot),
+        "boot objects survive without explicit roots"
+    );
     assert!(heap.is_live(child), "objects referenced from boot survive");
 }
 
@@ -196,7 +221,11 @@ fn boot_objects_are_permanent_roots() {
 #[test]
 fn pcm_write_ordering_matches_the_paper() {
     let mut results = Vec::new();
-    for kind in [CollectorKind::PcmOnly, CollectorKind::KgN, CollectorKind::KgW] {
+    for kind in [
+        CollectorKind::PcmOnly,
+        CollectorKind::KgN,
+        CollectorKind::KgW,
+    ] {
         let (mut m, mut heap) = setup(kind);
         let mut hot = Vec::new();
         // A workload with long-lived, frequently written survivors: the
@@ -219,8 +248,14 @@ fn pcm_write_ordering_matches_the_paper() {
     let pcm_only = results[0].1;
     let kg_n = results[1].1;
     let kg_w = results[2].1;
-    assert!(kg_n < pcm_only, "KG-N ({kg_n}) must write less than PCM-Only ({pcm_only})");
-    assert!(kg_w < kg_n, "KG-W ({kg_w}) must write less than KG-N ({kg_n})");
+    assert!(
+        kg_n < pcm_only,
+        "KG-N ({kg_n}) must write less than PCM-Only ({pcm_only})"
+    );
+    assert!(
+        kg_w < kg_n,
+        "KG-W ({kg_w}) must write less than KG-N ({kg_n})"
+    );
 }
 
 #[test]
@@ -252,11 +287,17 @@ fn kg_w_does_more_gc_work_than_kg_n() {
             }
         }
         let st = heap.stats();
-        work.push((st.copied_minor_bytes + st.copied_observer_bytes, st.monitor_marks));
+        work.push((
+            st.copied_minor_bytes + st.copied_observer_bytes,
+            st.monitor_marks,
+        ));
     }
     let (kg_n_copied, kg_n_marks) = work[0];
     let (kg_w_copied, kg_w_marks) = work[1];
-    assert!(kg_w_copied > kg_n_copied, "KG-W copies more ({kg_w_copied} vs {kg_n_copied})");
+    assert!(
+        kg_w_copied > kg_n_copied,
+        "KG-W copies more ({kg_w_copied} vs {kg_n_copied})"
+    );
     assert_eq!(kg_n_marks, 0, "KG-N does no write monitoring");
     assert!(kg_w_marks > 0, "KG-W monitors observer writes");
 }

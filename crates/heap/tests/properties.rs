@@ -14,7 +14,11 @@ use std::collections::HashSet;
 enum Op {
     /// Allocate an object with `refs` slots and `data` payload bytes;
     /// root it if the flag is set.
-    Alloc { refs: usize, data: usize, rooted: bool },
+    Alloc {
+        refs: usize,
+        data: usize,
+        rooted: bool,
+    },
     /// Store object *b* (by index into the allocation log) into slot of *a*.
     Link { a: usize, b: usize, slot: usize },
     /// Drop the i-th still-held root.
@@ -38,8 +42,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn setup(kind: CollectorKind) -> (Machine, ManagedHeap) {
     let mut m = Machine::new(MachineProfile::emulation());
-    let socket =
-        if kind == CollectorKind::PcmOnly { SocketId::PCM } else { SocketId::DRAM };
+    let socket = if kind == CollectorKind::PcmOnly {
+        SocketId::PCM
+    } else {
+        SocketId::DRAM
+    };
     let proc = m.add_process(socket);
     let cfg = kind.config(ByteSize::from_kib(256), ByteSize::from_mib(16));
     let heap = ManagedHeap::new(&mut m, proc, CtxId(0), cfg).unwrap();
@@ -77,7 +84,8 @@ fn replay(
                 }
                 let (oa, ob) = (log[ai], log[bi]);
                 if heap.is_live(oa) && heap.is_live(ob) {
-                    heap.write_ref(&mut m, oa, slot % ref_counts[ai], Some(ob)).unwrap();
+                    heap.write_ref(&mut m, oa, slot % ref_counts[ai], Some(ob))
+                        .unwrap();
                 }
             }
             Op::DropRoot { i } => {

@@ -3,21 +3,26 @@
 use crate::profile::MachineProfile;
 use hemu_cache::{Hierarchy, HitLevel};
 use hemu_numa::{AddressSpace, NumaMemory};
+use hemu_obs::json::{JsonObject, ToJson};
+use hemu_obs::{Counter, Obs, TraceEvent, Tracer};
 use hemu_types::{
     AccessKind, Addr, ByteSize, Cycles, MemoryAccess, Result, SocketId, VirtualClock,
 };
-use serde::{Deserialize, Serialize};
+
+/// Remote fills are coalesced into one aggregate [`TraceEvent::QpiTransfer`]
+/// per this many lines, so tracing stays cheap on the access fast path.
+const QPI_TRACE_BATCH: u64 = 1024;
 
 /// Index of a hardware context (logical core) on the local socket.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CtxId(pub usize);
 
 /// Index of an emulated process (one address space).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcId(pub usize);
 
 /// Aggregate machine statistics for a measured interval.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MachineStats {
     /// Line-granularity accesses issued to the hierarchy.
     pub line_accesses: u64,
@@ -42,11 +47,16 @@ pub struct Machine {
     spaces: Vec<AddressSpace>,
     clocks: Vec<VirtualClock>,
     stats: MachineStats,
+    obs: Obs,
+    qpi_lines: Counter,
+    qpi_pending: u64,
 }
 
 impl Machine {
     /// Builds a machine from a profile.
     pub fn new(profile: MachineProfile) -> Self {
+        let obs = Obs::new();
+        let qpi_lines = obs.metrics.counter("qpi.lines");
         Machine {
             mem: NumaMemory::new(profile.numa),
             hierarchy: Hierarchy::new(profile.hierarchy_config()),
@@ -55,8 +65,47 @@ impl Machine {
                 .map(|_| VirtualClock::new(profile.freq_hz))
                 .collect(),
             stats: MachineStats::default(),
+            obs,
+            qpi_lines,
+            qpi_pending: 0,
             profile,
         }
+    }
+
+    /// The machine's observability bundle (tracer + metrics registry).
+    ///
+    /// Runtime layers clone handles out of this to record events and bump
+    /// metrics; the experiment driver snapshots it when building a report.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Installs an event tracer (replacing the current one, which is
+    /// disabled by default). Metrics handles are unaffected.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.obs.tracer = tracer;
+    }
+
+    /// Publishes derived machine-level metrics — cache hit rates and
+    /// per-socket memory-controller traffic — as gauges, so they are
+    /// queryable mid-run (the monitor calls this once per sample).
+    pub fn publish_metrics(&self) {
+        let m = &self.obs.metrics;
+        m.gauge("llc.hit_rate")
+            .set(self.hierarchy.llc().stats().hit_ratio());
+        for (name, socket) in [("dram", SocketId::DRAM), ("pcm", SocketId::PCM)] {
+            let c = self.mem.counters(socket);
+            m.gauge(&format!("mem.{name}.written_bytes"))
+                .set(c.written().bytes() as f64);
+            m.gauge(&format!("mem.{name}.read_bytes"))
+                .set(c.read().bytes() as f64);
+        }
+        m.gauge("machine.line_accesses")
+            .set(self.stats.line_accesses as f64);
+        m.gauge("machine.local_fills")
+            .set(self.stats.local_fills as f64);
+        m.gauge("machine.remote_fills")
+            .set(self.stats.remote_fills as f64);
     }
 
     /// The profile this machine was built from.
@@ -70,7 +119,8 @@ impl Machine {
     /// reference setup where they run on socket 1 — `default_socket`
     /// captures where that process's anonymous memory lands by default.
     pub fn add_process(&mut self, default_socket: SocketId) -> ProcId {
-        self.spaces.push(AddressSpace::with_default_socket(default_socket));
+        self.spaces
+            .push(AddressSpace::with_default_socket(default_socket));
         ProcId(self.spaces.len() - 1)
     }
 
@@ -125,7 +175,17 @@ impl Machine {
     ///
     /// Panics if `ctx` or `proc` is out of range.
     pub fn access(&mut self, ctx: CtxId, proc: ProcId, access: MemoryAccess) -> Result<()> {
-        let Machine { profile, mem, hierarchy, spaces, clocks, stats } = self;
+        let Machine {
+            profile,
+            mem,
+            hierarchy,
+            spaces,
+            clocks,
+            stats,
+            obs,
+            qpi_lines,
+            qpi_pending,
+        } = self;
         let space = &mut spaces[proc.0];
         let clock = &mut clocks[ctx.0];
         let lat = &profile.latency;
@@ -147,6 +207,19 @@ impl Machine {
                         lat.local_fill
                     } else {
                         stats.remote_fills += 1;
+                        qpi_lines.incr();
+                        // Individual remote fills are too frequent to trace;
+                        // emit one aggregate event per batch of lines.
+                        *qpi_pending += 1;
+                        if *qpi_pending >= QPI_TRACE_BATCH {
+                            obs.tracer.record(
+                                clock.now(),
+                                TraceEvent::QpiTransfer {
+                                    lines: *qpi_pending,
+                                },
+                            );
+                            *qpi_pending = 0;
+                        }
                         lat.local_fill + profile.qpi.transfer_cost(1)
                     }
                 }
@@ -183,7 +256,11 @@ impl Machine {
     /// The latest clock across all contexts — elapsed virtual time of the
     /// whole (parallel) machine.
     pub fn elapsed(&self) -> Cycles {
-        self.clocks.iter().map(|c| c.now()).max().unwrap_or(Cycles::ZERO)
+        self.clocks
+            .iter()
+            .map(|c| c.now())
+            .max()
+            .unwrap_or(Cycles::ZERO)
     }
 
     /// Elapsed virtual time in seconds.
@@ -253,9 +330,39 @@ impl Machine {
         self.mem.reset_counters();
         self.hierarchy.reset_stats();
         self.stats = MachineStats::default();
+        self.qpi_pending = 0;
+        self.obs.metrics.reset();
         for c in &mut self.clocks {
             c.reset();
         }
+        self.obs.tracer.record(
+            Cycles::ZERO,
+            TraceEvent::Phase {
+                name: "measured_iteration",
+            },
+        );
+    }
+}
+
+impl ToJson for CtxId {
+    fn write_json(&self, out: &mut String) {
+        self.0.write_json(out);
+    }
+}
+
+impl ToJson for ProcId {
+    fn write_json(&self, out: &mut String) {
+        self.0.write_json(out);
+    }
+}
+
+impl ToJson for MachineStats {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        obj.field("line_accesses", &self.line_accesses)
+            .field("local_fills", &self.local_fills)
+            .field("remote_fills", &self.remote_fills);
+        obj.finish();
     }
 }
 
@@ -271,12 +378,26 @@ mod tests {
     fn writes_to_pcm_bound_region_reach_pcm_counter() {
         let mut m = machine();
         let p = m.add_process(SocketId::DRAM);
-        m.mbind(p, Addr::new(0x1000_0000), ByteSize::from_mib(64), SocketId::PCM);
+        m.mbind(
+            p,
+            Addr::new(0x1000_0000),
+            ByteSize::from_mib(64),
+            SocketId::PCM,
+        );
         // Write 32 MiB (larger than the 20 MiB LLC) so most lines spill.
-        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0x1000_0000), 32 << 20)).unwrap();
+        m.access(
+            CtxId(0),
+            p,
+            MemoryAccess::write(Addr::new(0x1000_0000), 32 << 20),
+        )
+        .unwrap();
         m.flush_caches();
         let written = m.pcm_writes();
-        assert_eq!(written.bytes(), 32 << 20, "every written line reaches PCM after flush");
+        assert_eq!(
+            written.bytes(),
+            32 << 20,
+            "every written line reaches PCM after flush"
+        );
         assert_eq!(m.socket_writes(SocketId::DRAM), ByteSize::ZERO);
     }
 
@@ -284,27 +405,43 @@ mod tests {
     fn small_working_set_is_absorbed_by_cache() {
         let mut m = machine();
         let p = m.add_process(SocketId::DRAM);
-        m.mbind(p, Addr::new(0x1000_0000), ByteSize::from_mib(4), SocketId::PCM);
+        m.mbind(
+            p,
+            Addr::new(0x1000_0000),
+            ByteSize::from_mib(4),
+            SocketId::PCM,
+        );
         // Overwrite the same 1 MiB a hundred times without flushing.
         for _ in 0..100 {
-            m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0x1000_0000), 1 << 20)).unwrap();
+            m.access(
+                CtxId(0),
+                p,
+                MemoryAccess::write(Addr::new(0x1000_0000), 1 << 20),
+            )
+            .unwrap();
         }
         // Only the cold fill traffic has reached memory; writes stay cached.
         assert_eq!(m.pcm_writes(), ByteSize::ZERO);
         m.flush_caches();
-        assert_eq!(m.pcm_writes().bytes(), 1 << 20, "one working set, not one hundred");
+        assert_eq!(
+            m.pcm_writes().bytes(),
+            1 << 20,
+            "one working set, not one hundred"
+        );
     }
 
     #[test]
     fn remote_fills_cost_more_time_than_local() {
         let mut ml = machine();
         let pl = ml.add_process(SocketId::DRAM);
-        ml.access(CtxId(0), pl, MemoryAccess::read(Addr::new(0), 1 << 20)).unwrap();
+        ml.access(CtxId(0), pl, MemoryAccess::read(Addr::new(0), 1 << 20))
+            .unwrap();
         let local_time = ml.clock(CtxId(0)).now();
 
         let mut mr = machine();
         let pr = mr.add_process(SocketId::PCM);
-        mr.access(CtxId(0), pr, MemoryAccess::read(Addr::new(0), 1 << 20)).unwrap();
+        mr.access(CtxId(0), pr, MemoryAccess::read(Addr::new(0), 1 << 20))
+            .unwrap();
         let remote_time = mr.clock(CtxId(0)).now();
 
         assert!(remote_time > local_time);
@@ -331,12 +468,27 @@ mod tests {
     fn measured_iteration_reset_preserves_cache_contents() {
         let mut m = machine();
         let p = m.add_process(SocketId::DRAM);
-        m.mbind(p, Addr::new(0x1000_0000), ByteSize::from_mib(1), SocketId::PCM);
-        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0x1000_0000), 4096)).unwrap();
+        m.mbind(
+            p,
+            Addr::new(0x1000_0000),
+            ByteSize::from_mib(1),
+            SocketId::PCM,
+        );
+        m.access(
+            CtxId(0),
+            p,
+            MemoryAccess::write(Addr::new(0x1000_0000), 4096),
+        )
+        .unwrap();
         m.start_measured_iteration();
         assert_eq!(m.pcm_writes(), ByteSize::ZERO);
         // Lines are still cached: re-reading them is free of memory fills.
-        m.access(CtxId(0), p, MemoryAccess::read(Addr::new(0x1000_0000), 4096)).unwrap();
+        m.access(
+            CtxId(0),
+            p,
+            MemoryAccess::read(Addr::new(0x1000_0000), 4096),
+        )
+        .unwrap();
         assert_eq!(m.stats().local_fills + m.stats().remote_fills, 0);
     }
 
@@ -344,7 +496,8 @@ mod tests {
     fn fills_are_counted_as_reads_at_the_controller() {
         let mut m = machine();
         let p = m.add_process(SocketId::PCM);
-        m.access(CtxId(0), p, MemoryAccess::read(Addr::new(0), 64 * 10)).unwrap();
+        m.access(CtxId(0), p, MemoryAccess::read(Addr::new(0), 64 * 10))
+            .unwrap();
         assert_eq!(m.socket_reads(SocketId::PCM).bytes(), 640);
         assert_eq!(m.pcm_writes(), ByteSize::ZERO);
     }
@@ -356,9 +509,11 @@ mod tests {
         let b = m.add_process(SocketId::DRAM);
         // Same VA in both processes: the second process's access must not
         // hit the first one's cached line.
-        m.access(CtxId(0), a, MemoryAccess::read(Addr::new(0x5000), 64)).unwrap();
+        m.access(CtxId(0), a, MemoryAccess::read(Addr::new(0x5000), 64))
+            .unwrap();
         let fills_before = m.stats().local_fills;
-        m.access(CtxId(1), b, MemoryAccess::read(Addr::new(0x5000), 64)).unwrap();
+        m.access(CtxId(1), b, MemoryAccess::read(Addr::new(0x5000), 64))
+            .unwrap();
         assert_eq!(m.stats().local_fills, fills_before + 1);
     }
 }

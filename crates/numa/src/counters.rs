@@ -1,7 +1,7 @@
 //! Memory-controller traffic counters.
 
+use hemu_obs::json::{JsonObject, ToJson};
 use hemu_types::{AccessKind, ByteSize, CACHE_LINE};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Read/write traffic counters for one socket's memory controller.
@@ -22,7 +22,7 @@ use std::fmt;
 /// assert_eq!(c.write_lines(), 1);
 /// assert_eq!(c.written().bytes(), 64);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryCounters {
     read_lines: u64,
     write_lines: u64,
@@ -91,10 +91,27 @@ impl MemoryCounters {
     }
 }
 
+impl ToJson for MemoryCounters {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        obj.field("read_lines", &self.read_lines)
+            .field("write_lines", &self.write_lines)
+            .field("read_bytes", &self.read())
+            .field("written_bytes", &self.written());
+        obj.finish();
+    }
+}
+
 impl fmt::Display for MemoryCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "reads: {} ({}), writes: {} ({})",
-            self.read_lines, self.read(), self.write_lines, self.written())
+        write!(
+            f,
+            "reads: {} ({}), writes: {} ({})",
+            self.read_lines,
+            self.read(),
+            self.write_lines,
+            self.written()
+        )
     }
 }
 

@@ -2,10 +2,7 @@
 
 use crate::counters::MemoryCounters;
 use crate::wear::WearTracker;
-use hemu_types::{
-    AccessKind, ByteSize, HemuError, LineAddr, PageNum, Result, SocketId, PAGE_SIZE,
-};
-use serde::{Deserialize, Serialize};
+use hemu_types::{AccessKind, ByteSize, HemuError, LineAddr, PageNum, Result, SocketId, PAGE_SIZE};
 
 /// Configuration of the physical memory system.
 ///
@@ -13,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// (66 GiB each on the real machine; we default to a smaller but still
 /// never-exhausted 8 GiB per socket since the simulator allocates frames
 /// lazily).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NumaConfig {
     /// Number of sockets. The emulation platform requires two.
     pub sockets: usize,
@@ -23,7 +20,19 @@ pub struct NumaConfig {
 
 impl Default for NumaConfig {
     fn default() -> Self {
-        NumaConfig { sockets: 2, capacity_per_socket: ByteSize::from_gib(8) }
+        NumaConfig {
+            sockets: 2,
+            capacity_per_socket: ByteSize::from_gib(8),
+        }
+    }
+}
+
+impl hemu_obs::ToJson for NumaConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = hemu_obs::json::JsonObject::new(out);
+        obj.field("sockets", &self.sockets)
+            .field("capacity_per_socket_bytes", &self.capacity_per_socket);
+        obj.finish();
     }
 }
 
@@ -146,7 +155,12 @@ impl NumaMemory {
                 )
             })
             .collect();
-        NumaMemory { config, sockets, frames_per_socket, wear: None }
+        NumaMemory {
+            config,
+            sockets,
+            frames_per_socket,
+            wear: None,
+        }
     }
 
     /// Enables per-line wear tracking on the PCM socket (socket 1). Costs
@@ -262,7 +276,9 @@ mod tests {
             m.allocate_frame(SocketId::PCM).unwrap();
         }
         let err = m.allocate_frame(SocketId::PCM).unwrap_err();
-        assert!(matches!(err, HemuError::OutOfPhysicalMemory { socket, .. } if socket == SocketId::PCM));
+        assert!(
+            matches!(err, HemuError::OutOfPhysicalMemory { socket, .. } if socket == SocketId::PCM)
+        );
         // The other socket is unaffected.
         assert!(m.allocate_frame(SocketId::DRAM).is_ok());
     }

@@ -53,7 +53,10 @@ impl AddressSpace {
     /// Creates an address space with a different default socket, used when
     /// emulating a PCM-Only system with threads bound to socket 1.
     pub fn with_default_socket(socket: SocketId) -> Self {
-        AddressSpace { default_socket: socket, ..Self::default() }
+        AddressSpace {
+            default_socket: socket,
+            ..Self::default()
+        }
     }
 
     /// Sets the binding policy for the virtual range `[start, start + len)`.
@@ -81,10 +84,22 @@ impl AddressSpace {
         for (s, r) in overlapping {
             self.policy.remove(&s);
             if s < p0 {
-                self.policy.insert(s, PolicyRange { end: p0, socket: r.socket });
+                self.policy.insert(
+                    s,
+                    PolicyRange {
+                        end: p0,
+                        socket: r.socket,
+                    },
+                );
             }
             if r.end > p1 {
-                self.policy.insert(p1, PolicyRange { end: r.end, socket: r.socket });
+                self.policy.insert(
+                    p1,
+                    PolicyRange {
+                        end: r.end,
+                        socket: r.socket,
+                    },
+                );
             }
         }
         self.policy.insert(p0, PolicyRange { end: p1, socket });
@@ -170,7 +185,10 @@ mod tests {
     use crate::memory::NumaConfig;
 
     fn mem() -> NumaMemory {
-        NumaMemory::new(NumaConfig { sockets: 2, capacity_per_socket: ByteSize::from_mib(64) })
+        NumaMemory::new(NumaConfig {
+            sockets: 2,
+            capacity_per_socket: ByteSize::from_mib(64),
+        })
     }
 
     #[test]
@@ -257,6 +275,10 @@ mod tests {
         let mut b = AddressSpace::new();
         let pa = a.translate(Addr::new(0x1000), &mut m).unwrap();
         let pb = b.translate(Addr::new(0x1000), &mut m).unwrap();
-        assert_ne!(pa.frame(), pb.frame(), "same VA in two processes gets different frames");
+        assert_ne!(
+            pa.frame(),
+            pb.frame(),
+            "same VA in two processes gets different frames"
+        );
     }
 }

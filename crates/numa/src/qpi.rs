@@ -1,7 +1,7 @@
 //! The socket interconnect (QPI) timing model.
 
+use hemu_obs::json::{JsonObject, ToJson};
 use hemu_types::{Cycles, CACHE_LINE};
-use serde::{Deserialize, Serialize};
 
 /// Timing model for the point-to-point link between the two sockets.
 ///
@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// up to 8 GB/s; every access from a socket-0 core to socket-1 memory (i.e.
 /// every emulated PCM access) crosses this link and pays its latency. The
 /// emulator adds this cost to the virtual clock of the accessing context.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QpiLink {
     /// Extra one-way latency in core cycles for a remote access.
     pub latency: Cycles,
@@ -22,7 +22,10 @@ impl QpiLink {
     /// remote latency at 1.8 GHz ≈ 108 cycles, and 8 GB/s of bandwidth
     /// (64 B / 8 GB/s = 8 ns ≈ 14 cycles occupancy per line).
     pub fn e5_2650l() -> Self {
-        QpiLink { latency: Cycles::new(108), occupancy_per_line: Cycles::new(14) }
+        QpiLink {
+            latency: Cycles::new(108),
+            occupancy_per_line: Cycles::new(14),
+        }
     }
 
     /// Cost of transferring `lines` cache lines across the link.
@@ -33,6 +36,15 @@ impl QpiLink {
     /// Effective bandwidth in bytes per second at the given core frequency.
     pub fn bandwidth_bytes_per_sec(&self, freq_hz: u64) -> f64 {
         CACHE_LINE as f64 / (self.occupancy_per_line.raw() as f64 / freq_hz as f64)
+    }
+}
+
+impl ToJson for QpiLink {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        obj.field("latency_cycles", &self.latency)
+            .field("occupancy_per_line_cycles", &self.occupancy_per_line);
+        obj.finish();
     }
 }
 

@@ -5,7 +5,10 @@ use hemu_types::{Addr, ByteSize, SocketId, PAGE_SIZE};
 use proptest::prelude::*;
 
 fn mem() -> NumaMemory {
-    NumaMemory::new(NumaConfig { sockets: 2, capacity_per_socket: ByteSize::from_mib(256) })
+    NumaMemory::new(NumaConfig {
+        sockets: 2,
+        capacity_per_socket: ByteSize::from_mib(256),
+    })
 }
 
 proptest! {

@@ -1,0 +1,90 @@
+//! Observability for the hemu platform: tracing, metrics, and export.
+//!
+//! This crate is the platform's telemetry layer, playing the role the
+//! modified `pcm-memory` plays in the paper's methodology (§IV): everything
+//! the emulator learns about a run flows out through here. It depends only
+//! on `hemu-types` and the standard library — serialization, bucketing, and
+//! buffering are all implemented in-tree so the workspace builds with an
+//! empty cargo registry.
+//!
+//! Three pieces:
+//!
+//! * [`trace`] — a bounded ring buffer of timestamped [`TraceEvent`]s (GC
+//!   pauses, chunk map/unmap/rebind, QPI transfers, monitor samples),
+//!   recorded through a cheaply cloneable [`Tracer`] handle.
+//! * [`metrics`] — a registry of named [`Counter`]s, [`Gauge`]s, and
+//!   log₂-bucketed [`Histogram`]s, queryable mid-run.
+//! * [`json`] / [`csv`] — a hand-rolled JSON/JSONL and CSV emitter built
+//!   around the [`ToJson`] trait.
+//!
+//! The [`Obs`] bundle groups one tracer and one metrics registry; the
+//! emulated machine owns one and the runtime layers above it (heap, GC,
+//! experiment driver) record into it.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use csv::Csv;
+pub use json::{to_json_lines, ToJson};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use trace::{GcKind, TraceEvent, TraceRecord, Tracer};
+
+/// The observability bundle a machine carries: one event tracer plus one
+/// metrics registry.
+///
+/// Cloning is cheap (both members are reference handles); clones observe the
+/// same underlying buffers, so a handle can be stashed anywhere on the hot
+/// path without threading `&mut` references around.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Structured event tracer. Disabled (a no-op) by default.
+    pub tracer: Tracer,
+    /// Metrics registry. Always active; recording is cheap.
+    pub metrics: Metrics,
+}
+
+impl Obs {
+    /// A bundle with a disabled tracer and a fresh metrics registry.
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// A bundle whose tracer keeps the most recent `capacity` events.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Obs {
+            tracer: Tracer::bounded(capacity),
+            metrics: Metrics::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bundle_has_disabled_tracer() {
+        let obs = Obs::new();
+        assert!(!obs.tracer.enabled());
+        obs.tracer
+            .record(hemu_types::Cycles::ZERO, TraceEvent::Phase { name: "x" });
+        assert_eq!(obs.tracer.len(), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::with_trace_capacity(8);
+        let clone = obs.clone();
+        clone.tracer.record(
+            hemu_types::Cycles::new(1),
+            TraceEvent::Phase { name: "warmup" },
+        );
+        clone.metrics.counter("x").add(3);
+        assert_eq!(obs.tracer.len(), 1);
+        assert_eq!(obs.metrics.counter_value("x"), 3);
+    }
+}

@@ -1,0 +1,521 @@
+//! Metrics registry: named counters, gauges, and log₂-bucketed histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap reference
+//! clones, so hot paths (the write barrier, the memory access path) fetch a
+//! handle once and bump it without any name lookup. The registry itself is
+//! also a handle: clones observe the same metrics, which is how mid-run
+//! queries work — the monitor publishes into the same registry the
+//! experiment driver later snapshots.
+//!
+//! Naming convention: dotted lowercase paths, `subsystem.metric`, e.g.
+//! `gc.pause_cycles`, `barrier.slow`, `chunks.free`, `llc.hit_rate`.
+
+use crate::json::{JsonObject, ToJson};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Monotonic event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+
+    fn reset(&self) {
+        self.0.set(0);
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+
+    fn reset(&self) {
+        self.0.set(0.0);
+    }
+}
+
+/// Number of log₂ buckets: bucket 0 holds zeros, bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)`, up to the full `u64` range.
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistData {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl HistData {
+    fn new() -> Self {
+        HistData {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+/// Log₂-bucketed distribution of `u64` samples.
+///
+/// Bucketing is exponent-based: sample `v` lands in bucket
+/// `64 - v.leading_zeros()` (zeros in bucket 0), so the full 64-bit range is
+/// covered by 65 fixed buckets with no configuration.
+#[derive(Debug, Clone)]
+pub struct Histogram(Rc<RefCell<HistData>>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Rc::new(RefCell::new(HistData::new())))
+    }
+}
+
+/// Index of the log₂ bucket `v` falls into.
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `i` (0 for buckets 0 and 1).
+pub fn bucket_lo(i: usize) -> u64 {
+    if i <= 1 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+pub fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let mut h = self.0.borrow_mut();
+        h.count += 1;
+        h.sum = h.sum.wrapping_add(v);
+        h.min = h.min.min(v);
+        h.max = h.max.max(v);
+        h.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.borrow().count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.borrow().sum
+    }
+
+    /// Immutable copy of the current distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = self.0.borrow();
+        HistogramSnapshot {
+            count: h.count,
+            sum: h.sum,
+            min: if h.count == 0 { 0 } else { h.min },
+            max: h.max,
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| BucketCount {
+                    lo: bucket_lo(i),
+                    hi: bucket_hi(i),
+                    count: c,
+                })
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        *self.0.borrow_mut() = HistData::new();
+    }
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`]: samples in `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Inclusive lower bound of the bucket.
+    pub lo: u64,
+    /// Inclusive upper bound of the bucket.
+    pub hi: u64,
+    /// Number of samples that landed in the bucket.
+    pub count: u64,
+}
+
+impl ToJson for BucketCount {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        obj.field("lo", &self.lo)
+            .field("hi", &self.hi)
+            .field("count", &self.count);
+        obj.finish();
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]; only non-empty buckets are kept.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty log₂ buckets, ascending.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl ToJson for HistogramSnapshot {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        obj.field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("mean", &self.mean())
+            .field("buckets", &self.buckets);
+        obj.finish();
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Shared registry of named metrics; clones observe the same metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Rc<RefCell<Registry>>,
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Returns the counter `name`, creating it at zero if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut reg = self.inner.borrow_mut();
+        reg.counters.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns the gauge `name`, creating it at zero if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut reg = self.inner.borrow_mut();
+        reg.gauges.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns the histogram `name`, creating it empty if absent.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut reg = self.inner.borrow_mut();
+        reg.histograms.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Current value of counter `name` (0 if it does not exist).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .borrow()
+            .counters
+            .get(name)
+            .map_or(0, Counter::get)
+    }
+
+    /// Current value of gauge `name` (0.0 if it does not exist).
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.inner.borrow().gauges.get(name).map_or(0.0, Gauge::get)
+    }
+
+    /// Snapshot of histogram `name`, if it exists.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.inner
+            .borrow()
+            .histograms
+            .get(name)
+            .map(Histogram::snapshot)
+    }
+
+    /// Zeroes every metric while keeping all outstanding handles valid.
+    ///
+    /// Called at the start of a measured iteration so warm-up activity does
+    /// not pollute reported distributions.
+    pub fn reset(&self) {
+        let reg = self.inner.borrow();
+        for c in reg.counters.values() {
+            c.reset();
+        }
+        for g in reg.gauges.values() {
+            g.reset();
+        }
+        for h in reg.histograms.values() {
+            h.reset();
+        }
+    }
+
+    /// Point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let reg = self.inner.borrow();
+        MetricsSnapshot {
+            counters: reg
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: reg
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: reg
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a whole [`Metrics`] registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl ToJson for MetricsSnapshot {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        {
+            let mut counters = String::new();
+            let mut inner = JsonObject::new(&mut counters);
+            for (k, v) in &self.counters {
+                inner.field(k, v);
+            }
+            inner.finish();
+            obj.field("counters", &RawJson(counters));
+        }
+        {
+            let mut gauges = String::new();
+            let mut inner = JsonObject::new(&mut gauges);
+            for (k, v) in &self.gauges {
+                inner.field(k, v);
+            }
+            inner.finish();
+            obj.field("gauges", &RawJson(gauges));
+        }
+        {
+            let mut hists = String::new();
+            let mut inner = JsonObject::new(&mut hists);
+            for (k, v) in &self.histograms {
+                inner.field(k, v);
+            }
+            inner.finish();
+            obj.field("histograms", &RawJson(hists));
+        }
+        obj.finish();
+    }
+}
+
+/// Pre-rendered JSON spliced verbatim into a parent document.
+struct RawJson(String);
+
+impl ToJson for RawJson {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let m = Metrics::new();
+        let a = m.counter("x");
+        let b = m.counter("x");
+        a.incr();
+        b.add(4);
+        assert_eq!(m.counter_value("x"), 5);
+        assert_eq!(m.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let m = Metrics::new();
+        m.gauge("rate").set(3.5);
+        m.gauge("rate").set(1.25);
+        assert_eq!(m.gauge_value("rate"), 1.25);
+    }
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_range() {
+        assert_eq!((bucket_lo(0), bucket_hi(0)), (0, 0));
+        assert_eq!((bucket_lo(1), bucket_hi(1)), (0, 1));
+        assert_eq!((bucket_lo(2), bucket_hi(2)), (2, 3));
+        for i in 2..64 {
+            assert_eq!(bucket_lo(i + 1), bucket_hi(i) + 1, "gap after bucket {i}");
+        }
+        assert_eq!(bucket_hi(64), u64::MAX);
+        // Every value falls inside its own bucket's bounds.
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(
+                bucket_lo(i) <= v && v <= bucket_hi(i),
+                "{v} outside bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_extrema() {
+        let m = Metrics::new();
+        let h = m.histogram("pause");
+        for v in [0u64, 3, 3, 900] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 906);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 900);
+        assert!((snap.mean() - 226.5).abs() < 1e-9);
+        // Buckets: one zero, two threes (bucket [2,3]), one 900 (bucket [512,1023]).
+        assert_eq!(
+            snap.buckets,
+            vec![
+                BucketCount {
+                    lo: 0,
+                    hi: 0,
+                    count: 1
+                },
+                BucketCount {
+                    lo: 2,
+                    hi: 3,
+                    count: 2
+                },
+                BucketCount {
+                    lo: 512,
+                    hi: 1023,
+                    count: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let m = Metrics::new();
+        let snap = m.histogram("empty").snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.mean(), 0.0);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let m = Metrics::new();
+        let c = m.counter("c");
+        let h = m.histogram("h");
+        c.add(9);
+        h.observe(5);
+        m.reset();
+        assert_eq!(m.counter_value("c"), 0);
+        assert_eq!(h.count(), 0);
+        c.incr();
+        h.observe(2);
+        assert_eq!(m.counter_value("c"), 1);
+        assert_eq!(m.histogram_snapshot("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let m = Metrics::new();
+        m.counter("a.b").add(2);
+        m.gauge("g").set(0.5);
+        m.histogram("h").observe(1);
+        let json = m.snapshot().to_json();
+        assert_eq!(
+            json,
+            r#"{"counters":{"a.b":2},"gauges":{"g":0.5},"histograms":{"h":{"count":1,"sum":1,"min":1,"max":1,"mean":1,"buckets":[{"lo":0,"hi":1,"count":1}]}}}"#
+        );
+    }
+}

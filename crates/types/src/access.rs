@@ -1,11 +1,10 @@
 //! Memory access records: what a core issues to the memory hierarchy.
 
 use crate::addr::Addr;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Whether an access reads or writes memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A load.
     Read,
@@ -43,7 +42,7 @@ impl fmt::Display for AccessKind {
 /// assert_eq!(a.kind, AccessKind::Write);
 /// assert_eq!(a.lines().count(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemoryAccess {
     /// First byte touched.
     pub addr: Addr,
@@ -56,12 +55,20 @@ pub struct MemoryAccess {
 impl MemoryAccess {
     /// Creates a read access of `size` bytes at `addr`.
     pub const fn read(addr: Addr, size: u32) -> Self {
-        MemoryAccess { addr, size, kind: AccessKind::Read }
+        MemoryAccess {
+            addr,
+            size,
+            kind: AccessKind::Read,
+        }
     }
 
     /// Creates a write access of `size` bytes at `addr`.
     pub const fn write(addr: Addr, size: u32) -> Self {
-        MemoryAccess { addr, size, kind: AccessKind::Write }
+        MemoryAccess {
+            addr,
+            size,
+            kind: AccessKind::Write,
+        }
     }
 
     /// Iterates over the (virtual) cache-line base addresses this access
@@ -75,7 +82,11 @@ impl MemoryAccess {
         } else {
             self.addr.offset(self.size as u64 - 1).line().raw()
         };
-        LineIter { next: first, last, done: self.size == 0 }
+        LineIter {
+            next: first,
+            last,
+            done: self.size == 0,
+        }
     }
 }
 

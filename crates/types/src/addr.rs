@@ -6,7 +6,6 @@
 //! accidentally fed back in where a virtual [`Addr`] is expected.
 
 use crate::size::{CACHE_LINE, PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A virtual address in an emulated process address space.
@@ -18,9 +17,7 @@ use std::fmt;
 /// let a = Addr::new(0x1234);
 /// assert_eq!(a.offset(0x10).raw(), 0x1244);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -102,9 +99,7 @@ impl From<u64> for Addr {
 ///
 /// Physical addresses are produced by page-table translation and identify a
 /// location inside one socket's memory.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PhysAddr(u64);
 
 impl PhysAddr {
@@ -144,9 +139,7 @@ impl fmt::Display for PhysAddr {
 ///
 /// Cache tags and memory-controller write-back records are keyed by
 /// `LineAddr` so a 64-byte line has exactly one identity everywhere.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -181,9 +174,7 @@ impl fmt::Display for LineAddr {
 ///
 /// Used both for virtual page numbers and for physical frame numbers; the
 /// page table maps one to the other.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PageNum(u64);
 
 impl PageNum {
@@ -224,9 +215,7 @@ impl fmt::Display for PageNum {
 /// The emulation platform uses [`SocketId::DRAM`] (socket 0, local — the
 /// threads run here) to emulate DRAM and [`SocketId::PCM`] (socket 1,
 /// remote) to emulate PCM, exactly as the paper's Figure 2.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SocketId(u8);
 
 impl SocketId {

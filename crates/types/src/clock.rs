@@ -5,15 +5,12 @@
 //! cycle cost per instruction and per memory-hierarchy event, converted to
 //! seconds through the core frequency.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign};
 
 /// A number of core clock cycles.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycles(u64);
 
 impl Cycles {
@@ -72,7 +69,7 @@ impl fmt::Display for Cycles {
 /// assert_eq!(clk.now(), Cycles::new(4_000_000_000));
 /// assert!((clk.seconds() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VirtualClock {
     now: Cycles,
     freq_hz: u64,
@@ -86,7 +83,10 @@ impl VirtualClock {
     /// Panics if `freq_hz` is zero.
     pub fn new(freq_hz: u64) -> Self {
         assert!(freq_hz > 0, "clock frequency must be positive");
-        VirtualClock { now: Cycles::ZERO, freq_hz }
+        VirtualClock {
+            now: Cycles::ZERO,
+            freq_hz,
+        }
     }
 
     /// Current virtual time.

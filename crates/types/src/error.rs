@@ -37,24 +37,33 @@ pub enum HemuError {
     },
     /// An experiment configuration is invalid.
     InvalidConfig(String),
+    /// Writing an export artifact (JSON report, trace, CSV) failed.
+    Io(String),
 }
 
 impl fmt::Display for HemuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HemuError::OutOfPhysicalMemory { socket, requested } => {
-                write!(f, "socket {socket} out of physical memory (requested {requested})")
+                write!(
+                    f,
+                    "socket {socket} out of physical memory (requested {requested})"
+                )
             }
             HemuError::UnmappedAddress { addr } => {
                 write!(f, "access to unmapped virtual address {addr}")
             }
             HemuError::OutOfHeapMemory { requested, space } => {
-                write!(f, "managed heap out of memory in {space} (requested {requested})")
+                write!(
+                    f,
+                    "managed heap out of memory in {space} (requested {requested})"
+                )
             }
             HemuError::OutOfNativeMemory { requested } => {
                 write!(f, "native heap out of memory (requested {requested})")
             }
             HemuError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HemuError::Io(msg) => write!(f, "export i/o error: {msg}"),
         }
     }
 }
@@ -67,7 +76,9 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = HemuError::UnmappedAddress { addr: Addr::new(0x40) };
+        let e = HemuError::UnmappedAddress {
+            addr: Addr::new(0x40),
+        };
         let msg = format!("{e}");
         assert!(msg.contains("unmapped"));
         assert!(msg.contains("0x40"));

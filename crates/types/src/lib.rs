@@ -31,4 +31,4 @@ pub use addr::{Addr, LineAddr, PageNum, PhysAddr, SocketId};
 pub use clock::{Cycles, VirtualClock};
 pub use error::{HemuError, Result};
 pub use rng::DeterministicRng;
-pub use size::{ByteSize, CACHE_LINE, CHUNK_SIZE, KIB, MIB, GIB, PAGE_SIZE, WORD};
+pub use size::{ByteSize, CACHE_LINE, CHUNK_SIZE, GIB, KIB, MIB, PAGE_SIZE, WORD};

@@ -1,6 +1,5 @@
 //! Byte-size constants and the [`ByteSize`] quantity type.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
@@ -33,9 +32,7 @@ pub const WORD: usize = 8;
 /// assert_eq!(s.bytes(), 4 * 1024 * 1024);
 /// assert_eq!(format!("{s}"), "4.00 MiB");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ByteSize(u64);
 
 impl ByteSize {
@@ -181,6 +178,9 @@ mod tests {
         let total: ByteSize = [ByteSize::new(10), ByteSize::new(20)].into_iter().sum();
         assert_eq!(total.bytes(), 30);
         assert_eq!((total - ByteSize::new(5)).bytes(), 25);
-        assert_eq!(ByteSize::new(5).saturating_sub(ByteSize::new(9)), ByteSize::ZERO);
+        assert_eq!(
+            ByteSize::new(5).saturating_sub(ByteSize::new(9)),
+            ByteSize::ZERO
+        );
     }
 }

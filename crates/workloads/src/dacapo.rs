@@ -20,8 +20,8 @@ use std::collections::VecDeque;
 /// the updated `lu.Fix` (useless allocation removed) and `pmd.S`
 /// (scalability bottleneck removed) variants.
 pub const NAMES: [&str; 11] = [
-    "avrora", "bloat", "eclipse", "fop", "hsqldb", "luindex", "lusearch", "lu.Fix", "pmd",
-    "pmd.S", "xalan",
+    "avrora", "bloat", "eclipse", "fop", "hsqldb", "luindex", "lusearch", "lu.Fix", "pmd", "pmd.S",
+    "xalan",
 ];
 
 /// Behavioural parameters of one synthetic DaCapo benchmark.
@@ -89,30 +89,184 @@ pub fn params_for(name: &str) -> Option<DacapoParams> {
     Some(match name {
         // avrora: AVR simulator — tiny allocation, compute heavy, small
         // steady state.
-        "avrora" => p("avrora", mib(12), 16, 96, 0.04, mib(3), 1.5, 4.0, 0.0, 1, 900, mib(50), 2),
+        "avrora" => p(
+            "avrora",
+            mib(12),
+            16,
+            96,
+            0.04,
+            mib(3),
+            1.5,
+            4.0,
+            0.0,
+            1,
+            900,
+            mib(50),
+            2,
+        ),
         // bloat: bytecode optimizer — moderate churn, pointer rich.
-        "bloat" => p("bloat", mib(40), 24, 256, 0.05, mib(6), 1.0, 2.0, 0.002, 3, 250, mib(50), 3),
+        "bloat" => p(
+            "bloat",
+            mib(40),
+            24,
+            256,
+            0.05,
+            mib(6),
+            1.0,
+            2.0,
+            0.002,
+            3,
+            250,
+            mib(50),
+            3,
+        ),
         // eclipse: IDE workload — biggest DaCapo, large live set.
-        "eclipse" => p("eclipse", mib(80), 24, 512, 0.08, mib(20), 0.8, 2.0, 0.004, 3, 220, mib(90), 2),
+        "eclipse" => p(
+            "eclipse",
+            mib(80),
+            24,
+            512,
+            0.08,
+            mib(20),
+            0.8,
+            2.0,
+            0.004,
+            3,
+            220,
+            mib(90),
+            2,
+        ),
         // fop: XSL-FO to PDF — short run, document tree survives.
-        "fop" => p("fop", mib(20), 24, 384, 0.12, mib(8), 0.7, 1.5, 0.006, 2, 200, mib(50), 2),
+        "fop" => p(
+            "fop",
+            mib(20),
+            24,
+            384,
+            0.12,
+            mib(8),
+            0.7,
+            1.5,
+            0.006,
+            2,
+            200,
+            mib(50),
+            2,
+        ),
         // hsqldb: in-memory database — big live tables, mutation heavy.
-        "hsqldb" => p("hsqldb", mib(28), 32, 256, 0.25, mib(24), 2.0, 2.5, 0.002, 2, 180, mib(100), 3),
+        "hsqldb" => p(
+            "hsqldb",
+            mib(28),
+            32,
+            256,
+            0.25,
+            mib(24),
+            2.0,
+            2.5,
+            0.002,
+            2,
+            180,
+            mib(100),
+            3,
+        ),
         // luindex: Lucene indexing — streaming, modest survival.
-        "luindex" => p("luindex", mib(24), 24, 192, 0.06, mib(4), 0.9, 2.0, 0.003, 1, 260, mib(40), 4),
+        "luindex" => p(
+            "luindex",
+            mib(24),
+            24,
+            192,
+            0.06,
+            mib(4),
+            0.9,
+            2.0,
+            0.003,
+            1,
+            260,
+            mib(40),
+            4,
+        ),
         // lusearch: Lucene search — extreme allocation churn, almost
         // nothing survives; one of the high write-rate DaCapos (Fig. 6).
-        "lusearch" => p("lusearch", mib(140), 32, 512, 0.01, mib(4), 0.5, 1.2, 0.001, 1, 60, mib(40), 3),
+        "lusearch" => p(
+            "lusearch",
+            mib(140),
+            32,
+            512,
+            0.01,
+            mib(4),
+            0.5,
+            1.2,
+            0.001,
+            1,
+            60,
+            mib(40),
+            3,
+        ),
         // lu.Fix: lusearch with the useless allocation eliminated [55].
-        "lu.Fix" => p("lu.Fix", mib(48), 32, 512, 0.03, mib(4), 0.5, 1.2, 0.001, 1, 170, mib(40), 3),
+        "lu.Fix" => p(
+            "lu.Fix",
+            mib(48),
+            32,
+            512,
+            0.03,
+            mib(4),
+            0.5,
+            1.2,
+            0.001,
+            1,
+            170,
+            mib(40),
+            3,
+        ),
         // pmd: source analyser — AST heavy; the original input includes a
         // large file that becomes big mature objects [16].
-        "pmd" => p("pmd", mib(52), 24, 320, 0.07, mib(10), 0.9, 1.8, 0.010, 4, 200, mib(60), 3),
+        "pmd" => p(
+            "pmd",
+            mib(52),
+            24,
+            320,
+            0.07,
+            mib(10),
+            0.9,
+            1.8,
+            0.010,
+            4,
+            200,
+            mib(60),
+            3,
+        ),
         // pmd.S: the scalability-fixed variant without the large file.
-        "pmd.S" => p("pmd.S", mib(52), 24, 320, 0.07, mib(10), 0.9, 1.8, 0.002, 4, 180, mib(60), 3),
+        "pmd.S" => p(
+            "pmd.S",
+            mib(52),
+            24,
+            320,
+            0.07,
+            mib(10),
+            0.9,
+            1.8,
+            0.002,
+            4,
+            180,
+            mib(60),
+            3,
+        ),
         // xalan: XSLT processor — high churn and mutation (string
         // buffers); the other high write-rate DaCapo.
-        "xalan" => p("xalan", mib(110), 32, 448, 0.04, mib(8), 2.2, 2.0, 0.003, 2, 90, mib(60), 3),
+        "xalan" => p(
+            "xalan",
+            mib(110),
+            32,
+            448,
+            0.04,
+            mib(8),
+            2.2,
+            2.0,
+            0.003,
+            2,
+            90,
+            mib(60),
+            3,
+        ),
         _ => return None,
     })
 }
@@ -156,19 +310,18 @@ impl DacapoWorkload {
         self.dataset
     }
 
-    fn touch_live(
-        &mut self,
-        machine: &mut Machine,
-        mem: &mut Memory,
-        write: bool,
-    ) -> Result<()> {
+    fn touch_live(&mut self, machine: &mut Machine, mem: &mut Memory, write: bool) -> Result<()> {
         if self.live.is_empty() {
             return Ok(());
         }
         let idx = self.rng.below(self.live.len() as u64) as usize;
         let (obj, _, size) = self.live[idx];
         let span = (self.rng.range(8, 65) as u32).min(size);
-        let off = if size > span { self.rng.below((size - span) as u64) as u32 } else { 0 };
+        let off = if size > span {
+            self.rng.below((size - span) as u64) as u32
+        } else {
+            0
+        };
         if write {
             mem.write_data(machine, obj, off, span)
         } else {
@@ -278,7 +431,10 @@ mod tests {
             let p = params_for(name).unwrap();
             assert_eq!(p.name, name);
             assert!(p.total_alloc.bytes() > 0);
-            assert!(p.heap > p.live_window, "{name}: heap must exceed live window");
+            assert!(
+                p.heap > p.live_window,
+                "{name}: heap must exceed live window"
+            );
             assert!(p.survival > 0.0 && p.survival < 1.0);
         }
         assert!(params_for("jython").is_none(), "jython was dropped (§IV)");
@@ -297,7 +453,10 @@ mod tests {
         let pmd = params_for("pmd").unwrap();
         let pmds = params_for("pmd.S").unwrap();
         assert_eq!(pmd.total_alloc, pmds.total_alloc);
-        assert!(pmds.large_frac < pmd.large_frac, "pmd.S drops the large input file");
+        assert!(
+            pmds.large_frac < pmd.large_frac,
+            "pmd.S drops the large input file"
+        );
     }
 
     #[test]

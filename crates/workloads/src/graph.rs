@@ -76,7 +76,11 @@ pub fn generate_ratings(users: u32, items: u32, m: u64, seed: u64) -> RatingsDat
         let i = rng.zipf(items as u64, 0.8) as u32;
         ratings.push((u, i));
     }
-    RatingsDataset { users, items, ratings }
+    RatingsDataset {
+        users,
+        items,
+        ratings,
+    }
 }
 
 /// An application array stored as rooted 32 KiB chunks, with per-entry
@@ -107,7 +111,11 @@ impl ChunkedArray {
             let r = mem.add_root(o);
             chunks.push((o, r));
         }
-        Ok(ChunkedArray { chunks, entry_bytes, entries_per_chunk })
+        Ok(ChunkedArray {
+            chunks,
+            entry_bytes,
+            entries_per_chunk,
+        })
     }
 
     fn locate(&self, index: u64) -> (Obj, u32) {
@@ -128,12 +136,7 @@ impl ChunkedArray {
 
     /// Streams the whole array: one read (and optionally one write) per
     /// chunk, as an end-of-iteration sweep does.
-    fn sweep(
-        &self,
-        machine: &mut Machine,
-        mem: &mut Memory,
-        write_back: bool,
-    ) -> Result<()> {
+    fn sweep(&self, machine: &mut Machine, mem: &mut Memory, write_back: bool) -> Result<()> {
         for &(obj, _) in &self.chunks {
             mem.read_data(machine, obj, 0, ARRAY_CHUNK)?;
             if write_back {
@@ -175,7 +178,6 @@ impl ChunkedArray {
         }
         Ok(())
     }
-
 }
 
 /// Replaces the per-interval shard buffer: the old one (if any) dies, a
@@ -288,11 +290,8 @@ impl Workload for PageRank {
             Phase::Build { pos } => {
                 if pos == 0 {
                     self.edge_array = ChunkedArray::build(
-                        machine,
-                        mem,
-                        0, // chunks appended below as edges stream in
-                        8,
-                        false,
+                        machine, mem, 0, // chunks appended below as edges stream in
+                        8, false,
                     )?;
                     self.edge_array.entry_bytes = 8;
                     self.edge_array.entries_per_chunk = ARRAY_CHUNK / 8;
@@ -303,8 +302,7 @@ impl Workload for PageRank {
                 }
                 // Stream a slab of edges into the on-heap edge array.
                 let end = (pos + BUILD_EDGES).min(self.graph.edges.len() as u64);
-                let need_chunks =
-                    end.div_ceil(self.edge_array.entries_per_chunk as u64) as usize;
+                let need_chunks = end.div_ceil(self.edge_array.entries_per_chunk as u64) as usize;
                 while self.edge_array.chunks.len() < need_chunks {
                     let o = mem.alloc(machine, 0, ARRAY_CHUNK as usize)?;
                     mem.write_data(machine, o, 0, ARRAY_CHUNK)?;
@@ -312,7 +310,10 @@ impl Workload for PageRank {
                     self.edge_array.chunks.push((o, r));
                 }
                 self.phase = if end == self.graph.edges.len() as u64 {
-                    Phase::Iterate { iteration: 0, pos: 0 }
+                    Phase::Iterate {
+                        iteration: 0,
+                        pos: 0,
+                    }
                 } else {
                     Phase::Build { pos: end }
                 };
@@ -351,7 +352,10 @@ impl Workload for PageRank {
                     replace_interval_buffer(machine, mem, &mut self.interval_buffer)?;
                 }
                 if end < m {
-                    self.phase = Phase::Iterate { iteration, pos: end };
+                    self.phase = Phase::Iterate {
+                        iteration,
+                        pos: end,
+                    };
                     return Ok(StepResult::Running);
                 }
                 // End of super-step: fold `next` into `ranks`. Java swaps
@@ -369,12 +373,18 @@ impl Workload for PageRank {
                     self.phase = Phase::Done;
                     Ok(StepResult::IterationDone)
                 } else {
-                    self.phase = Phase::Iterate { iteration: iteration + 1, pos: 0 };
+                    self.phase = Phase::Iterate {
+                        iteration: iteration + 1,
+                        pos: 0,
+                    };
                     Ok(StepResult::Running)
                 }
             }
             Phase::Done => {
-                self.phase = Phase::Iterate { iteration: 0, pos: 0 };
+                self.phase = Phase::Iterate {
+                    iteration: 0,
+                    pos: 0,
+                };
                 self.step(machine, mem)
             }
         }
@@ -382,7 +392,10 @@ impl Workload for PageRank {
 
     fn start_iteration(&mut self) {
         if !matches!(self.phase, Phase::Build { .. }) {
-            self.phase = Phase::Iterate { iteration: 0, pos: 0 };
+            self.phase = Phase::Iterate {
+                iteration: 0,
+                pos: 0,
+            };
         }
     }
 }
@@ -462,17 +475,15 @@ impl Workload for ConnectedComponents {
         match self.phase {
             Phase::Build { pos } => {
                 if pos == 0 {
-                    self.edge_array = ChunkedArray::build(
-                        machine,
-                        mem,
-                        self.graph.edges.len() as u64,
-                        8,
-                        true,
-                    )?;
+                    self.edge_array =
+                        ChunkedArray::build(machine, mem, self.graph.edges.len() as u64, 8, true)?;
                     self.label_array =
                         ChunkedArray::build(machine, mem, self.graph.vertices as u64, 8, true)?;
                 }
-                self.phase = Phase::Iterate { iteration: 0, pos: 0 };
+                self.phase = Phase::Iterate {
+                    iteration: 0,
+                    pos: 0,
+                };
                 Ok(StepResult::Running)
             }
             Phase::Iterate { iteration, pos } => {
@@ -506,11 +517,15 @@ impl Workload for ConnectedComponents {
                     machine.compute(mem.ctx(), Cycles::new(10));
                 }
                 if managed {
-                    self.label_array.flush_region(machine, mem, pos, changes_this_quantum)?;
+                    self.label_array
+                        .flush_region(machine, mem, pos, changes_this_quantum)?;
                     replace_interval_buffer(machine, mem, &mut self.interval_buffer)?;
                 }
                 if end < m {
-                    self.phase = Phase::Iterate { iteration, pos: end };
+                    self.phase = Phase::Iterate {
+                        iteration,
+                        pos: end,
+                    };
                     return Ok(StepResult::Running);
                 }
                 let converged = self.changes_this_sweep == 0;
@@ -519,12 +534,18 @@ impl Workload for ConnectedComponents {
                     self.phase = Phase::Done;
                     Ok(StepResult::IterationDone)
                 } else {
-                    self.phase = Phase::Iterate { iteration: iteration + 1, pos: 0 };
+                    self.phase = Phase::Iterate {
+                        iteration: iteration + 1,
+                        pos: 0,
+                    };
                     Ok(StepResult::Running)
                 }
             }
             Phase::Done => {
-                self.phase = Phase::Iterate { iteration: 0, pos: 0 };
+                self.phase = Phase::Iterate {
+                    iteration: 0,
+                    pos: 0,
+                };
                 self.step(machine, mem)
             }
         }
@@ -532,7 +553,10 @@ impl Workload for ConnectedComponents {
 
     fn start_iteration(&mut self) {
         if !matches!(self.phase, Phase::Build { .. }) {
-            self.phase = Phase::Iterate { iteration: 0, pos: 0 };
+            self.phase = Phase::Iterate {
+                iteration: 0,
+                pos: 0,
+            };
         }
         // A fresh benchmark iteration recomputes components from scratch.
         self.labels = (0..self.graph.vertices).collect();
@@ -622,7 +646,10 @@ impl Workload for Als {
                     self.item_vecs =
                         ChunkedArray::build(machine, mem, self.ratings.items as u64, 64, true)?;
                 }
-                self.phase = Phase::Iterate { iteration: 0, pos: 0 };
+                self.phase = Phase::Iterate {
+                    iteration: 0,
+                    pos: 0,
+                };
                 Ok(StepResult::Running)
             }
             Phase::Iterate { iteration, pos } => {
@@ -665,19 +692,28 @@ impl Workload for Als {
                     replace_interval_buffer(machine, mem, &mut self.interval_buffer)?;
                 }
                 if end < m {
-                    self.phase = Phase::Iterate { iteration, pos: end };
+                    self.phase = Phase::Iterate {
+                        iteration,
+                        pos: end,
+                    };
                     return Ok(StepResult::Running);
                 }
                 if iteration + 1 == 2 * self.sweeps {
                     self.phase = Phase::Done;
                     Ok(StepResult::IterationDone)
                 } else {
-                    self.phase = Phase::Iterate { iteration: iteration + 1, pos: 0 };
+                    self.phase = Phase::Iterate {
+                        iteration: iteration + 1,
+                        pos: 0,
+                    };
                     Ok(StepResult::Running)
                 }
             }
             Phase::Done => {
-                self.phase = Phase::Iterate { iteration: 0, pos: 0 };
+                self.phase = Phase::Iterate {
+                    iteration: 0,
+                    pos: 0,
+                };
                 self.step(machine, mem)
             }
         }
@@ -685,7 +721,10 @@ impl Workload for Als {
 
     fn start_iteration(&mut self) {
         if !matches!(self.phase, Phase::Build { .. }) {
-            self.phase = Phase::Iterate { iteration: 0, pos: 0 };
+            self.phase = Phase::Iterate {
+                iteration: 0,
+                pos: 0,
+            };
         }
     }
 }
@@ -707,7 +746,10 @@ mod tests {
         }
         indeg.sort_unstable_by(|x, y| y.cmp(x));
         let top: u32 = indeg[..102].iter().sum();
-        assert!(top as f64 > 0.4 * a.edges.len() as f64, "top-decile share = {top}");
+        assert!(
+            top as f64 > 0.4 * a.edges.len() as f64,
+            "top-decile share = {top}"
+        );
         // No self loops.
         assert!(a.edges.iter().all(|&(u, v)| u != v));
     }

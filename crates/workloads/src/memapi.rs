@@ -90,7 +90,9 @@ impl Memory {
             }
             Memory::Native(nm) => {
                 // C++ lays refs out as pointer members in the same block.
-                let o = nm.heap.alloc(machine, (ref_count * 8 + data_bytes) as u32)?;
+                let o = nm
+                    .heap
+                    .alloc(machine, (ref_count * 8 + data_bytes) as u32)?;
                 if ref_count > 0 {
                     nm.refs.insert(o, vec![None; ref_count]);
                 }
@@ -126,7 +128,10 @@ impl Memory {
         len: u32,
     ) -> Result<()> {
         match self {
-            Memory::Managed(mm) => mm.heap.write_data(machine, ObjectId::from_raw(obj.0), offset, len),
+            Memory::Managed(mm) => {
+                mm.heap
+                    .write_data(machine, ObjectId::from_raw(obj.0), offset, len)
+            }
             Memory::Native(nm) => {
                 let o = NativeObject::from_raw(obj.0 as u32);
                 let skip = *nm.ref_counts.get(&o).unwrap_or(&0) as u32 * 8;
@@ -148,7 +153,10 @@ impl Memory {
         len: u32,
     ) -> Result<()> {
         match self {
-            Memory::Managed(mm) => mm.heap.read_data(machine, ObjectId::from_raw(obj.0), offset, len),
+            Memory::Managed(mm) => {
+                mm.heap
+                    .read_data(machine, ObjectId::from_raw(obj.0), offset, len)
+            }
             Memory::Native(nm) => {
                 let o = NativeObject::from_raw(obj.0 as u32);
                 let skip = *nm.ref_counts.get(&o).unwrap_or(&0) as u32 * 8;
@@ -222,8 +230,10 @@ impl Memory {
     /// Re-points a root at a different object (or clears it).
     pub fn set_root(&mut self, root: Root, obj: Option<Obj>) {
         if let Memory::Managed(mm) = self {
-            mm.heap
-                .set_root(RootSlot::from_index(root.0), obj.map(|o| ObjectId::from_raw(o.0)));
+            mm.heap.set_root(
+                RootSlot::from_index(root.0),
+                obj.map(|o| ObjectId::from_raw(o.0)),
+            );
         }
     }
 
@@ -332,10 +342,8 @@ mod tests {
         }
         m1.flush_caches();
         m2.flush_caches();
-        let managed_writes =
-            m1.socket_writes(SocketId::DRAM) + m1.socket_writes(SocketId::PCM);
-        let native_writes =
-            m2.socket_writes(SocketId::DRAM) + m2.socket_writes(SocketId::PCM);
+        let managed_writes = m1.socket_writes(SocketId::DRAM) + m1.socket_writes(SocketId::PCM);
+        let native_writes = m2.socket_writes(SocketId::DRAM) + m2.socket_writes(SocketId::PCM);
         assert!(managed_writes.bytes() > 4 * native_writes.bytes());
     }
 

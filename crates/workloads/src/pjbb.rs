@@ -88,8 +88,11 @@ impl Workload for PjbbWorkload {
                     let r = mem.add_root(o);
                     self.items.push((o, r));
                 }
-                self.phase =
-                    if end == total { Phase::Run } else { Phase::Build { chunk: end } };
+                self.phase = if end == total {
+                    Phase::Run
+                } else {
+                    Phase::Build { chunk: end }
+                };
                 Ok(StepResult::Running)
             }
             Phase::Run => {
@@ -111,7 +114,8 @@ impl Workload for PjbbWorkload {
                         }
                         // Look up the item table: read a random entry and
                         // update stock (read-modify-write).
-                        let (chunk, _) = self.items[self.rng.below(self.items.len() as u64) as usize];
+                        let (chunk, _) =
+                            self.items[self.rng.below(self.items.len() as u64) as usize];
                         let off = self.rng.below((ITEM_CHUNK_BYTES - 16) as u64) as u32;
                         mem.read_data(machine, chunk, off, 16)?;
                         mem.write_data(machine, chunk, off, 8)?;
@@ -151,13 +155,13 @@ mod tests {
     fn pjbb_builds_then_processes_transactions() {
         let mut m = Machine::new(MachineProfile::emulation());
         let p = m.add_process(SocketId::DRAM);
-        let cfg =
-            CollectorKind::KgN.config(ByteSize::from_mib(4), ByteSize::from_mib(100));
+        let cfg = CollectorKind::KgN.config(ByteSize::from_mib(4), ByteSize::from_mib(100));
         let heap = ManagedHeap::new(&mut m, p, CtxId(0), cfg).unwrap();
         let mut mem = Memory::managed(heap);
         let mut w = PjbbWorkload::new(DatasetSize::Default, 7);
-        // Run enough steps to finish building and process transactions.
-        for _ in 0..80 {
+        // Run enough steps to finish building (768 item chunks at 8 per
+        // step = 96 steps) and then process transactions.
+        for _ in 0..120 {
             if w.step(&mut m, &mut mem).unwrap() == StepResult::IterationDone {
                 break;
             }

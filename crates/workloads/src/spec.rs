@@ -6,11 +6,10 @@ use crate::graph::{Als, ConnectedComponents, PageRank};
 use crate::pjbb::PjbbWorkload;
 use crate::Workload;
 use hemu_types::ByteSize;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The three benchmark suites of the evaluation (§IV).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// The 11 DaCapo applications.
     DaCapo,
@@ -42,7 +41,7 @@ impl fmt::Display for Suite {
 }
 
 /// Input dataset size (§IV and §VI.F).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DatasetSize {
     /// The default dataset (1 M edges / 1 M ratings for GraphChi).
     #[default]
@@ -52,7 +51,7 @@ pub enum DatasetSize {
 }
 
 /// Implementation language of a GraphChi application (Fig. 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Language {
     /// The Java implementation running on the managed heap.
     #[default]
@@ -62,7 +61,7 @@ pub enum Language {
 }
 
 /// A fully specified benchmark: name, suite, language and dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WorkloadSpec {
     /// Benchmark name (paper spelling).
     pub name: &'static str,
@@ -136,24 +135,32 @@ impl fmt::Display for WorkloadSpec {
 }
 
 fn spec(name: &'static str, suite: Suite) -> WorkloadSpec {
-    WorkloadSpec { name, suite, language: Language::Java, dataset: DatasetSize::Default }
+    WorkloadSpec {
+        name,
+        suite,
+        language: Language::Java,
+        dataset: DatasetSize::Default,
+    }
 }
 
 /// The 11 DaCapo benchmarks of the evaluation, including the updated
 /// `lu.Fix` and `pmd.S` variants.
 pub fn dacapo_all() -> Vec<WorkloadSpec> {
-    dacapo::NAMES.iter().map(|n| spec(n, Suite::DaCapo)).collect()
+    dacapo::NAMES
+        .iter()
+        .map(|n| spec(n, Suite::DaCapo))
+        .collect()
 }
 
 /// The seven DaCapo benchmarks the simulator comparison uses (§V):
 /// lusearch, lu.Fix, avrora, xalan, pmd, pmd.S and bloat.
 pub fn dacapo_sim_subset() -> Vec<WorkloadSpec> {
-    ["lusearch", "lu.Fix", "avrora", "xalan", "pmd", "pmd.S", "bloat"]
-        .iter()
-        .map(|n| {
-            WorkloadSpec::by_name(n).expect("simulator-subset benchmark missing from registry")
-        })
-        .collect()
+    [
+        "lusearch", "lu.Fix", "avrora", "xalan", "pmd", "pmd.S", "bloat",
+    ]
+    .iter()
+    .map(|n| WorkloadSpec::by_name(n).expect("simulator-subset benchmark missing from registry"))
+    .collect()
 }
 
 /// Pjbb.
@@ -163,7 +170,10 @@ pub fn pjbb() -> WorkloadSpec {
 
 /// The three GraphChi applications (Java, default dataset).
 pub fn graphchi_all() -> Vec<WorkloadSpec> {
-    ["pr", "cc", "als"].iter().map(|n| spec(n, Suite::GraphChi)).collect()
+    ["pr", "cc", "als"]
+        .iter()
+        .map(|n| spec(n, Suite::GraphChi))
+        .collect()
 }
 
 /// All 15 applications of the evaluation with default datasets.
@@ -188,7 +198,10 @@ mod tests {
     #[test]
     fn sim_subset_matches_section_v() {
         let names: Vec<_> = dacapo_sim_subset().iter().map(|s| s.name).collect();
-        assert_eq!(names, vec!["lusearch", "lu.Fix", "avrora", "xalan", "pmd", "pmd.S", "bloat"]);
+        assert_eq!(
+            names,
+            vec!["lusearch", "lu.Fix", "avrora", "xalan", "pmd", "pmd.S", "bloat"]
+        );
     }
 
     #[test]
@@ -209,7 +222,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "C++ implementations")]
     fn cpp_variant_rejected_for_dacapo() {
-        let _ = WorkloadSpec::by_name("lusearch").unwrap().with_language(Language::Cpp);
+        let _ = WorkloadSpec::by_name("lusearch")
+            .unwrap()
+            .with_language(Language::Cpp);
     }
 
     #[test]

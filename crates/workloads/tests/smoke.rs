@@ -52,7 +52,9 @@ fn every_registered_workload_steps_cleanly() {
 #[test]
 fn graphchi_apps_run_natively_too() {
     for name in ["pr", "cc", "als"] {
-        let s = WorkloadSpec::by_name(name).unwrap().with_language(Language::Cpp);
+        let s = WorkloadSpec::by_name(name)
+            .unwrap()
+            .with_language(Language::Cpp);
         let (machine, mem, _) = drive(s, 200);
         assert!(machine.stats().line_accesses > 0, "{s}: no traffic");
         assert!(mem.native_stats().is_some());

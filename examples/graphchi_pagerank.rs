@@ -18,7 +18,9 @@ fn main() -> Result<(), HemuError> {
     let cpp = Experiment::new(pr.with_language(Language::Cpp)).run()?;
     println!("C++ (malloc/free):        {}", cpp);
 
-    let java = Experiment::new(pr).collector(CollectorKind::PcmOnly).run()?;
+    let java = Experiment::new(pr)
+        .collector(CollectorKind::PcmOnly)
+        .run()?;
     println!("Java (GC, PCM-Only):      {}", java);
 
     let kgw = Experiment::new(pr).collector(CollectorKind::KgW).run()?;
@@ -36,7 +38,10 @@ fn main() -> Result<(), HemuError> {
         println!(
             "\nThe Java run's GC view: {} minor and {} full collections, {} allocated, \n\
              {} remembered-set entries recorded by the write barrier.",
-            gc.minor_gcs, gc.full_gcs, gc.allocated(), gc.remset_entries,
+            gc.minor_gcs,
+            gc.full_gcs,
+            gc.allocated(),
+            gc.remset_entries,
         );
     }
     Ok(())

@@ -20,14 +20,22 @@ fn main() -> Result<(), HemuError> {
         "{:>10} {:>12} {:>14} {:>14} {:>14}",
         "collector", "write rate", "10M writes/cell", "30M writes/cell", "50M writes/cell"
     );
-    for collector in [CollectorKind::PcmOnly, CollectorKind::KgN, CollectorKind::KgW] {
+    for collector in [
+        CollectorKind::PcmOnly,
+        CollectorKind::KgN,
+        CollectorKind::KgW,
+    ] {
         let report = Experiment::new(spec).collector(collector).run()?;
         let rate_bytes = report.pcm_write_rate_mbs * 1e6;
         let years: Vec<String> = ENDURANCE_PROTOTYPES
             .iter()
             .map(|&e| {
                 let y = LifetimeModel::paper(e).years(rate_bytes);
-                if y.is_finite() { format!("{y:.0} yr") } else { "unbounded".into() }
+                if y.is_finite() {
+                    format!("{y:.0} yr")
+                } else {
+                    "unbounded".into()
+                }
             })
             .collect();
         println!(

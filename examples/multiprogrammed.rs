@@ -22,7 +22,10 @@ fn main() -> Result<(), HemuError> {
         let mut base: Option<f64> = None;
         println!("{}:", collector.name());
         for n in [1usize, 2, 4] {
-            let report = Experiment::new(spec).collector(collector).instances(n).run()?;
+            let report = Experiment::new(spec)
+                .collector(collector)
+                .instances(n)
+                .run()?;
             let writes = report.pcm_writes.bytes() as f64;
             let rel = base.map(|b| writes / b).unwrap_or(1.0);
             base = base.or(Some(writes));

@@ -15,11 +15,20 @@ fn main() -> Result<(), HemuError> {
 
     println!("Running lusearch on the emulated hybrid-memory platform...\n");
     let mut baseline = None;
-    for collector in [CollectorKind::PcmOnly, CollectorKind::KgN, CollectorKind::KgW] {
+    for collector in [
+        CollectorKind::PcmOnly,
+        CollectorKind::KgN,
+        CollectorKind::KgW,
+    ] {
         let report = Experiment::new(spec).collector(collector).run()?;
         let vs = baseline
             .as_ref()
-            .map(|b| format!(" ({:.0}% fewer PCM writes)", report.pcm_write_reduction_vs(b)))
+            .map(|b| {
+                format!(
+                    " ({:.0}% fewer PCM writes)",
+                    report.pcm_write_reduction_vs(b)
+                )
+            })
             .unwrap_or_default();
         println!(
             "{:>8}: {:>10} written to PCM at {:>6.1} MB/s{}",

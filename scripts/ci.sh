@@ -1,0 +1,16 @@
+#!/bin/bash
+# Hermetic CI gate: everything must build, test, and stay formatted with
+# the network off. Run from anywhere; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --workspace --release --offline
+
+echo "== test (offline) =="
+cargo test --workspace -q --offline
+
+echo "== fmt check =="
+cargo fmt --all --check
+
+echo "CI OK"

@@ -22,6 +22,7 @@
 //! | machine | [`machine`] (`hemu-machine`) | contexts, address spaces, timing |
 //! | caches | [`cache`] (`hemu-cache`) | private L2s + shared inclusive 20 MB LLC, write-back |
 //! | memory | [`numa`] (`hemu-numa`) | two sockets, page tables, `mbind`, controller counters |
+//! | observability | [`obs`] (`hemu-obs`) | event tracer, metrics registry, JSON/CSV export |
 //! | vocabulary | [`types`] (`hemu-types`) | addresses, sizes, clock, deterministic RNG |
 //!
 //! # Quickstart
@@ -54,6 +55,7 @@ pub use hemu_heap as heap;
 pub use hemu_machine as machine;
 pub use hemu_malloc as malloc;
 pub use hemu_numa as numa;
+pub use hemu_obs as obs;
 pub use hemu_types as types;
 pub use hemu_workloads as workloads;
 

@@ -14,8 +14,14 @@ fn lu_fix() -> WorkloadSpec {
 fn write_rationing_reduces_pcm_writes_in_order() {
     // PCM-Only ≥ KG-N ≥ KG-W (Table II / Fig. 7 ordering).
     let base = Experiment::new(lu_fix()).run().unwrap();
-    let kgn = Experiment::new(lu_fix()).collector(CollectorKind::KgN).run().unwrap();
-    let kgw = Experiment::new(lu_fix()).collector(CollectorKind::KgW).run().unwrap();
+    let kgn = Experiment::new(lu_fix())
+        .collector(CollectorKind::KgN)
+        .run()
+        .unwrap();
+    let kgw = Experiment::new(lu_fix())
+        .collector(CollectorKind::KgW)
+        .run()
+        .unwrap();
     assert!(
         kgn.pcm_writes <= base.pcm_writes,
         "KG-N ({}) must not exceed PCM-Only ({})",
@@ -38,12 +44,22 @@ fn write_rationing_reduces_pcm_writes_in_order() {
 
 #[test]
 fn experiments_are_deterministic() {
-    let a = Experiment::new(lu_fix()).collector(CollectorKind::KgN).run().unwrap();
-    let b = Experiment::new(lu_fix()).collector(CollectorKind::KgN).run().unwrap();
+    let a = Experiment::new(lu_fix())
+        .collector(CollectorKind::KgN)
+        .run()
+        .unwrap();
+    let b = Experiment::new(lu_fix())
+        .collector(CollectorKind::KgN)
+        .run()
+        .unwrap();
     assert_eq!(a.pcm_writes, b.pcm_writes);
     assert_eq!(a.dram_writes, b.dram_writes);
     assert_eq!(a.elapsed_seconds, b.elapsed_seconds);
-    let c = Experiment::new(lu_fix()).collector(CollectorKind::KgN).seed(7).run().unwrap();
+    let c = Experiment::new(lu_fix())
+        .collector(CollectorKind::KgN)
+        .seed(7)
+        .run()
+        .unwrap();
     assert_ne!(
         (a.pcm_writes, a.elapsed_seconds.to_bits()),
         (c.pcm_writes, c.elapsed_seconds.to_bits()),
@@ -58,7 +74,10 @@ fn multiprogramming_grows_pcm_writes_superlinearly_under_pcm_only() {
     let one = Experiment::new(lu_fix()).instances(1).run().unwrap();
     let four = Experiment::new(lu_fix()).instances(4).run().unwrap();
     let growth = four.pcm_writes.bytes() as f64 / one.pcm_writes.bytes().max(1) as f64;
-    assert!(growth > 4.0, "expected super-linear growth, got {growth:.2}x");
+    assert!(
+        growth > 4.0,
+        "expected super-linear growth, got {growth:.2}x"
+    );
 }
 
 #[test]
@@ -71,8 +90,16 @@ fn kg_w_dampens_multiprogrammed_growth() {
     let xalan = WorkloadSpec::by_name("xalan").expect("xalan registered");
     let p1 = Experiment::new(xalan).instances(1).run().unwrap();
     let p4 = Experiment::new(xalan).instances(4).run().unwrap();
-    let w1 = Experiment::new(xalan).collector(CollectorKind::KgW).instances(1).run().unwrap();
-    let w4 = Experiment::new(xalan).collector(CollectorKind::KgW).instances(4).run().unwrap();
+    let w1 = Experiment::new(xalan)
+        .collector(CollectorKind::KgW)
+        .instances(1)
+        .run()
+        .unwrap();
+    let w4 = Experiment::new(xalan)
+        .collector(CollectorKind::KgW)
+        .instances(4)
+        .run()
+        .unwrap();
     let pcm_only = p4.pcm_writes.bytes() as f64 / p1.pcm_writes.bytes().max(1) as f64;
     let kg_w = w4.pcm_writes.bytes() as f64 / w1.pcm_writes.bytes().max(1) as f64;
     assert!(
@@ -87,7 +114,9 @@ fn kg_w_dampens_multiprogrammed_growth() {
 fn java_writes_more_than_cpp_on_pcm_only() {
     // Fig. 3 for Connected Components.
     let cc = WorkloadSpec::by_name("cc").unwrap();
-    let cpp = Experiment::new(cc.with_language(Language::Cpp)).run().unwrap();
+    let cpp = Experiment::new(cc.with_language(Language::Cpp))
+        .run()
+        .unwrap();
     let java = Experiment::new(cc).run().unwrap();
     assert!(
         java.pcm_writes > cpp.pcm_writes,
@@ -142,8 +171,15 @@ fn monitor_integral_matches_the_counters() {
 fn pcm_only_reference_keeps_socket0_silent() {
     // §V's reference setup isolation: with all spaces and threads bound to
     // socket 1, socket 0 sees no application writes at all.
-    let r = Experiment::new(lu_fix()).collector(CollectorKind::PcmOnly).run().unwrap();
-    assert_eq!(r.dram_writes.bytes(), 0, "PCM-Only run leaked writes to socket 0");
+    let r = Experiment::new(lu_fix())
+        .collector(CollectorKind::PcmOnly)
+        .run()
+        .unwrap();
+    assert_eq!(
+        r.dram_writes.bytes(),
+        0,
+        "PCM-Only run leaked writes to socket 0"
+    );
     assert!(r.pcm_writes.bytes() > 0);
 }
 
