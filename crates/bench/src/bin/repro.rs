@@ -7,13 +7,23 @@
 //! ```
 //!
 //! Targets: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 table3 all`.
-//! `--quick` restricts DaCapo to the seven-benchmark §V subset.
+//! `--quick` (or `--scale quick`) restricts DaCapo to the seven-benchmark
+//! §V subset.
 //! `--json-out <dir>` writes one `<run>.json` per executed experiment plus
 //! the combined `runs.json` and `samples.csv`; `--trace-out <file>` appends
 //! every executed run's measured-iteration event trace as JSON Lines.
+//!
+//! Resilience flags (see `docs/fault-injection.md`):
+//! `--faults <spec>` installs a deterministic fault plan (`smoke`, `none`,
+//! or `k=v` pairs); `--endurance <spec>` enables the PCM wear/endurance
+//! model; `--run-deadline <seconds>` bounds each experiment attempt.
+//! Failed runs are recorded in `runs.json` with their status and cause
+//! while the sweep completes; the exit code is non-zero iff any run
+//! ultimately failed.
 
-use hemu_bench::{experiments, Harness, Scale};
-use std::time::Instant;
+use hemu_bench::{experiments, Harness, RunPolicy, Scale};
+use hemu_fault::{EnduranceConfig, FaultPlan};
+use std::time::{Duration, Instant};
 
 /// Extracts a `--flag VALUE` pair from `args`, removing both elements.
 fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -31,7 +41,19 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_out = take_value_flag(&mut args, "--json-out");
     let trace_out = take_value_flag(&mut args, "--trace-out");
-    let quick = args.iter().any(|a| a == "--quick");
+    let faults = take_value_flag(&mut args, "--faults");
+    let endurance = take_value_flag(&mut args, "--endurance");
+    let run_deadline = take_value_flag(&mut args, "--run-deadline");
+    let scale_flag = take_value_flag(&mut args, "--scale");
+    let quick = match scale_flag.as_deref() {
+        None => args.iter().any(|a| a == "--quick"),
+        Some("quick") => true,
+        Some("full") => false,
+        Some(other) => {
+            eprintln!("--scale: expected `quick` or `full`, got `{other}`");
+            std::process::exit(2);
+        }
+    };
     let mut targets: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -66,7 +88,38 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if let Some(spec) = &faults {
+        match FaultPlan::parse(spec) {
+            Ok(plan) => h.set_fault_plan(plan),
+            Err(e) => {
+                eprintln!("--faults: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(spec) = &endurance {
+        match EnduranceConfig::parse(spec) {
+            Ok(cfg) => h.set_endurance(cfg),
+            Err(e) => {
+                eprintln!("--endurance: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(secs) = &run_deadline {
+        match secs.parse::<f64>() {
+            Ok(s) if s > 0.0 && s.is_finite() => h.set_run_policy(RunPolicy {
+                deadline: Some(Duration::from_secs_f64(s)),
+                ..RunPolicy::default()
+            }),
+            _ => {
+                eprintln!("--run-deadline: expected a positive number of seconds");
+                std::process::exit(2);
+            }
+        }
+    }
     let t0 = Instant::now();
+    let mut target_failures = 0usize;
 
     for target in targets {
         let started = Instant::now();
@@ -102,7 +155,7 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("{target} failed: {e}");
-                std::process::exit(1);
+                target_failures += 1;
             }
         }
     }
@@ -122,4 +175,12 @@ fn main() {
         t0.elapsed(),
         scale
     );
+    if h.failed_count() > 0 || target_failures > 0 {
+        eprintln!(
+            "{} run(s) and {} target(s) failed; per-run status and cause are in runs.json.",
+            h.failed_count(),
+            target_failures
+        );
+        std::process::exit(1);
+    }
 }

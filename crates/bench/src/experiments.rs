@@ -5,6 +5,11 @@
 //! by what rough factor, where crossovers fall — is the reproduction
 //! target; absolute counts differ from the paper's because the substrate
 //! is a simulator driving synthetic datasets.
+//!
+//! Figures degrade gracefully under fault injection: a failed experiment
+//! (recorded by the harness, see `Harness::records`) renders as a `FAIL`
+//! cell or a skipped data point rather than aborting the whole figure, so
+//! a sweep with one bad configuration still produces every other result.
 
 use crate::fmt::{ratio, table};
 use crate::harness::{Harness, Profile};
@@ -64,22 +69,31 @@ pub fn table2(h: &mut Harness) -> Result<String> {
             let mut total_ratio = Vec::new();
             let mut overhead = Vec::new();
             for &b in &benches {
-                let base = h.run(b, CollectorKind::PcmOnly, 1, profile)?;
-                let r = h.run(b, collector, 1, profile)?;
+                let (Some(base), Some(r)) = (
+                    h.run_opt(b, CollectorKind::PcmOnly, 1, profile),
+                    h.run_opt(b, collector, 1, profile),
+                ) else {
+                    continue;
+                };
                 reductions.push(r.pcm_write_reduction_vs(&base));
                 if collector == CollectorKind::KgB {
-                    let kgn = h.run(b, CollectorKind::KgN, 1, profile)?;
-                    let t =
-                        r.total_writes().bytes() as f64 / kgn.total_writes().bytes().max(1) as f64;
-                    total_ratio.push(t);
+                    if let Some(kgn) = h.run_opt(b, CollectorKind::KgN, 1, profile) {
+                        let t = r.total_writes().bytes() as f64
+                            / kgn.total_writes().bytes().max(1) as f64;
+                        total_ratio.push(t);
+                    }
                 }
                 if collector == CollectorKind::KgW {
-                    let kgn = h.run(b, CollectorKind::KgN, 1, profile)?;
-                    overhead.push(100.0 * (r.elapsed_seconds / kgn.elapsed_seconds - 1.0));
+                    if let Some(kgn) = h.run_opt(b, CollectorKind::KgN, 1, profile) {
+                        overhead.push(100.0 * (r.elapsed_seconds / kgn.elapsed_seconds - 1.0));
+                    }
                 }
             }
-            let avg = mean(&reductions);
-            cells.push(format!("{avg:.0}%"));
+            cells.push(if reductions.is_empty() {
+                "FAIL".into()
+            } else {
+                format!("{:.0}%", mean(&reductions))
+            });
             if !total_ratio.is_empty() {
                 per_profile_total_ratio.push((profile, mean(&total_ratio)));
             }
@@ -127,17 +141,25 @@ pub fn fig3(h: &mut Harness) -> Result<String> {
         "KG-W".to_string(),
     ]];
     for name in ["pr", "cc", "als"] {
-        let cpp = h.run_cpp(name, DatasetSize::Default)?;
+        let cpp = h.run_cpp(name, DatasetSize::Default).ok();
         let spec = WorkloadSpec::by_name(name).unwrap();
-        let java = h.run1(spec, CollectorKind::PcmOnly)?;
-        let kgn = h.run1(spec, CollectorKind::KgN)?;
-        let kgw = h.run1(spec, CollectorKind::KgW)?;
+        let java = h.run1_opt(spec, CollectorKind::PcmOnly);
+        let kgn = h.run1_opt(spec, CollectorKind::KgN);
+        let kgw = h.run1_opt(spec, CollectorKind::KgW);
+        let cell = |r: &Option<hemu_core::RunReport>| match (r, &cpp) {
+            (Some(r), Some(c)) => ratio(r.pcm_writes_normalized_to(c)),
+            _ => "FAIL".into(),
+        };
         rows.push(vec![
             name.to_uppercase(),
-            "1.00".into(),
-            ratio(java.pcm_writes_normalized_to(&cpp)),
-            ratio(kgn.pcm_writes_normalized_to(&cpp)),
-            ratio(kgw.pcm_writes_normalized_to(&cpp)),
+            if cpp.is_some() {
+                "1.00".into()
+            } else {
+                "FAIL".into()
+            },
+            cell(&java),
+            cell(&kgn),
+            cell(&kgw),
         ]);
     }
     Ok(format!(
@@ -177,12 +199,17 @@ pub fn fig4(h: &mut Harness) -> Result<String> {
                 .collect();
             let mut per_n = vec![Vec::new(), Vec::new(), Vec::new()];
             for app in apps {
-                let base = h.run(app, collector, 1, Profile::Emulation)?;
+                let Some(base) = h.run_opt(app, collector, 1, Profile::Emulation) else {
+                    continue;
+                };
                 for (ni, n) in [1usize, 2, 4].into_iter().enumerate() {
                     let r = if n == 1 {
                         base.clone()
                     } else {
-                        h.run(app, collector, n, Profile::Emulation)?
+                        match h.run_opt(app, collector, n, Profile::Emulation) {
+                            Some(r) => r,
+                            None => continue,
+                        }
                     };
                     let rel = r.pcm_writes.bytes() as f64 / base.pcm_writes.bytes().max(1) as f64;
                     per_n[ni].push(rel);
@@ -232,7 +259,9 @@ pub fn fig5(h: &mut Harness) -> Result<String> {
         let mut rates = [0.0f64; 3];
         for app in &apps {
             for (ni, n) in [1usize, 2, 4].into_iter().enumerate() {
-                let r = h.run(*app, CollectorKind::PcmOnly, n, Profile::Emulation)?;
+                let Some(r) = h.run_opt(*app, CollectorKind::PcmOnly, n, Profile::Emulation) else {
+                    continue;
+                };
                 writes[ni] += r.pcm_writes.bytes() as f64 / apps.len() as f64;
                 rates[ni] += r.pcm_write_rate_mbs / apps.len() as f64;
             }
@@ -288,11 +317,15 @@ pub fn fig6(h: &mut Harness) -> Result<String> {
             CollectorKind::KgB,
             CollectorKind::KgW,
         ] {
-            let r = h.run1(app, collector)?;
-            if collector == CollectorKind::PcmOnly {
-                pcm_only_rate = r.pcm_write_rate_mbs;
+            match h.run1_opt(app, collector) {
+                Some(r) => {
+                    if collector == CollectorKind::PcmOnly {
+                        pcm_only_rate = r.pcm_write_rate_mbs;
+                    }
+                    cells.push(format!("{:.1}", r.pcm_write_rate_mbs));
+                }
+                None => cells.push("FAIL".into()),
             }
-            cells.push(format!("{:.1}", r.pcm_write_rate_mbs));
         }
         let flag = pcm_only_rate > 140.0;
         if flag {
@@ -333,11 +366,13 @@ pub fn fig7(h: &mut Harness) -> Result<String> {
     }];
     for name in ["pr", "cc", "als"] {
         let spec = WorkloadSpec::by_name(name).unwrap();
-        let base = h.run1(spec, CollectorKind::PcmOnly)?;
+        let base = h.run1_opt(spec, CollectorKind::PcmOnly);
         let mut cells = vec![name.to_uppercase()];
         for c in collectors {
-            let r = h.run1(spec, c)?;
-            cells.push(format!("{:.3}", r.pcm_writes_normalized_to(&base)));
+            cells.push(match (&base, h.run1_opt(spec, c)) {
+                (Some(base), Some(r)) => format!("{:.3}", r.pcm_writes_normalized_to(base)),
+                _ => "FAIL".into(),
+            });
         }
         rows.push(cells);
     }
@@ -380,8 +415,13 @@ pub fn fig8(h: &mut Harness) -> Result<String> {
     for app in apps {
         let mut cells = vec![format!("{app}")];
         for c in collectors {
-            let small = h.run1(app, c)?;
-            let large = h.run1(app.with_dataset(DatasetSize::Large), c)?;
+            let (Some(small), Some(large)) = (
+                h.run1_opt(app, c),
+                h.run1_opt(app.with_dataset(DatasetSize::Large), c),
+            ) else {
+                cells.push("FAIL".into());
+                continue;
+            };
             if c == CollectorKind::PcmOnly {
                 write_growth
                     .push(large.pcm_writes.bytes() as f64 / small.pcm_writes.bytes().max(1) as f64);
@@ -427,7 +467,9 @@ pub fn table3(h: &mut Harness) -> Result<String> {
             for collector in [CollectorKind::PcmOnly, CollectorKind::KgW] {
                 let mut worst = f64::INFINITY;
                 for app in h.all_apps() {
-                    let r = h.run(app, collector, n, Profile::Emulation)?;
+                    let Some(r) = h.run_opt(app, collector, n, Profile::Emulation) else {
+                        continue;
+                    };
                     worst = worst.min(model.years(r.pcm_write_rate_mbs * 1e6));
                 }
                 cells.push(if worst.is_finite() {

@@ -1,15 +1,20 @@
-//! The caching experiment harness.
+//! The caching, fault-tolerant experiment harness.
 
 use hemu_core::{Experiment, RunReport};
+use hemu_fault::{EnduranceConfig, FaultPlan};
 use hemu_heap::CollectorKind;
 use hemu_machine::MachineProfile;
 use hemu_obs::json::{JsonObject, ToJson};
-use hemu_obs::{to_json_lines, Csv};
+use hemu_obs::{to_json_lines, Csv, TraceRecord};
 use hemu_types::{HemuError, Result};
 use hemu_workloads::{spec, DatasetSize, Language, WorkloadSpec};
 use std::collections::HashMap;
 use std::fs;
+use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
 
 /// How much of the evaluation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,12 +45,76 @@ impl Profile {
     }
 }
 
+/// Per-run resilience policy: how long an experiment may take and how
+/// transient injected faults are retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPolicy {
+    /// Wall-clock deadline per attempt. `None` runs inline with no
+    /// watchdog; `Some` runs each attempt on a helper thread and abandons
+    /// it on expiry.
+    pub deadline: Option<Duration>,
+    /// Attempts per run; only transient faults consume extra attempts.
+    pub max_attempts: u32,
+    /// Base backoff between retries (attempt `n` sleeps `n × backoff`).
+    pub backoff: Duration,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        RunPolicy {
+            deadline: None,
+            max_attempts: 3,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Terminal outcome of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The run produced a report.
+    Ok,
+    /// The run failed after exhausting its retry budget.
+    Failed,
+    /// The run exceeded the policy deadline and was abandoned.
+    TimedOut,
+}
+
+impl RunStatus {
+    /// Stable lower-case name used in `runs.json`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Failed => "failed",
+            RunStatus::TimedOut => "timed-out",
+        }
+    }
+}
+
+/// One executed run (successful or not), in execution order.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The memoization key (`workload|collector|instances|profile`).
+    pub key: String,
+    /// Terminal outcome.
+    pub status: RunStatus,
+    /// Attempts consumed (1 unless transient faults forced retries).
+    pub attempts: u32,
+    /// The final error rendered as text, for failed runs.
+    pub error: Option<String>,
+}
+
 /// Runs experiments, memoizing results by configuration so figures that
-/// share runs do not repeat them.
+/// share runs do not repeat them. Failures are memoized too: a sweep
+/// carries on past a failed configuration, later references to it fail
+/// fast, and [`Harness::finalize_exports`] records every outcome.
 #[derive(Default)]
 pub struct Harness {
     scale: Scale,
     cache: HashMap<String, RunReport>,
+    /// Failed configurations and their terminal error, so repeated figure
+    /// references do not re-run a known-bad experiment.
+    failed: HashMap<String, HemuError>,
     /// Experiments executed (cache misses) — visible in the harness output
     /// so a reader can see how much work a figure took.
     pub runs_executed: usize,
@@ -55,8 +124,13 @@ pub struct Harness {
     /// When set, every executed run captures a bounded event trace and
     /// appends it (JSONL) to this file.
     trace_out: Option<PathBuf>,
-    /// Keys in execution order, for the combined `runs.json`.
-    run_order: Vec<String>,
+    /// Executed runs in execution order, for the combined `runs.json`.
+    records: Vec<RunRecord>,
+    /// Fault plan applied (key-filtered) to every executed experiment.
+    fault_plan: Option<FaultPlan>,
+    /// Endurance model applied to every executed experiment.
+    endurance: Option<EnduranceConfig>,
+    policy: RunPolicy,
 }
 
 /// Records retained per traced run; QPI batching keeps even long runs well
@@ -65,6 +139,16 @@ const TRACE_CAPACITY: usize = 1 << 16;
 
 fn io_err(context: &str, path: &Path, e: &std::io::Error) -> HemuError {
     HemuError::Io(format!("{context} {}: {e}", path.display()))
+}
+
+/// Renders a caught panic payload as a [`HemuError::Panicked`].
+fn panic_error(payload: &(dyn std::any::Any + Send)) -> HemuError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into());
+    HemuError::Panicked(msg)
 }
 
 /// Turns a run key (`lusearch.small|KG-N|1|Emulation`) into a file stem.
@@ -92,6 +176,32 @@ impl Harness {
     /// The configured scale.
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// Installs a fault plan applied to every subsequent run whose key
+    /// matches the plan's `only` filter. An inert plan clears it.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = if plan.is_inert() { None } else { Some(plan) };
+    }
+
+    /// Enables the PCM endurance model for every subsequent run.
+    pub fn set_endurance(&mut self, cfg: EnduranceConfig) {
+        self.endurance = Some(cfg);
+    }
+
+    /// Sets the per-run deadline/retry policy.
+    pub fn set_run_policy(&mut self, policy: RunPolicy) {
+        self.policy = policy;
+    }
+
+    /// Configurations that terminally failed so far.
+    pub fn failed_count(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// Executed runs (successful and failed) in execution order.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
     }
 
     /// Enables JSON export: every executed run writes
@@ -141,11 +251,17 @@ impl Harness {
         v
     }
 
-    /// Runs (or fetches) one experiment.
+    /// Runs (or fetches) one experiment under the resilience policy:
+    /// panics are caught, a deadline (if set) bounds each attempt, and
+    /// transient injected faults are retried with linear backoff. A
+    /// terminal failure is memoized and recorded — subsequent figures that
+    /// reference the same configuration fail fast instead of re-running it.
     ///
     /// # Errors
     ///
-    /// Propagates experiment failures.
+    /// Returns the run's terminal error ([`HemuError::Timeout`] when the
+    /// deadline expired, [`HemuError::Panicked`] when the experiment
+    /// panicked, otherwise whatever the experiment reported).
     pub fn run(
         &mut self,
         spec: WorkloadSpec,
@@ -157,25 +273,124 @@ impl Harness {
         if let Some(r) = self.cache.get(&key) {
             return Ok(r.clone());
         }
+        if let Some(e) = self.failed.get(&key) {
+            return Err(e.clone());
+        }
         eprintln!("  running {key} ...");
-        let experiment = Experiment::new(spec)
+        let mut attempt = 1u32;
+        loop {
+            let experiment = self.configure(spec, collector, instances, profile, &key, attempt);
+            match self.run_guarded(experiment) {
+                Ok((report, trace)) => {
+                    if self.trace_out.is_some() {
+                        self.append_trace(&key, &trace)?;
+                    }
+                    if self.json_dir.is_some() {
+                        self.write_run_json(&key, &report)?;
+                    }
+                    self.cache.insert(key.clone(), report.clone());
+                    self.records.push(RunRecord {
+                        key,
+                        status: RunStatus::Ok,
+                        attempts: attempt,
+                        error: None,
+                    });
+                    self.runs_executed += 1;
+                    return Ok(report);
+                }
+                Err(e) => {
+                    let transient = matches!(
+                        e,
+                        HemuError::FaultInjected {
+                            transient: true,
+                            ..
+                        }
+                    );
+                    if transient && attempt < self.policy.max_attempts {
+                        thread::sleep(self.policy.backoff * attempt);
+                        attempt += 1;
+                        continue;
+                    }
+                    let status = if matches!(e, HemuError::Timeout { .. }) {
+                        RunStatus::TimedOut
+                    } else {
+                        RunStatus::Failed
+                    };
+                    eprintln!("  FAILED {key} after {attempt} attempt(s): {e}");
+                    self.records.push(RunRecord {
+                        key: key.clone(),
+                        status,
+                        attempts: attempt,
+                        error: Some(e.to_string()),
+                    });
+                    self.failed.insert(key, e.clone());
+                    self.runs_executed += 1;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Builds the experiment for one attempt, applying the harness-wide
+    /// endurance model and (when the key matches) the fault plan reseeded
+    /// for this attempt so a retry does not deterministically re-fail.
+    fn configure(
+        &self,
+        spec: WorkloadSpec,
+        collector: CollectorKind,
+        instances: usize,
+        profile: Profile,
+        key: &str,
+        attempt: u32,
+    ) -> Experiment {
+        let mut e = Experiment::new(spec)
             .collector(collector)
             .instances(instances)
             .profile(profile.machine());
-        let report = if self.trace_out.is_some() {
-            let (report, trace) = experiment.run_with_trace(TRACE_CAPACITY)?;
-            self.append_trace(&key, &trace)?;
-            report
-        } else {
-            experiment.run()?
-        };
-        if self.json_dir.is_some() {
-            self.write_run_json(&key, &report)?;
+        if let Some(cfg) = self.endurance {
+            e = e.endurance(cfg);
         }
-        self.cache.insert(key.clone(), report.clone());
-        self.run_order.push(key);
-        self.runs_executed += 1;
-        Ok(report)
+        if let Some(plan) = &self.fault_plan {
+            if plan.applies_to(key) {
+                e = e.faults(plan.for_attempt(attempt));
+            }
+        }
+        e
+    }
+
+    /// Runs one attempt with panic isolation and, when the policy sets a
+    /// deadline, a watchdog: the experiment runs on a helper thread and an
+    /// expired deadline abandons it (the thread is detached; the Machine it
+    /// owns is dropped when the attempt eventually unwinds or finishes).
+    fn run_guarded(&self, experiment: Experiment) -> Result<(RunReport, Vec<TraceRecord>)> {
+        let want_trace = self.trace_out.is_some();
+        let body = move || {
+            if want_trace {
+                experiment.run_with_trace(TRACE_CAPACITY)
+            } else {
+                experiment.run().map(|r| (r, Vec::new()))
+            }
+        };
+        match self.policy.deadline {
+            None => {
+                panic::catch_unwind(AssertUnwindSafe(body)).unwrap_or_else(|p| Err(panic_error(&p)))
+            }
+            Some(deadline) => {
+                let (tx, rx) = mpsc::channel();
+                thread::spawn(move || {
+                    let result = panic::catch_unwind(AssertUnwindSafe(body))
+                        .unwrap_or_else(|p| Err(panic_error(&p)));
+                    // The receiver may have given up already; that's fine.
+                    let _ = tx.send(result);
+                });
+                match rx.recv_timeout(deadline) {
+                    Ok(result) => result,
+                    Err(_) => Err(HemuError::Timeout {
+                        deadline_ms: deadline.as_millis() as u64,
+                    }),
+                }
+            }
+        }
     }
 
     fn append_trace(&self, key: &str, trace: &[hemu_obs::TraceRecord]) -> Result<()> {
@@ -200,8 +415,10 @@ impl Harness {
     }
 
     /// Writes the combined export artifacts: `runs.json` (array of
-    /// `{"key", "report"}` objects in execution order) and `samples.csv`
-    /// (all monitor samples, one row per interval per run). A no-op unless
+    /// `{"key", "status", "attempts", "error", "report"}` objects in
+    /// execution order — `report` is `null` and `error` a message for
+    /// failed runs) and `samples.csv` (all monitor samples of successful
+    /// runs, one row per interval per run). A no-op unless
     /// [`Harness::set_json_dir`] was called.
     ///
     /// # Errors
@@ -212,13 +429,16 @@ impl Harness {
             return Ok(());
         };
         let mut combined = String::from("[");
-        for (i, key) in self.run_order.iter().enumerate() {
+        for (i, rec) in self.records.iter().enumerate() {
             if i > 0 {
                 combined.push(',');
             }
-            let report = &self.cache[key];
             let mut obj = JsonObject::new(&mut combined);
-            obj.field("key", &key.as_str()).field("report", report);
+            obj.field("key", &rec.key)
+                .field("status", rec.status.as_str())
+                .field("attempts", &rec.attempts)
+                .field("error", &rec.error)
+                .field("report", &self.cache.get(&rec.key));
             obj.finish();
         }
         combined.push_str("]\n");
@@ -226,10 +446,13 @@ impl Harness {
         fs::write(&path, combined).map_err(|e| io_err("writing", &path, &e))?;
 
         let mut csv = Csv::new(&["key", "t_seconds", "pcm_write_mbs", "dram_write_mbs"]);
-        for key in &self.run_order {
-            for s in &self.cache[key].samples {
+        for rec in &self.records {
+            let Some(report) = self.cache.get(&rec.key) else {
+                continue;
+            };
+            for s in &report.samples {
                 csv.row(&[
-                    key as &dyn std::fmt::Display,
+                    &rec.key as &dyn std::fmt::Display,
                     &s.t_seconds,
                     &s.pcm_write_mbs,
                     &s.dram_write_mbs,
@@ -247,6 +470,24 @@ impl Harness {
     /// Propagates experiment failures.
     pub fn run1(&mut self, spec: WorkloadSpec, collector: CollectorKind) -> Result<RunReport> {
         self.run(spec, collector, 1, Profile::Emulation)
+    }
+
+    /// Like [`Harness::run`], but a terminal failure (already recorded and
+    /// memoized by `run`) yields `None` so figure loops degrade to partial
+    /// tables instead of aborting the sweep.
+    pub fn run_opt(
+        &mut self,
+        spec: WorkloadSpec,
+        collector: CollectorKind,
+        instances: usize,
+        profile: Profile,
+    ) -> Option<RunReport> {
+        self.run(spec, collector, instances, profile).ok()
+    }
+
+    /// [`Harness::run_opt`] for a single instance on the emulation profile.
+    pub fn run1_opt(&mut self, spec: WorkloadSpec, collector: CollectorKind) -> Option<RunReport> {
+        self.run_opt(spec, collector, 1, Profile::Emulation)
     }
 
     /// Convenience: the C++ implementation of a GraphChi app (PCM-Only).

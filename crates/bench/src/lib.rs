@@ -12,4 +12,4 @@ pub mod experiments;
 pub mod fmt;
 pub mod harness;
 
-pub use harness::{Harness, Scale};
+pub use harness::{Harness, RunPolicy, RunRecord, RunStatus, Scale};

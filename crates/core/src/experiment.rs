@@ -2,6 +2,7 @@
 
 use crate::monitor::WriteRateMonitor;
 use crate::report::RunReport;
+use hemu_fault::{EnduranceConfig, FaultPlan};
 use hemu_heap::chunks::ChunkPolicy;
 use hemu_heap::{CollectorKind, GcStats, ManagedHeap};
 use hemu_machine::{CtxId, Machine, MachineProfile};
@@ -27,6 +28,8 @@ pub struct Experiment {
     monitor_interval: f64,
     nursery_override: Option<ByteSize>,
     track_wear: bool,
+    faults: Option<FaultPlan>,
+    endurance: Option<EnduranceConfig>,
 }
 
 impl Experiment {
@@ -44,6 +47,8 @@ impl Experiment {
             monitor_interval: 0.01,
             nursery_override: None,
             track_wear: false,
+            faults: None,
+            endurance: None,
         }
     }
 
@@ -52,6 +57,22 @@ impl Experiment {
     /// 50 %.
     pub fn track_wear(mut self) -> Self {
         self.track_wear = true;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan. An inert plan
+    /// ([`FaultPlan::is_inert`]) is not installed at all, so a run with
+    /// `FaultPlan::none()` is bit-identical to one without this call.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = if plan.is_inert() { None } else { Some(plan) };
+        self
+    }
+
+    /// Enables the PCM wear/endurance model: per-line write budgets, cell
+    /// failure, page retirement and transparent remapping. Implies wear
+    /// tracking.
+    pub fn endurance(mut self, cfg: EnduranceConfig) -> Self {
+        self.endurance = Some(cfg);
         self
     }
 
@@ -154,6 +175,12 @@ impl Experiment {
         let mut machine = Machine::new(self.profile);
         if self.track_wear {
             machine.enable_wear_tracking();
+        }
+        if let Some(cfg) = self.endurance {
+            machine.enable_endurance(cfg);
+        }
+        if let Some(plan) = &self.faults {
+            machine.install_faults(plan.clone());
         }
         let mut instances: Vec<(Box<dyn Workload>, Memory)> = Vec::new();
         for i in 0..self.instances {
@@ -264,6 +291,13 @@ impl Experiment {
                 max_line_writes: w.max_line_writes(),
                 levelling_efficiency: w
                     .levelling_efficiency(self.profile.numa.capacity_per_socket.bytes() / 64),
+            }),
+            endurance: self.endurance.map(|cfg| crate::report::EnduranceSummary {
+                budget_writes: cfg.budget_writes,
+                failed_lines: machine.memory().failed_lines(),
+                retired_pages: machine.memory().retired_pages(SocketId::PCM),
+                remapped_pages: machine.pages_remapped(),
+                effective_capacity: machine.memory().effective_capacity(SocketId::PCM),
             }),
             gc_pause_histogram,
         };

@@ -39,4 +39,4 @@ pub mod report;
 pub use experiment::Experiment;
 pub use lifetime::{lifetime_years, LifetimeModel};
 pub use monitor::{RateSample, WriteRateMonitor};
-pub use report::{RunReport, WearSummary};
+pub use report::{EnduranceSummary, RunReport, WearSummary};

@@ -140,7 +140,7 @@ mod tests {
         // Write 8 MiB (beyond LLC) to the PCM socket.
         m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0), 8 << 20))
             .unwrap();
-        m.flush_caches();
+        m.flush_caches().unwrap();
         mon.poll(&m);
         mon.finish(&m);
         assert!(!mon.samples().is_empty());
@@ -165,7 +165,7 @@ mod tests {
         let mut mon = WriteRateMonitor::new(1e9); // never fires on its own
         m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0), 1 << 20))
             .unwrap();
-        m.flush_caches();
+        m.flush_caches().unwrap();
         mon.finish(&m);
         assert_eq!(mon.samples().len(), 1);
         assert!(mon.peak_pcm_rate() > 0.0);

@@ -47,6 +47,9 @@ pub struct RunReport {
     /// Measured PCM wear statistics (present when the experiment enabled
     /// wear tracking).
     pub wear: Option<WearSummary>,
+    /// PCM endurance outcome (present when the experiment enabled the
+    /// endurance model).
+    pub endurance: Option<EnduranceSummary>,
     /// Distribution of stop-the-world GC pauses (virtual cycles) over the
     /// measured iteration, from the `gc.pause_cycles` metric.
     pub gc_pause_histogram: Option<HistogramSnapshot>,
@@ -62,6 +65,22 @@ pub struct WearSummary {
     /// Estimated rotation-levelling efficiency for this write stream in
     /// `(0, 1]` (the paper assumes 0.5).
     pub levelling_efficiency: f64,
+}
+
+/// Outcome of the PCM endurance model: how much of the device wore out
+/// during the run and what capacity survived.
+#[derive(Debug, Clone, Copy)]
+pub struct EnduranceSummary {
+    /// Configured mean per-line write budget.
+    pub budget_writes: u64,
+    /// PCM lines that exhausted their budget and failed.
+    pub failed_lines: u64,
+    /// PCM pages retired because a line in them failed.
+    pub retired_pages: u64,
+    /// Virtual pages transparently remapped onto replacement frames.
+    pub remapped_pages: u64,
+    /// PCM capacity still backed by healthy frames.
+    pub effective_capacity: ByteSize,
 }
 
 impl RunReport {
@@ -99,6 +118,18 @@ impl ToJson for WearSummary {
     }
 }
 
+impl ToJson for EnduranceSummary {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        obj.field("budget_writes", &self.budget_writes)
+            .field("failed_lines", &self.failed_lines)
+            .field("retired_pages", &self.retired_pages)
+            .field("remapped_pages", &self.remapped_pages)
+            .field("effective_capacity", &self.effective_capacity);
+        obj.finish();
+    }
+}
+
 impl ToJson for RunReport {
     fn write_json(&self, out: &mut String) {
         let mut obj = JsonObject::new(out);
@@ -118,6 +149,7 @@ impl ToJson for RunReport {
             .field("machine", &self.machine)
             .field("samples", &self.samples)
             .field("wear", &self.wear)
+            .field("endurance", &self.endurance)
             .field("gc_pause_histogram", &self.gc_pause_histogram);
         obj.finish();
     }
@@ -163,6 +195,7 @@ mod tests {
             machine: MachineStats::default(),
             samples: Vec::new(),
             wear: None,
+            endurance: None,
             gc_pause_histogram: None,
         }
     }

@@ -1,0 +1,120 @@
+//! Behavioral contracts of fault injection at the experiment level:
+//! zero cost when off (bit-identical reports), deterministic forced OOM,
+//! QPI stall bursts that slow the run down, and the endurance summary.
+
+use hemu_core::Experiment;
+use hemu_fault::{EnduranceConfig, FaultPlan, QpiBurst};
+use hemu_obs::json::ToJson;
+use hemu_types::HemuError;
+use hemu_workloads::WorkloadSpec;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec::by_name("avrora").unwrap()
+}
+
+/// The acceptance bar for "zero cost when off": a run with an inert fault
+/// plan, and even a run with an installed-but-never-firing plan, must be
+/// bit-identical to a plain run of the same seed — every counter, every
+/// sample, every figure.
+#[test]
+fn disabled_faults_leave_reports_bit_identical() {
+    let plain = Experiment::new(spec()).run().unwrap();
+    let inert = Experiment::new(spec())
+        .faults(FaultPlan::none())
+        .run()
+        .unwrap();
+    assert_eq!(
+        plain.to_json(),
+        inert.to_json(),
+        "an inert plan must not be installed at all"
+    );
+
+    // A plan that is installed but can never fire: the injector sits on the
+    // allocation path yet contributes no traffic, no stalls, no RNG-visible
+    // perturbation of the machine.
+    let armed_but_silent = Experiment::new(spec())
+        .faults(FaultPlan {
+            oom_at_alloc: Some(u64::MAX),
+            ..FaultPlan::none()
+        })
+        .run()
+        .unwrap();
+    assert_eq!(
+        plain.to_json(),
+        armed_but_silent.to_json(),
+        "an injector that never fires must cost nothing"
+    );
+}
+
+/// Forcing an OOM at the first managed allocation fails the run with a
+/// persistent `FaultInjected` error (never a panic), deterministically.
+#[test]
+fn forced_oom_is_a_persistent_injected_fault() {
+    let run = || {
+        Experiment::new(spec())
+            .faults(FaultPlan {
+                oom_at_alloc: Some(1),
+                ..FaultPlan::none()
+            })
+            .run()
+    };
+    let err = run().unwrap_err();
+    match err {
+        HemuError::FaultInjected { kind, transient } => {
+            assert_eq!(kind, "forced-oom");
+            assert!(!transient, "a forced OOM must not look retryable");
+        }
+        other => panic!("expected FaultInjected, got {other}"),
+    }
+    assert_eq!(run().unwrap_err(), err, "injection must be deterministic");
+}
+
+/// A QPI stall burst slows the measured iteration down without changing
+/// how many bytes move: the write stream is workload-determined, the extra
+/// cycles are pure link stall.
+#[test]
+fn qpi_bursts_stretch_time_but_not_traffic() {
+    let plain = Experiment::new(spec()).run().unwrap();
+    let stalled = Experiment::new(spec())
+        .faults(FaultPlan {
+            qpi_burst: Some(QpiBurst {
+                period_lines: 64,
+                stall_cycles: 50_000,
+            }),
+            ..FaultPlan::none()
+        })
+        .run()
+        .unwrap();
+    assert!(
+        stalled.elapsed_seconds > plain.elapsed_seconds,
+        "stall bursts must show up in virtual time ({} vs {})",
+        stalled.elapsed_seconds,
+        plain.elapsed_seconds
+    );
+    assert_eq!(stalled.pcm_writes, plain.pcm_writes);
+    assert_eq!(stalled.pcm_reads, plain.pcm_reads);
+    assert_eq!(stalled.dram_writes, plain.dram_writes);
+}
+
+/// Enabling the endurance model populates the report's endurance summary;
+/// with a generous budget nothing fails and the effective capacity stays
+/// whole.
+#[test]
+fn endurance_summary_is_reported() {
+    let r = Experiment::new(spec())
+        .endurance(EnduranceConfig {
+            budget_writes: 1_000_000_000,
+            variability: 0.1,
+            seed: 7,
+        })
+        .run()
+        .unwrap();
+    let e = r.endurance.expect("summary must be present when enabled");
+    assert_eq!(e.budget_writes, 1_000_000_000);
+    assert_eq!(e.failed_lines, 0);
+    assert_eq!(e.retired_pages, 0);
+    assert_eq!(e.remapped_pages, 0);
+    assert!(e.effective_capacity.bytes() > 0);
+    // Wear tracking is implied by the endurance model.
+    assert!(r.wear.is_some());
+}

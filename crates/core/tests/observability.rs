@@ -123,6 +123,7 @@ fn report_json_schema_golden() {
             max_line_writes: 9,
             levelling_efficiency: 0.5,
         }),
+        endurance: None,
         gc_pause_histogram: None,
     };
     let expected = concat!(
@@ -140,6 +141,7 @@ fn report_json_schema_golden() {
         "\"samples\":[],",
         "\"wear\":{\"pcm_lines_touched\":5,\"max_line_writes\":9,",
         "\"levelling_efficiency\":0.5},",
+        "\"endurance\":null,",
         "\"gc_pause_histogram\":null}",
     );
     assert_eq!(report.to_json(), expected);

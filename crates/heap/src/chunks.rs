@@ -204,7 +204,7 @@ impl ChunkManager {
             if entry.socket != want_socket {
                 // Only possible under the monolithic policy: the physical
                 // pages are on the wrong socket and must be remapped.
-                machine.unmap(self.proc, entry.addr, entry.size);
+                machine.unmap(self.proc, entry.addr, entry.size)?;
                 machine.mbind(self.proc, entry.addr, entry.size, want_socket);
                 entry.socket = want_socket;
                 self.stats.remapped += 1;

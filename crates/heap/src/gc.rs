@@ -427,8 +427,8 @@ pub(crate) fn full_gc(
             (i.space, i.addr, i.size)
         };
         match space {
-            SpaceKind::MatureDram => heap.mature_dram.mark_object(addr, size),
-            SpaceKind::MaturePcm => heap.mature_pcm.mark_object(addr, size),
+            SpaceKind::MatureDram => heap.mature_dram.mark_object(addr, size)?,
+            SpaceKind::MaturePcm => heap.mature_pcm.mark_object(addr, size)?,
             _ => {}
         }
     }

@@ -245,6 +245,9 @@ impl ManagedHeap {
         ref_count: usize,
         data_bytes: usize,
     ) -> Result<ObjectId> {
+        // Fault-injection point: a plan may force OOM at the Nth managed
+        // allocation. A no-op unless an injector is installed.
+        machine.fault_on_managed_alloc()?;
         let size = object_size(ref_count, data_bytes);
         let (addr, space) = self.alloc_raw(machine, size)?;
 

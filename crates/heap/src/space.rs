@@ -178,21 +178,20 @@ impl ImmixSpace {
     ///
     /// # Errors
     ///
-    /// Propagates chunk-manager exhaustion.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `size` exceeds the block size.
+    /// Propagates chunk-manager exhaustion, and rejects objects larger
+    /// than a block (they belong in the large object space).
     pub fn alloc(
         &mut self,
         machine: &mut Machine,
         chunks: &mut ChunkManager,
         size: u32,
     ) -> Result<Addr> {
-        assert!(
-            (size as usize) <= BLOCK_SIZE,
-            "object of {size} B too large for mature space; belongs in LOS"
-        );
+        if size as usize > BLOCK_SIZE {
+            return Err(hemu_types::HemuError::InvalidConfig(format!(
+                "object of {size} B too large for mature space {}; belongs in LOS",
+                self.name
+            )));
+        }
         let lines = size.div_ceil(LINE_SIZE as u32);
         // First-fit from the cursor; most allocations hit the current block.
         for pass in 0..2 {
@@ -239,21 +238,25 @@ impl ImmixSpace {
     /// Re-marks the lines covered by a live object at `addr` of `size`
     /// bytes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `addr` does not lie in this space's blocks.
-    pub fn mark_object(&mut self, addr: Addr, size: u32) {
+    /// Returns [`hemu_types::HemuError::InvalidConfig`] if `addr` does not
+    /// lie in this space's blocks (a collector bookkeeping bug).
+    pub fn mark_object(&mut self, addr: Addr, size: u32) -> Result<()> {
         let chunk_base = addr.raw() & !(hemu_types::CHUNK_SIZE as u64 - 1);
-        let first_block = *self
-            .chunk_index
-            .get(&chunk_base)
-            .unwrap_or_else(|| panic!("{}: address {addr} not in this space", self.name));
+        let first_block = *self.chunk_index.get(&chunk_base).ok_or_else(|| {
+            hemu_types::HemuError::InvalidConfig(format!(
+                "{}: address {addr} not in this space",
+                self.name
+            ))
+        })?;
         let offset_in_chunk = addr.raw() - chunk_base;
         let bi = first_block + (offset_in_chunk / BLOCK_SIZE as u64) as usize;
         let line0 = (offset_in_chunk % BLOCK_SIZE as u64 / LINE_SIZE as u64) as u32;
         let lines = size.div_ceil(LINE_SIZE as u32);
         self.blocks[bi].mark_lines(line0, lines);
         self.used_lines += lines as u64;
+        Ok(())
     }
 
     /// Number of blocks with at least one live line after a sweep.
@@ -417,12 +420,17 @@ impl MetaAllocator {
     /// Propagates chunk-manager exhaustion.
     pub fn alloc_slot(&mut self, machine: &mut Machine, chunks: &mut ChunkManager) -> Result<Addr> {
         let chunk_bytes = hemu_types::CHUNK_SIZE as u64;
-        if self.current.is_none() || self.offset >= chunk_bytes {
-            self.current = Some(chunks.acquire(machine, self.side, self.name)?);
-            self.offset = 0;
-            self.reserved += chunk_bytes;
-        }
-        let a = self.current.unwrap().offset(self.offset);
+        let base = match self.current {
+            Some(base) if self.offset < chunk_bytes => base,
+            _ => {
+                let base = chunks.acquire(machine, self.side, self.name)?;
+                self.current = Some(base);
+                self.offset = 0;
+                self.reserved += chunk_bytes;
+                base
+            }
+        };
+        let a = base.offset(self.offset);
         self.offset += 1;
         Ok(a)
     }

@@ -242,7 +242,7 @@ fn pcm_write_ordering_matches_the_paper() {
                 }
             }
         }
-        m.flush_caches();
+        m.flush_caches().unwrap();
         results.push((kind, m.pcm_writes().bytes()));
     }
     let pcm_only = results[0].1;
@@ -308,7 +308,7 @@ fn pcm_only_binds_young_allocation_to_socket_1() {
     for _ in 0..4096 {
         heap.alloc(&mut m, 0, 512).unwrap();
     }
-    m.flush_caches();
+    m.flush_caches().unwrap();
     assert!(m.pcm_writes().bytes() > 0);
     // Nothing in this configuration writes to socket 0.
     assert_eq!(m.socket_writes(SocketId::DRAM), ByteSize::ZERO);

@@ -22,7 +22,7 @@
 //! m.mbind(p, Addr::new(0x1000_0000), ByteSize::from_mib(4), SocketId::PCM);
 //! // Write 1 MiB into the PCM-bound region, then flush the caches.
 //! m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0x1000_0000), 1 << 20)).unwrap();
-//! m.flush_caches();
+//! m.flush_caches().unwrap();
 //! assert!(m.socket_writes(SocketId::PCM).bytes() >= 1 << 20);
 //! ```
 

@@ -2,11 +2,13 @@
 
 use crate::profile::MachineProfile;
 use hemu_cache::{Hierarchy, HitLevel};
+use hemu_fault::{EnduranceConfig, FaultInjector, FaultPlan};
 use hemu_numa::{AddressSpace, NumaMemory};
 use hemu_obs::json::{JsonObject, ToJson};
 use hemu_obs::{Counter, Obs, TraceEvent, Tracer};
 use hemu_types::{
-    AccessKind, Addr, ByteSize, Cycles, MemoryAccess, Result, SocketId, VirtualClock,
+    AccessKind, Addr, ByteSize, Cycles, HemuError, LineAddr, MemoryAccess, Result, SocketId,
+    VirtualClock, CACHE_LINE, PAGE_SIZE,
 };
 
 /// Remote fills are coalesced into one aggregate [`TraceEvent::QpiTransfer`]
@@ -50,6 +52,8 @@ pub struct Machine {
     obs: Obs,
     qpi_lines: Counter,
     qpi_pending: u64,
+    /// Pages transparently remapped after wear-out frame retirement.
+    pages_remapped: u64,
 }
 
 impl Machine {
@@ -68,6 +72,7 @@ impl Machine {
             obs,
             qpi_lines,
             qpi_pending: 0,
+            pages_remapped: 0,
             profile,
         }
     }
@@ -106,6 +111,18 @@ impl Machine {
             .set(self.stats.local_fills as f64);
         m.gauge("machine.remote_fills")
             .set(self.stats.remote_fills as f64);
+        // Wear/endurance gauges only exist when the model is on, so the
+        // exported metric set of a healthy run is unchanged.
+        if self.mem.endurance_enabled() {
+            m.gauge("wear.failed_lines")
+                .set(self.mem.failed_lines() as f64);
+            m.gauge("wear.retired_pages")
+                .set(self.mem.retired_pages(SocketId::PCM) as f64);
+            m.gauge("wear.remapped_pages")
+                .set(self.pages_remapped as f64);
+            m.gauge("wear.effective_capacity_bytes")
+                .set(self.mem.effective_capacity(SocketId::PCM).bytes() as f64);
+        }
     }
 
     /// The profile this machine was built from.
@@ -145,9 +162,14 @@ impl Machine {
     }
 
     /// Unmaps a virtual range (monolithic-free-list ablation only).
-    pub fn unmap(&mut self, proc: ProcId, start: Addr, len: ByteSize) {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a mapped frame violates physical-memory
+    /// invariants.
+    pub fn unmap(&mut self, proc: ProcId, start: Addr, len: ByteSize) -> Result<()> {
         let Machine { spaces, mem, .. } = self;
-        spaces[proc.0].unmap(start, len, mem);
+        spaces[proc.0].unmap(start, len, mem)
     }
 
     /// Which socket a fault at `addr` in `proc` would allocate on.
@@ -175,68 +197,139 @@ impl Machine {
     ///
     /// Panics if `ctx` or `proc` is out of range.
     pub fn access(&mut self, ctx: CtxId, proc: ProcId, access: MemoryAccess) -> Result<()> {
-        let Machine {
-            profile,
-            mem,
-            hierarchy,
-            spaces,
-            clocks,
-            stats,
-            obs,
-            qpi_lines,
-            qpi_pending,
-        } = self;
-        let space = &mut spaces[proc.0];
-        let clock = &mut clocks[ctx.0];
-        let lat = &profile.latency;
+        {
+            let Machine {
+                profile,
+                mem,
+                hierarchy,
+                spaces,
+                clocks,
+                stats,
+                obs,
+                qpi_lines,
+                qpi_pending,
+                ..
+            } = self;
+            let space = &mut spaces[proc.0];
+            let clock = &mut clocks[ctx.0];
+            let lat = &profile.latency;
 
-        for vline in access.lines() {
-            let pa = space.translate(vline, mem)?;
-            let line = pa.line();
-            stats.line_accesses += 1;
-            let outcome = hierarchy.access(ctx.0, line, access.kind);
+            for vline in access.lines() {
+                let pa = space.translate(vline, mem)?;
+                let line = pa.line();
+                stats.line_accesses += 1;
+                let outcome = hierarchy.access(ctx.0, line, access.kind);
 
-            // Timing: the requesting core stalls for the fill path.
-            let cost = match outcome.level {
-                HitLevel::L2 => lat.l2_hit,
-                HitLevel::Llc => lat.llc_hit,
-                HitLevel::Memory => {
-                    let socket = mem.socket_of_line(line);
-                    if socket == SocketId::DRAM {
-                        stats.local_fills += 1;
-                        lat.local_fill
-                    } else {
-                        stats.remote_fills += 1;
-                        qpi_lines.incr();
-                        // Individual remote fills are too frequent to trace;
-                        // emit one aggregate event per batch of lines.
-                        *qpi_pending += 1;
-                        if *qpi_pending >= QPI_TRACE_BATCH {
-                            obs.tracer.record(
-                                clock.now(),
-                                TraceEvent::QpiTransfer {
-                                    lines: *qpi_pending,
-                                },
-                            );
-                            *qpi_pending = 0;
+                // Timing: the requesting core stalls for the fill path.
+                let cost = match outcome.level {
+                    HitLevel::L2 => lat.l2_hit,
+                    HitLevel::Llc => lat.llc_hit,
+                    HitLevel::Memory => {
+                        let socket = mem.socket_of_line(line);
+                        if socket == SocketId::DRAM {
+                            stats.local_fills += 1;
+                            lat.local_fill
+                        } else {
+                            stats.remote_fills += 1;
+                            qpi_lines.incr();
+                            // Individual remote fills are too frequent to trace;
+                            // emit one aggregate event per batch of lines.
+                            *qpi_pending += 1;
+                            if *qpi_pending >= QPI_TRACE_BATCH {
+                                obs.tracer.record(
+                                    clock.now(),
+                                    TraceEvent::QpiTransfer {
+                                        lines: *qpi_pending,
+                                    },
+                                );
+                                *qpi_pending = 0;
+                            }
+                            // An installed fault injector may stall the link
+                            // (QPI burst injection); 0 cycles otherwise.
+                            let stall = mem.qpi_stall_cycles(1);
+                            lat.local_fill + profile.qpi.transfer_cost(1) + Cycles::new(stall)
                         }
-                        lat.local_fill + profile.qpi.transfer_cost(1)
                     }
-                }
-            };
-            clock.advance(cost);
+                };
+                clock.advance(cost);
 
-            // Traffic: fills read from memory; write-backs write to memory.
-            // Write-backs drain through write buffers and do not stall the
-            // requesting core, so they cost no time here.
-            if let Some(fill) = outcome.memory_fill {
-                mem.record_line_access(fill, AccessKind::Read);
-            }
-            for wb in outcome.memory_writebacks {
-                mem.record_line_access(wb, AccessKind::Write);
+                // Traffic: fills read from memory; write-backs write to memory.
+                // Write-backs drain through write buffers and do not stall the
+                // requesting core, so they cost no time here.
+                if let Some(fill) = outcome.memory_fill {
+                    mem.record_line_access(fill, AccessKind::Read);
+                }
+                for wb in outcome.memory_writebacks {
+                    mem.record_line_access(wb, AccessKind::Write);
+                }
             }
         }
+        // PCM writes above may have spent a line's endurance budget; retire
+        // and remap outside the destructured borrow. The check is one
+        // `Option` test when endurance modeling is off.
+        if self.mem.has_pending_retirements() {
+            self.process_retirements(Some(ctx))?;
+        }
         Ok(())
+    }
+
+    /// Drains the retirement queue: every worn-out frame gets a healthy
+    /// replacement on the same socket, page tables are rewritten so the
+    /// application keeps its virtual addresses, and the page copy shows up
+    /// as controller traffic (a DMA-like read of the dead frame plus a
+    /// write of the replacement, bypassing the cache hierarchy).
+    ///
+    /// `ctx`, when given, is the context whose access triggered the
+    /// retirement; it stalls for the copy.
+    fn process_retirements(&mut self, ctx: Option<CtxId>) -> Result<()> {
+        let lines_per_page = (PAGE_SIZE / CACHE_LINE) as u64;
+        // Migration writes wear the replacement frame too; budgets are
+        // clamped >= 2, so a single copy pass cannot re-retire it, but the
+        // queue is drained in a loop for robustness.
+        loop {
+            let pending = self.mem.take_pending_retirements();
+            if pending.is_empty() {
+                return Ok(());
+            }
+            for old in pending {
+                let socket = self.mem.socket_of_frame(old);
+                // Recovery must not be re-faulted by the injector.
+                let new = match self.mem.allocate_frame_uninjected(socket) {
+                    Ok(f) => f,
+                    Err(_) => {
+                        return Err(HemuError::WornOut {
+                            socket,
+                            retired_pages: self.mem.retired_pages(socket),
+                        });
+                    }
+                };
+                let mut remapped = 0;
+                for space in &mut self.spaces {
+                    remapped += space.remap_frame(old, new);
+                }
+                if remapped == 0 {
+                    // The dead frame was free or already unmapped: nothing
+                    // to migrate, return the unused replacement.
+                    self.mem.free_frame(new)?;
+                    continue;
+                }
+                self.pages_remapped += remapped;
+                let old_line0 = old.phys_base().line().raw();
+                let new_line0 = new.phys_base().line().raw();
+                for i in 0..lines_per_page {
+                    self.mem
+                        .record_line_access(LineAddr::new(old_line0 + i), AccessKind::Read);
+                    self.mem
+                        .record_line_access(LineAddr::new(new_line0 + i), AccessKind::Write);
+                }
+                if let Some(ctx) = ctx {
+                    // The faulting context stalls for a read+write pass
+                    // over the page, at fill latency per line.
+                    let copy = self.profile.latency.local_fill.raw() * 2 * lines_per_page;
+                    self.clocks[ctx.0].advance(Cycles::new(copy));
+                }
+            }
+        }
     }
 
     /// Advances `ctx`'s clock by pure compute work (no memory traffic).
@@ -279,9 +372,20 @@ impl Machine {
 
     /// Writes back every dirty line in the hierarchy to memory, so that all
     /// stores issued so far are visible in the controller counters.
-    pub fn flush_caches(&mut self) {
-        let Machine { mem, hierarchy, .. } = self;
-        hierarchy.flush(|line| mem.record_line_access(line, AccessKind::Write));
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::WornOut`] if the write-backs wear out a PCM
+    /// line and no healthy frame is left to remap the page to.
+    pub fn flush_caches(&mut self) -> Result<()> {
+        {
+            let Machine { mem, hierarchy, .. } = self;
+            hierarchy.flush(|line| mem.record_line_access(line, AccessKind::Write));
+        }
+        if self.mem.has_pending_retirements() {
+            self.process_retirements(None)?;
+        }
+        Ok(())
     }
 
     /// Total bytes written at a socket's memory controller.
@@ -314,6 +418,37 @@ impl Machine {
     /// extension; costs a hash-map update per PCM line write).
     pub fn enable_wear_tracking(&mut self) {
         self.mem.enable_wear_tracking();
+    }
+
+    /// Enables PCM endurance modeling: per-line write budgets, frame
+    /// retirement, and transparent page remapping. Implies wear tracking.
+    pub fn enable_endurance(&mut self, cfg: EnduranceConfig) {
+        self.mem.enable_endurance(cfg);
+    }
+
+    /// Installs a deterministic fault injector executing `plan`.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.mem.set_fault_injector(FaultInjector::new(plan));
+    }
+
+    /// The installed fault injector, if any (for inspection).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.mem.fault_injector()
+    }
+
+    /// Injection point the managed heap consults before each allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::FaultInjected`] when an installed plan forces
+    /// an out-of-memory at this allocation; always `Ok` otherwise.
+    pub fn fault_on_managed_alloc(&mut self) -> Result<()> {
+        self.mem.fault_on_managed_alloc()
+    }
+
+    /// Pages transparently remapped after wear-out retirement.
+    pub fn pages_remapped(&self) -> u64 {
+        self.pages_remapped
     }
 
     /// The cache hierarchy (for inspection).
@@ -391,7 +526,7 @@ mod tests {
             MemoryAccess::write(Addr::new(0x1000_0000), 32 << 20),
         )
         .unwrap();
-        m.flush_caches();
+        m.flush_caches().unwrap();
         let written = m.pcm_writes();
         assert_eq!(
             written.bytes(),
@@ -422,7 +557,7 @@ mod tests {
         }
         // Only the cold fill traffic has reached memory; writes stay cached.
         assert_eq!(m.pcm_writes(), ByteSize::ZERO);
-        m.flush_caches();
+        m.flush_caches().unwrap();
         assert_eq!(
             m.pcm_writes().bytes(),
             1 << 20,

@@ -1,0 +1,99 @@
+//! End-to-end endurance tests through the machine: wear-driven line
+//! failure retires the frame and transparently remaps the page, the
+//! translation survives, and the outcome is visible through the published
+//! wear gauges.
+
+use hemu_fault::EnduranceConfig;
+use hemu_machine::{CtxId, Machine, MachineProfile};
+use hemu_types::{Addr, MemoryAccess, SocketId, CACHE_LINE, PAGE_SIZE};
+
+fn tiny_budget_machine() -> Machine {
+    let mut m = Machine::new(MachineProfile::emulation());
+    m.enable_endurance(EnduranceConfig {
+        budget_writes: 16,
+        variability: 0.25,
+        seed: 0xAB,
+    });
+    m
+}
+
+/// Repeatedly writing one PCM page (flushing between rounds so the dirty
+/// lines actually reach the controller) wears its lines out; the machine
+/// must retire the frame and remap the page without the process noticing:
+/// the address still translates, onto a healthy PCM frame.
+#[test]
+fn worn_out_page_is_remapped_transparently() {
+    let mut m = tiny_budget_machine();
+    let p = m.add_process(SocketId::PCM);
+    let lines = (PAGE_SIZE / CACHE_LINE) as u64;
+    for _round in 0..64 {
+        for line in 0..lines {
+            m.access(
+                CtxId(0),
+                p,
+                MemoryAccess::write(Addr::new(line * CACHE_LINE as u64), CACHE_LINE as u32),
+            )
+            .unwrap();
+        }
+        m.flush_caches().unwrap();
+        if m.pages_remapped() > 0 {
+            break;
+        }
+    }
+    assert!(
+        m.pages_remapped() > 0,
+        "a 16-write budget must retire the hammered page"
+    );
+    assert!(m.memory().failed_lines() > 0);
+    assert!(m.memory().retired_pages(SocketId::PCM) > 0);
+
+    let pa = m
+        .address_space(p)
+        .translate_existing(Addr::new(0))
+        .expect("the page must stay mapped across retirement");
+    assert_eq!(
+        m.memory().socket_of_frame(pa.frame()),
+        SocketId::PCM,
+        "the replacement frame must come from the same socket"
+    );
+    assert!(
+        !m.memory().socket(SocketId::PCM).owns_frame(pa.frame())
+            || m.memory().socket(SocketId::PCM).retired_frames() > 0,
+        "sanity: retirement bookkeeping is visible"
+    );
+}
+
+/// The wear gauges are published iff the endurance model is enabled, and
+/// reflect the retirement bookkeeping.
+#[test]
+fn wear_gauges_reflect_retirements() {
+    let mut m = tiny_budget_machine();
+    let p = m.add_process(SocketId::PCM);
+    for _round in 0..64 {
+        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0), 64))
+            .unwrap();
+        m.flush_caches().unwrap();
+    }
+    m.publish_metrics();
+    let metrics = &m.obs().metrics;
+    assert!(metrics.gauge_value("wear.failed_lines") >= 1.0);
+    assert_eq!(
+        metrics.gauge_value("wear.retired_pages"),
+        m.memory().retired_pages(SocketId::PCM) as f64
+    );
+    assert_eq!(
+        metrics.gauge_value("wear.remapped_pages"),
+        m.pages_remapped() as f64
+    );
+    assert!(metrics.gauge_value("wear.effective_capacity_bytes") > 0.0);
+
+    // Without endurance the gauges are never registered.
+    let mut plain = Machine::new(MachineProfile::emulation());
+    let p = plain.add_process(SocketId::PCM);
+    plain
+        .access(CtxId(0), p, MemoryAccess::write(Addr::new(0), 64))
+        .unwrap();
+    plain.flush_caches().unwrap();
+    plain.publish_metrics();
+    assert_eq!(plain.obs().metrics.gauge_value("wear.failed_lines"), 0.0);
+}

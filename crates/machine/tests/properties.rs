@@ -32,7 +32,7 @@ proptest! {
             }
             m.access(CtxId(ctx), p, access).unwrap();
         }
-        m.flush_caches();
+        m.flush_caches().unwrap();
         let total = m.socket_writes(SocketId::PCM) + m.socket_writes(SocketId::DRAM);
         // Each distinct written line reaches memory at least once; it may
         // be written back several times if it bounced.
@@ -88,7 +88,7 @@ proptest! {
             m.access(CtxId(0), p, MemoryAccess::write(Addr::new(page * PAGE_SIZE as u64), 64))
                 .unwrap();
         }
-        m.flush_caches();
+        m.flush_caches().unwrap();
         prop_assert_eq!(m.socket_writes(SocketId::PCM).bytes(), pcm_pages * 64);
         prop_assert_eq!(m.socket_writes(SocketId::DRAM).bytes(), (32 - pcm_pages) * 64);
         let _ = ProcId(0);

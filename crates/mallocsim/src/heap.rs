@@ -322,7 +322,7 @@ mod tests {
         let (mut m, mut h) = setup();
         let before = m.socket_writes(SocketId::PCM);
         let _o = h.alloc(&mut m, 4096).unwrap();
-        m.flush_caches();
+        m.flush_caches().unwrap();
         let after = m.socket_writes(SocketId::PCM);
         // Only the 16-byte header (one line) was written, not 4 KiB.
         assert!(after.bytes() - before.bytes() <= 64, "no zeroing in malloc");
@@ -393,7 +393,7 @@ mod tests {
         let (mut m, mut h) = setup();
         let o = h.alloc(&mut m, 1 << 20).unwrap();
         h.write(&mut m, o, 0, 1 << 20).unwrap();
-        m.flush_caches();
+        m.flush_caches().unwrap();
         assert!(m.socket_writes(SocketId::PCM).bytes() >= 1 << 20);
         assert_eq!(m.socket_writes(SocketId::DRAM).bytes(), 0);
     }

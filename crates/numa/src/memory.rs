@@ -2,7 +2,9 @@
 
 use crate::counters::MemoryCounters;
 use crate::wear::WearTracker;
+use hemu_fault::{EnduranceConfig, EnduranceModel, FaultInjector};
 use hemu_types::{AccessKind, ByteSize, HemuError, LineAddr, PageNum, Result, SocketId, PAGE_SIZE};
+use std::collections::HashSet;
 
 /// Configuration of the physical memory system.
 ///
@@ -44,6 +46,9 @@ pub struct SocketMemory {
     frame_count: u64,
     next_fresh: u64,
     free: Vec<PageNum>,
+    /// Frames permanently taken out of service by wear-out. Never empty
+    /// unless endurance modeling is enabled, so healthy runs pay nothing.
+    retired: HashSet<u64>,
     counters: MemoryCounters,
 }
 
@@ -55,6 +60,7 @@ impl SocketMemory {
             frame_count,
             next_fresh: first_frame,
             free: Vec::new(),
+            retired: HashSet::new(),
             counters: MemoryCounters::new(),
         }
     }
@@ -85,39 +91,78 @@ impl SocketMemory {
     ///
     /// Returns [`HemuError::OutOfPhysicalMemory`] when the socket is full.
     pub fn allocate_frame(&mut self) -> Result<PageNum> {
-        if let Some(f) = self.free.pop() {
-            return Ok(f);
+        // Retired frames can reach the free list (e.g. a page is unmapped
+        // after its frame wore out); they must never be handed out again.
+        while let Some(f) = self.free.pop() {
+            if !self.retired.contains(&f.raw()) {
+                return Ok(f);
+            }
         }
-        if self.next_fresh < self.first_frame + self.frame_count {
+        while self.next_fresh < self.first_frame + self.frame_count {
             let f = PageNum::new(self.next_fresh);
             self.next_fresh += 1;
-            Ok(f)
-        } else {
-            Err(HemuError::OutOfPhysicalMemory {
-                socket: self.id,
-                requested: ByteSize::new(PAGE_SIZE as u64),
-            })
+            if !self.retired.contains(&f.raw()) {
+                return Ok(f);
+            }
         }
+        Err(HemuError::OutOfPhysicalMemory {
+            socket: self.id,
+            requested: ByteSize::new(PAGE_SIZE as u64),
+        })
     }
 
-    /// Returns a frame to the socket's free pool.
+    /// Returns a frame to the socket's free pool. Retired frames are
+    /// silently dropped instead of recycled.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the frame does not belong to this socket.
-    pub fn free_frame(&mut self, frame: PageNum) {
-        assert!(
-            self.owns_frame(frame),
-            "frame {frame} does not belong to socket {}",
-            self.id
-        );
-        self.free.push(frame);
+    /// Returns [`HemuError::InvalidConfig`] if the frame does not belong to
+    /// this socket.
+    pub fn free_frame(&mut self, frame: PageNum) -> Result<()> {
+        if !self.owns_frame(frame) {
+            return Err(HemuError::InvalidConfig(format!(
+                "frame {frame} does not belong to socket {}",
+                self.id
+            )));
+        }
+        if !self.retired.contains(&frame.raw()) {
+            self.free.push(frame);
+        }
+        Ok(())
+    }
+
+    /// Permanently takes a frame out of service (wear-out). Returns `true`
+    /// if the frame was not already retired.
+    pub fn retire_frame(&mut self, frame: PageNum) -> bool {
+        debug_assert!(self.owns_frame(frame));
+        self.retired.insert(frame.raw())
+    }
+
+    /// Number of frames permanently retired by wear-out.
+    pub fn retired_frames(&self) -> u64 {
+        self.retired.len() as u64
+    }
+
+    /// Frames still in service: total capacity minus retired frames.
+    pub fn effective_frames(&self) -> u64 {
+        self.frame_count - self.retired.len() as u64
     }
 
     /// Returns `true` if `frame` lies in this socket's physical range.
     pub fn owns_frame(&self, frame: PageNum) -> bool {
         (self.first_frame..self.first_frame + self.frame_count).contains(&frame.raw())
     }
+}
+
+/// Endurance bookkeeping: the budget model plus the queue of frames that
+/// failed but have not yet been remapped by the machine layer.
+#[derive(Debug, Clone)]
+struct EnduranceState {
+    model: EnduranceModel,
+    failed_lines: u64,
+    /// Frames retired by a budget-exceeding write, awaiting transparent
+    /// remapping (drained by `take_pending_retirements`).
+    pending: Vec<PageNum>,
 }
 
 /// The whole physical memory system: all sockets plus the routing of
@@ -135,6 +180,10 @@ pub struct NumaMemory {
     frames_per_socket: u64,
     /// Opt-in per-line wear tracking on the PCM socket.
     wear: Option<WearTracker>,
+    /// Opt-in endurance modeling (implies wear tracking).
+    endurance: Option<EnduranceState>,
+    /// Opt-in deterministic fault injection.
+    injector: Option<FaultInjector>,
 }
 
 impl NumaMemory {
@@ -160,18 +209,93 @@ impl NumaMemory {
             sockets,
             frames_per_socket,
             wear: None,
+            endurance: None,
+            injector: None,
         }
     }
 
     /// Enables per-line wear tracking on the PCM socket (socket 1). Costs
     /// one hash-map update per PCM line write; off by default.
     pub fn enable_wear_tracking(&mut self) {
-        self.wear = Some(WearTracker::new());
+        if self.wear.is_none() {
+            self.wear = Some(WearTracker::new());
+        }
     }
 
     /// The wear tracker, if enabled.
     pub fn wear(&self) -> Option<&WearTracker> {
         self.wear.as_ref()
+    }
+
+    /// Enables endurance modeling on the PCM socket: every PCM line gets a
+    /// deterministic write budget, and the write that exceeds it retires
+    /// the containing frame. Implies wear tracking.
+    pub fn enable_endurance(&mut self, cfg: EnduranceConfig) {
+        self.enable_wear_tracking();
+        self.endurance = Some(EnduranceState {
+            model: EnduranceModel::new(cfg),
+            failed_lines: 0,
+            pending: Vec::new(),
+        });
+    }
+
+    /// Returns `true` if endurance modeling is on.
+    pub fn endurance_enabled(&self) -> bool {
+        self.endurance.is_some()
+    }
+
+    /// Lines that exceeded their write budget so far.
+    pub fn failed_lines(&self) -> u64 {
+        self.endurance.as_ref().map_or(0, |e| e.failed_lines)
+    }
+
+    /// Installs a deterministic fault injector. Replaces any previous one.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Injection point for managed-heap allocations (forwarded by the
+    /// machine layer so the heap does not depend on `hemu-fault` directly).
+    ///
+    /// # Errors
+    ///
+    /// Returns the injector's verdict; always `Ok` without an injector.
+    pub fn fault_on_managed_alloc(&mut self) -> Result<()> {
+        match self.injector.as_mut() {
+            Some(inj) => inj.on_managed_alloc(),
+            None => Ok(()),
+        }
+    }
+
+    /// Reports `lines` remote transfers to the injector and returns the
+    /// extra QPI stall cycles to charge (0 without an injector or burst).
+    pub fn qpi_stall_cycles(&mut self, lines: u64) -> u64 {
+        match self.injector.as_mut() {
+            Some(inj) => inj.on_remote_lines(lines),
+            None => 0,
+        }
+    }
+
+    /// Returns `true` if wear-out retired frames that still await
+    /// remapping. Cheap: one `Option` + `Vec::is_empty` check.
+    pub fn has_pending_retirements(&self) -> bool {
+        self.endurance
+            .as_ref()
+            .is_some_and(|e| !e.pending.is_empty())
+    }
+
+    /// Drains the queue of newly retired frames for the machine layer to
+    /// remap.
+    pub fn take_pending_retirements(&mut self) -> Vec<PageNum> {
+        match self.endurance.as_mut() {
+            Some(e) => std::mem::take(&mut e.pending),
+            None => Vec::new(),
+        }
     }
 
     /// The configuration this memory was built with.
@@ -202,6 +326,16 @@ impl NumaMemory {
         self.sockets[socket.index()].counters()
     }
 
+    /// Pages (frames) retired by wear-out on one socket.
+    pub fn retired_pages(&self, socket: SocketId) -> u64 {
+        self.sockets[socket.index()].retired_frames()
+    }
+
+    /// Capacity still in service on one socket after wear-out retirement.
+    pub fn effective_capacity(&self, socket: SocketId) -> ByteSize {
+        ByteSize::new(self.sockets[socket.index()].effective_frames() * PAGE_SIZE as u64)
+    }
+
     /// Which socket owns the given physical frame.
     pub fn socket_of_frame(&self, frame: PageNum) -> SocketId {
         SocketId::new((frame.raw() / self.frames_per_socket) as u8)
@@ -216,26 +350,61 @@ impl NumaMemory {
     ///
     /// # Errors
     ///
-    /// Returns [`HemuError::OutOfPhysicalMemory`] when that socket is full.
+    /// Returns [`HemuError::OutOfPhysicalMemory`] when that socket is full,
+    /// or a transient [`HemuError::FaultInjected`] when an installed fault
+    /// injector decides this allocation fails.
     pub fn allocate_frame(&mut self, socket: SocketId) -> Result<PageNum> {
+        if let Some(inj) = self.injector.as_mut() {
+            inj.on_frame_alloc()?;
+        }
+        self.sockets[socket.index()].allocate_frame()
+    }
+
+    /// Allocates a frame bypassing fault injection, for internal recovery
+    /// paths (page retirement must not be re-faulted while handling a
+    /// fault).
+    pub fn allocate_frame_uninjected(&mut self, socket: SocketId) -> Result<PageNum> {
         self.sockets[socket.index()].allocate_frame()
     }
 
     /// Frees a frame back to its owning socket.
-    pub fn free_frame(&mut self, frame: PageNum) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::InvalidConfig`] if the frame lies outside every
+    /// socket's range.
+    pub fn free_frame(&mut self, frame: PageNum) -> Result<()> {
         let s = self.socket_of_frame(frame);
-        self.sockets[s.index()].free_frame(frame);
+        if s.index() >= self.sockets.len() {
+            return Err(HemuError::InvalidConfig(format!(
+                "frame {frame} lies outside physical memory"
+            )));
+        }
+        self.sockets[s.index()].free_frame(frame)
     }
 
     /// Records one cache-line transfer arriving at the memory controller
     /// that owns `line`. This is the single point where all memory traffic
-    /// is counted.
+    /// is counted — and therefore the single point where PCM wear
+    /// accumulates.
     pub fn record_line_access(&mut self, line: LineAddr, kind: AccessKind) {
         let s = self.socket_of_line(line);
         self.sockets[s.index()].counters.record(kind);
         if kind.is_write() && s == SocketId::PCM {
             if let Some(w) = self.wear.as_mut() {
-                w.record(line);
+                let count = w.record(line);
+                if let Some(e) = self.endurance.as_mut() {
+                    // `record` increments by exactly 1, so the comparison
+                    // fires exactly once per line: on the write that spends
+                    // the line's last budgeted cycle.
+                    if count == e.model.line_budget(line) {
+                        e.failed_lines += 1;
+                        let frame = line.frame();
+                        if self.sockets[s.index()].retire_frame(frame) {
+                            e.pending.push(frame);
+                        }
+                    }
+                }
             }
         }
     }
@@ -287,7 +456,7 @@ mod tests {
     fn freed_frames_are_recycled() {
         let mut m = small();
         let f = m.allocate_frame(SocketId::DRAM).unwrap();
-        m.free_frame(f);
+        m.free_frame(f).unwrap();
         let again = m.allocate_frame(SocketId::DRAM).unwrap();
         assert_eq!(f, again);
     }
@@ -308,16 +477,78 @@ mod tests {
         let f = m.allocate_frame(SocketId::DRAM).unwrap();
         let _g = m.allocate_frame(SocketId::DRAM).unwrap();
         assert_eq!(m.socket(SocketId::DRAM).frames_in_use(), 2);
-        m.free_frame(f);
+        m.free_frame(f).unwrap();
         assert_eq!(m.socket(SocketId::DRAM).frames_in_use(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "does not belong")]
-    fn freeing_foreign_frame_panics() {
+    fn freeing_foreign_frame_is_an_error() {
         let mut m = small();
         let f = m.allocate_frame(SocketId::PCM).unwrap();
-        m.socket_mut(SocketId::DRAM).free_frame(f);
+        let err = m.socket_mut(SocketId::DRAM).free_frame(f).unwrap_err();
+        assert!(format!("{err}").contains("does not belong"));
+    }
+
+    #[test]
+    fn retired_frames_are_never_reissued() {
+        let mut m = small();
+        let f = m.allocate_frame(SocketId::PCM).unwrap();
+        assert!(m.socket_mut(SocketId::PCM).retire_frame(f));
+        assert!(!m.socket_mut(SocketId::PCM).retire_frame(f), "idempotent");
+        m.free_frame(f).unwrap(); // silently dropped, not recycled
+        for _ in 0..3 {
+            let g = m.allocate_frame(SocketId::PCM).unwrap();
+            assert_ne!(g, f, "retired frame must stay out of service");
+        }
+        assert!(m.allocate_frame(SocketId::PCM).is_err(), "3 of 4 left");
+        assert_eq!(m.retired_pages(SocketId::PCM), 1);
+        assert_eq!(
+            m.effective_capacity(SocketId::PCM),
+            ByteSize::new(3 * PAGE_SIZE as u64)
+        );
+    }
+
+    #[test]
+    fn endurance_retires_frame_when_budget_spent() {
+        let mut m = small();
+        m.enable_endurance(EnduranceConfig {
+            budget_writes: 4,
+            variability: 0.0,
+            seed: 1,
+        });
+        let f = m.allocate_frame(SocketId::PCM).unwrap();
+        let line = f.phys_base().line();
+        for _ in 0..3 {
+            m.record_line_access(line, AccessKind::Write);
+        }
+        assert!(!m.has_pending_retirements(), "budget not yet spent");
+        m.record_line_access(line, AccessKind::Write);
+        assert_eq!(m.failed_lines(), 1);
+        assert!(m.has_pending_retirements());
+        assert_eq!(m.take_pending_retirements(), vec![f]);
+        assert!(!m.has_pending_retirements(), "drained");
+        // Further writes to the same dead line do not re-retire anything.
+        m.record_line_access(line, AccessKind::Write);
+        assert!(!m.has_pending_retirements());
+        assert_eq!(m.failed_lines(), 1);
+    }
+
+    #[test]
+    fn injector_can_fail_frame_allocation() {
+        use hemu_fault::{FaultInjector, FaultPlan};
+        let mut m = small();
+        let plan = FaultPlan::parse("alloc_p=1.0").unwrap();
+        m.set_fault_injector(FaultInjector::new(plan));
+        let err = m.allocate_frame(SocketId::DRAM).unwrap_err();
+        assert!(matches!(
+            err,
+            HemuError::FaultInjected {
+                transient: true,
+                ..
+            }
+        ));
+        // The recovery path bypasses injection.
+        assert!(m.allocate_frame_uninjected(SocketId::DRAM).is_ok());
     }
 
     #[test]

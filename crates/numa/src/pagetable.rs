@@ -40,6 +40,7 @@ pub struct AddressSpace {
     default_socket: SocketId,
     faults: u64,
     unmapped_pages: u64,
+    remapped_pages: u64,
 }
 
 impl AddressSpace {
@@ -149,18 +150,44 @@ impl AddressSpace {
     ///
     /// Used only by the monolithic-free-list ablation: the paper's two-list
     /// design deliberately *never* unmaps recycled chunks (§III.A).
-    pub fn unmap(&mut self, start: Addr, len: ByteSize, mem: &mut NumaMemory) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::InvalidConfig`](hemu_types::HemuError) if a
+    /// mapped frame lies outside physical memory (an internal invariant
+    /// violation).
+    pub fn unmap(&mut self, start: Addr, len: ByteSize, mem: &mut NumaMemory) -> Result<()> {
         if len.bytes() == 0 {
-            return;
+            return Ok(());
         }
         let p0 = start.page().raw();
         let p1 = start.offset(len.bytes() - 1).page().raw() + 1;
         for vpage in p0..p1 {
             if let Some(frame) = self.table.remove(&vpage) {
-                mem.free_frame(frame);
+                mem.free_frame(frame)?;
                 self.unmapped_pages += 1;
             }
         }
+        Ok(())
+    }
+
+    /// Rewrites every mapping of physical frame `old` to point at `new`,
+    /// returning how many page-table entries changed (0 or 1 in practice:
+    /// frames are never shared between virtual pages of one space).
+    ///
+    /// This is the page-retirement primitive: after a frame wears out, the
+    /// machine copies its content to a healthy frame and calls this so the
+    /// application keeps its virtual addresses — the failure is transparent.
+    pub fn remap_frame(&mut self, old: PageNum, new: PageNum) -> u64 {
+        let mut changed = 0;
+        for frame in self.table.values_mut() {
+            if *frame == old {
+                *frame = new;
+                changed += 1;
+            }
+        }
+        self.remapped_pages += changed;
+        changed
     }
 
     /// Number of pages currently mapped.
@@ -176,6 +203,11 @@ impl AddressSpace {
     /// Number of pages explicitly unmapped so far (ablation metric).
     pub fn unmap_count(&self) -> u64 {
         self.unmapped_pages
+    }
+
+    /// Number of pages transparently remapped after frame retirement.
+    pub fn remap_count(&self) -> u64 {
+        self.remapped_pages
     }
 }
 
@@ -260,12 +292,30 @@ mod tests {
         let mut m = mem();
         let mut asp = AddressSpace::new();
         let pa = asp.translate(Addr::new(0x3000), &mut m).unwrap();
-        asp.unmap(Addr::new(0x3000), ByteSize::from_kib(4), &mut m);
+        asp.unmap(Addr::new(0x3000), ByteSize::from_kib(4), &mut m)
+            .unwrap();
         assert_eq!(asp.mapped_pages(), 0);
         assert_eq!(asp.unmap_count(), 1);
         // The frame is recycled by the next fault on the same socket.
         let pa2 = asp.translate(Addr::new(0x7000), &mut m).unwrap();
         assert_eq!(pa.frame(), pa2.frame());
+    }
+
+    #[test]
+    fn remap_frame_preserves_translation_shape() {
+        let mut m = mem();
+        let mut asp = AddressSpace::new();
+        let before = asp.translate(Addr::new(0x5123), &mut m).unwrap();
+        let replacement = m.allocate_frame(SocketId::DRAM).unwrap();
+        assert_eq!(asp.remap_frame(before.frame(), replacement), 1);
+        assert_eq!(asp.remap_count(), 1);
+        let after = asp.translate(Addr::new(0x5123), &mut m).unwrap();
+        assert_eq!(after.frame(), replacement);
+        // Same page offset, no new page fault.
+        assert_eq!(after.raw() % 4096, before.raw() % 4096);
+        assert_eq!(asp.fault_count(), 1);
+        // Remapping an unknown frame is a no-op.
+        assert_eq!(asp.remap_frame(PageNum::new(999_999), replacement), 0);
     }
 
     #[test]

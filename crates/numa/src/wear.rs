@@ -27,10 +27,16 @@ impl WearTracker {
         Self::default()
     }
 
-    /// Records one line write.
-    pub fn record(&mut self, line: LineAddr) {
-        *self.writes.entry(line.raw()).or_insert(0) += 1;
+    /// Records one line write and returns the line's new write count.
+    ///
+    /// The returned count feeds the endurance model: the caller compares it
+    /// against the line's write budget to detect the exact write on which a
+    /// cell fails.
+    pub fn record(&mut self, line: LineAddr) -> u64 {
+        let count = self.writes.entry(line.raw()).or_insert(0);
+        *count += 1;
         self.total += 1;
+        *count
     }
 
     /// Total writes recorded.
@@ -94,9 +100,9 @@ mod tests {
     #[test]
     fn counts_accumulate_per_line() {
         let mut w = WearTracker::new();
-        w.record(LineAddr::new(1));
-        w.record(LineAddr::new(1));
-        w.record(LineAddr::new(2));
+        assert_eq!(w.record(LineAddr::new(1)), 1);
+        assert_eq!(w.record(LineAddr::new(1)), 2);
+        assert_eq!(w.record(LineAddr::new(2)), 1);
         assert_eq!(w.total_writes(), 3);
         assert_eq!(w.lines_touched(), 2);
         assert_eq!(w.max_line_writes(), 2);

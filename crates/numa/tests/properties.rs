@@ -72,7 +72,7 @@ proptest! {
                 }
             } else {
                 let f = held.pop().unwrap();
-                m.free_frame(f);
+                m.free_frame(f).unwrap();
             }
             prop_assert_eq!(m.socket(SocketId::DRAM).frames_in_use(), held.len() as u64);
         }

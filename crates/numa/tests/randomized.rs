@@ -102,7 +102,7 @@ fn frame_conservation() {
                 }
             } else {
                 let f = held.pop().unwrap();
-                m.free_frame(f);
+                m.free_frame(f).unwrap();
             }
             assert_eq!(
                 m.socket(SocketId::DRAM).frames_in_use(),

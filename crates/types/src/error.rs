@@ -39,6 +39,30 @@ pub enum HemuError {
     InvalidConfig(String),
     /// Writing an export artifact (JSON report, trace, CSV) failed.
     Io(String),
+    /// An experiment exceeded its wall-clock deadline.
+    Timeout {
+        /// The deadline that was exceeded, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A deliberately injected fault (see the `hemu-fault` crate).
+    FaultInjected {
+        /// Which injection point fired (e.g. `"frame-alloc"`, `"forced-oom"`).
+        kind: &'static str,
+        /// Transient faults may succeed when the operation is retried;
+        /// persistent ones will fail identically every time.
+        transient: bool,
+    },
+    /// A socket has lost so many lines to wear-out that a retired page can
+    /// no longer be remapped to a healthy frame.
+    WornOut {
+        /// The worn-out socket.
+        socket: SocketId,
+        /// Pages retired on that socket before capacity ran out.
+        retired_pages: u64,
+    },
+    /// An experiment panicked; the panic was caught at the harness boundary
+    /// and converted into an error so the rest of a sweep can proceed.
+    Panicked(String),
 }
 
 impl fmt::Display for HemuError {
@@ -64,6 +88,27 @@ impl fmt::Display for HemuError {
             }
             HemuError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             HemuError::Io(msg) => write!(f, "export i/o error: {msg}"),
+            HemuError::Timeout { deadline_ms } => {
+                write!(f, "experiment exceeded its {deadline_ms} ms deadline")
+            }
+            HemuError::FaultInjected { kind, transient } => {
+                let nature = if *transient {
+                    "transient"
+                } else {
+                    "persistent"
+                };
+                write!(f, "injected {nature} fault: {kind}")
+            }
+            HemuError::WornOut {
+                socket,
+                retired_pages,
+            } => {
+                write!(
+                    f,
+                    "socket {socket} worn out ({retired_pages} pages retired, no healthy frame left)"
+                )
+            }
+            HemuError::Panicked(msg) => write!(f, "experiment panicked: {msg}"),
         }
     }
 }
@@ -88,6 +133,34 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<HemuError>();
+    }
+
+    #[test]
+    fn fault_display_distinguishes_transience() {
+        let t = HemuError::FaultInjected {
+            kind: "frame-alloc",
+            transient: true,
+        };
+        let p = HemuError::FaultInjected {
+            kind: "forced-oom",
+            transient: false,
+        };
+        assert!(format!("{t}").contains("transient"));
+        assert!(format!("{p}").contains("persistent"));
+        assert!(format!("{p}").contains("forced-oom"));
+    }
+
+    #[test]
+    fn timeout_and_wear_display_their_parameters() {
+        let t = HemuError::Timeout { deadline_ms: 1500 };
+        assert!(format!("{t}").contains("1500"));
+        let w = HemuError::WornOut {
+            socket: SocketId::new(1),
+            retired_pages: 12,
+        };
+        let msg = format!("{w}");
+        assert!(msg.contains("worn out"));
+        assert!(msg.contains("12"));
     }
 
     #[test]

@@ -380,7 +380,9 @@ impl Workload for DacapoWorkload {
                 self.live.push_back((obj, root, size));
                 self.live_bytes += size as u64;
                 while self.live_bytes > p.live_window.bytes() {
-                    let (dead, root, sz) = self.live.pop_front().unwrap();
+                    let Some((dead, root, sz)) = self.live.pop_front() else {
+                        break;
+                    };
                     mem.drop_root(root);
                     mem.free(dead); // explicit free is a no-op when managed
                     self.live_bytes -= sz as u64;

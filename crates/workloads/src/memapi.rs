@@ -340,8 +340,8 @@ mod tests {
         for _ in 0..100 {
             objs.push(na.alloc(&mut m2, 0, 4096).unwrap());
         }
-        m1.flush_caches();
-        m2.flush_caches();
+        m1.flush_caches().unwrap();
+        m2.flush_caches().unwrap();
         let managed_writes = m1.socket_writes(SocketId::DRAM) + m1.socket_writes(SocketId::PCM);
         let native_writes = m2.socket_writes(SocketId::DRAM) + m2.socket_writes(SocketId::PCM);
         assert!(managed_writes.bytes() > 4 * native_writes.bytes());

@@ -123,9 +123,10 @@ impl Workload for PjbbWorkload {
                     // Retain the order in the rolling history.
                     self.history.push_back((order, root));
                     if self.history.len() > HISTORY_CAP {
-                        let (old, r) = self.history.pop_front().unwrap();
-                        mem.drop_root(r);
-                        mem.free(old);
+                        if let Some((old, r)) = self.history.pop_front() {
+                            mem.drop_root(r);
+                            mem.free(old);
+                        }
                     }
                     mem.compute(machine, Cycles::new(400));
                     self.txns_done += 1;

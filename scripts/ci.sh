@@ -13,4 +13,27 @@ cargo test --workspace -q --offline
 echo "== fmt check =="
 cargo fmt --all --check
 
+echo "== clippy: no unwrap() in library code =="
+cargo clippy --offline --lib \
+  -p hemu-types -p hemu-obs -p hemu-fault -p hemu-numa -p hemu-cache \
+  -p hemu-machine -p hemu-heap -p hemu-malloc -p hemu-workloads -p hemu-core \
+  -- -D clippy::unwrap_used
+
+echo "== fault smoke: sweep survives transient faults (expect exit 0) =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/repro fig3 --scale quick --faults smoke --endurance smoke \
+  --run-deadline 300 --json-out "$smoke_dir/ok"
+grep -q '"status":"ok"' "$smoke_dir/ok/runs.json"
+
+echo "== fault smoke: forced OOM is recorded, sweep completes (expect exit 1) =="
+if ./target/release/repro fig3 --scale quick \
+  --faults 'oom_at=1,only=pr|PCM-Only' --json-out "$smoke_dir/oom"; then
+  echo "forced-OOM sweep should have exited non-zero" >&2
+  exit 1
+fi
+grep -q '"status":"failed"' "$smoke_dir/oom/runs.json"
+grep -q 'forced-oom' "$smoke_dir/oom/runs.json"
+grep -q '"status":"ok"' "$smoke_dir/oom/runs.json"
+
 echo "CI OK"
