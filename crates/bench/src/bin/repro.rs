@@ -20,9 +20,20 @@
 //! Failed runs are recorded in `runs.json` with their status and cause
 //! while the sweep completes; the exit code is non-zero iff any run
 //! ultimately failed.
+//!
+//! Performance flags (see `docs/performance.md`):
+//! `--jobs N` runs each target's experiments on an N-worker pool (default:
+//! the machine's available parallelism; `--jobs 1` is the sequential
+//! path). Every exported artifact is byte-identical at any `--jobs` value.
+//! `--bench` skips the figure targets and instead times the access fast
+//! path and a fixed quick sweep, writing `BENCH_results.json`
+//! (`--bench-out` overrides the path); `--bench-baseline FILE` additionally
+//! fails the run when access-kernel throughput drops more than 20% below
+//! the baseline file.
 
-use hemu_bench::{experiments, Harness, RunPolicy, Scale};
+use hemu_bench::{experiments, perf, Harness, RunPolicy, Scale};
 use hemu_fault::{EnduranceConfig, FaultPlan};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Extracts a `--flag VALUE` pair from `args`, removing both elements.
@@ -37,6 +48,17 @@ fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(value)
 }
 
+/// Removes a boolean `--flag` from `args`, returning whether it was there.
+fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_out = take_value_flag(&mut args, "--json-out");
@@ -45,6 +67,42 @@ fn main() {
     let endurance = take_value_flag(&mut args, "--endurance");
     let run_deadline = take_value_flag(&mut args, "--run-deadline");
     let scale_flag = take_value_flag(&mut args, "--scale");
+    let jobs_flag = take_value_flag(&mut args, "--jobs");
+    let bench_out = take_value_flag(&mut args, "--bench-out");
+    let bench_baseline = take_value_flag(&mut args, "--bench-baseline");
+    let bench = take_bool_flag(&mut args, "--bench");
+    let jobs = match jobs_flag.as_deref() {
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs: expected a positive integer, got `{s}`");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    if bench {
+        let out = bench_out.unwrap_or_else(|| "BENCH_results.json".into());
+        match perf::run_bench(
+            jobs,
+            Path::new(&out),
+            bench_baseline.as_deref().map(Path::new),
+        ) {
+            Ok(outcome) => {
+                println!("{}", outcome.summary);
+                if let Some(msg) = outcome.regression {
+                    eprintln!("{msg}");
+                    std::process::exit(1);
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("--bench failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let quick = match scale_flag.as_deref() {
         None => args.iter().any(|a| a == "--quick"),
         Some("quick") => true,
@@ -118,21 +176,27 @@ fn main() {
             }
         }
     }
+    h.set_jobs(jobs);
     let t0 = Instant::now();
     let mut target_failures = 0usize;
 
     for target in targets {
         let started = Instant::now();
+        // Harness-backed targets render through `run_planned`, which
+        // prefetches their experiments on the worker pool when --jobs > 1
+        // (artifacts stay byte-identical; see docs/performance.md).
+        // Targets that never touch the harness run directly, since a
+        // planning pass over them would just repeat their work.
         let result = match target {
             "table1" => Ok(experiments::table1()),
-            "table2" => experiments::table2(&mut h),
-            "fig3" => experiments::fig3(&mut h),
-            "fig4" => experiments::fig4(&mut h),
-            "fig5" => experiments::fig5(&mut h),
-            "fig6" => experiments::fig6(&mut h),
-            "fig7" => experiments::fig7(&mut h),
-            "fig8" => experiments::fig8(&mut h),
-            "table3" => experiments::table3(&mut h),
+            "table2" => h.run_planned(experiments::table2),
+            "fig3" => h.run_planned(experiments::fig3),
+            "fig4" => h.run_planned(experiments::fig4),
+            "fig5" => h.run_planned(experiments::fig5),
+            "fig6" => h.run_planned(experiments::fig6),
+            "fig7" => h.run_planned(experiments::fig7),
+            "fig8" => h.run_planned(experiments::fig8),
+            "table3" => h.run_planned(experiments::table3),
             "ablations" => experiments::ablations(),
             s if s.starts_with("series:") => {
                 // e.g. `series:lusearch` or `series:pr`.

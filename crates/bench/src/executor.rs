@@ -1,0 +1,237 @@
+//! The parallel sweep executor: a fixed-size worker pool that drains a
+//! deterministic job queue of experiment runs.
+//!
+//! # Determinism contract
+//!
+//! Parallelism must never change a single exported byte. The harness
+//! guarantees that by separating *execution* from *commitment*:
+//!
+//! 1. A **planning pass** replays a figure function with the harness in
+//!    planning mode. Every run the figure demands that is not already
+//!    cached, failed, or staged is enqueued as a [`JobSpec`] and answered
+//!    with [`HemuError::Deferred`]; the figure's output is discarded.
+//! 2. An **execution wave** drains the queue on a pool of `--jobs`
+//!    workers. Each worker owns its jobs end to end — experiment
+//!    construction, retries, backoff sleeps — and parks only itself while
+//!    backing off. Results land in per-job staging slots.
+//! 3. Planning and execution repeat until a pass demands nothing new
+//!    (figures branch on earlier results, so dependent runs surface only
+//!    after their inputs exist).
+//! 4. The **real pass** renders the figure again; staged results are
+//!    *committed* (recorded, exported, cached) strictly in demand order —
+//!    the exact order the sequential path executes in. Speculatively
+//!    executed runs that the real pass never demands are never committed
+//!    and are invisible in every artifact.
+//!
+//! `--jobs 1` skips the planning machinery entirely and executes inline at
+//! first demand, byte-identical to the historical sequential path — which
+//! in turn is byte-identical to any `--jobs N` by the argument above.
+
+use crate::harness::{Profile, RunPolicy};
+use hemu_core::{Experiment, RunReport};
+use hemu_fault::{EnduranceConfig, FaultPlan};
+use hemu_heap::CollectorKind;
+use hemu_obs::{Reporter, TraceRecord};
+use hemu_types::HemuError;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+
+/// Records retained per traced run; QPI batching keeps even long runs well
+/// under this.
+pub(crate) const TRACE_CAPACITY: usize = 1 << 16;
+
+/// One experiment run awaiting execution, fully described by value so a
+/// worker thread needs nothing from the harness.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The memoization key (`workload|collector|instances|profile`).
+    pub key: String,
+    /// Workload to run.
+    pub spec: hemu_workloads::WorkloadSpec,
+    /// Collector configuration.
+    pub collector: CollectorKind,
+    /// Co-running instance count.
+    pub instances: usize,
+    /// Machine profile.
+    pub profile: Profile,
+}
+
+/// The outcome of executing one job, parked in staging until the run is
+/// demanded (and thereby committed) by the real rendering pass.
+#[derive(Debug)]
+pub struct StagedRun {
+    /// Attempts consumed (1 unless transient faults forced retries).
+    pub attempts: u32,
+    /// The report and captured trace, or the terminal error.
+    pub outcome: Result<(RunReport, Vec<TraceRecord>), HemuError>,
+}
+
+/// Everything a worker needs to execute jobs: the harness-wide run
+/// configuration, cloned once per wave and shared read-only.
+pub struct ExecCtx {
+    /// Fault plan applied (key-filtered) to every attempt.
+    pub fault_plan: Option<FaultPlan>,
+    /// Endurance model applied to every experiment.
+    pub endurance: Option<EnduranceConfig>,
+    /// Deadline/retry policy.
+    pub policy: RunPolicy,
+    /// Whether to capture an event trace of the measured iteration.
+    pub want_trace: bool,
+    /// Serialized progress sink shared by all workers.
+    pub reporter: Reporter,
+}
+
+/// Renders a caught panic payload as a [`HemuError::Panicked`].
+fn panic_error(payload: &(dyn std::any::Any + Send)) -> HemuError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into());
+    HemuError::Panicked(msg)
+}
+
+/// Builds the experiment for one attempt, applying the endurance model and
+/// (when the key matches) the fault plan reseeded for this attempt so a
+/// retry does not deterministically re-fail.
+fn configure(ctx: &ExecCtx, job: &JobSpec, attempt: u32) -> Experiment {
+    let mut e = Experiment::new(job.spec)
+        .collector(job.collector)
+        .instances(job.instances)
+        .profile(job.profile.machine());
+    if let Some(cfg) = ctx.endurance {
+        e = e.endurance(cfg);
+    }
+    if let Some(plan) = &ctx.fault_plan {
+        if plan.applies_to(&job.key) {
+            e = e.faults(plan.for_attempt(attempt));
+        }
+    }
+    e
+}
+
+/// Runs one attempt with panic isolation and, when the policy sets a
+/// deadline, a watchdog: the experiment runs on a helper thread and an
+/// expired deadline abandons it (the thread is detached; the Machine it
+/// owns is dropped when the attempt eventually unwinds or finishes).
+fn run_guarded(
+    policy: &RunPolicy,
+    want_trace: bool,
+    experiment: Experiment,
+) -> Result<(RunReport, Vec<TraceRecord>), HemuError> {
+    let body = move || {
+        if want_trace {
+            experiment.run_with_trace(TRACE_CAPACITY)
+        } else {
+            experiment.run().map(|r| (r, Vec::new()))
+        }
+    };
+    match policy.deadline {
+        None => {
+            panic::catch_unwind(AssertUnwindSafe(body)).unwrap_or_else(|p| Err(panic_error(&p)))
+        }
+        Some(deadline) => {
+            let (tx, rx) = mpsc::channel();
+            thread::spawn(move || {
+                let result = panic::catch_unwind(AssertUnwindSafe(body))
+                    .unwrap_or_else(|p| Err(panic_error(&p)));
+                // The receiver may have given up already; that's fine.
+                let _ = tx.send(result);
+            });
+            match rx.recv_timeout(deadline) {
+                Ok(result) => result,
+                Err(_) => Err(HemuError::Timeout {
+                    deadline_ms: deadline.as_millis() as u64,
+                }),
+            }
+        }
+    }
+}
+
+/// Executes one job under the resilience policy: panics are caught, a
+/// deadline (if set) bounds each attempt, and transient injected faults
+/// are retried with capped linear backoff. Backoff sleeps park only the
+/// calling worker; other workers keep draining the queue.
+pub fn run_job(job: &JobSpec, ctx: &ExecCtx) -> StagedRun {
+    ctx.reporter.line(&format!("  running {} ...", job.key));
+    let mut attempt = 1u32;
+    loop {
+        let experiment = configure(ctx, job, attempt);
+        match run_guarded(&ctx.policy, ctx.want_trace, experiment) {
+            Ok(ok) => {
+                return StagedRun {
+                    attempts: attempt,
+                    outcome: Ok(ok),
+                }
+            }
+            Err(e) => {
+                let transient = matches!(
+                    e,
+                    HemuError::FaultInjected {
+                        transient: true,
+                        ..
+                    }
+                );
+                if transient && attempt < ctx.policy.max_attempts {
+                    thread::sleep(ctx.policy.backoff_for(attempt));
+                    attempt += 1;
+                    continue;
+                }
+                ctx.reporter.line(&format!(
+                    "  FAILED {} after {attempt} attempt(s): {e}",
+                    job.key
+                ));
+                return StagedRun {
+                    attempts: attempt,
+                    outcome: Err(e),
+                };
+            }
+        }
+    }
+}
+
+/// Executes `jobs` on a pool of at most `workers` threads and returns the
+/// staged results in job order. Workers pull jobs from a shared atomic
+/// cursor, so the assignment of jobs to threads is racy — but results are
+/// keyed by queue position, and commitment order is decided later by the
+/// demand sequence, so scheduling noise cannot reach any artifact.
+pub fn execute_wave(jobs: &[JobSpec], workers: usize, ctx: &ExecCtx) -> Vec<StagedRun> {
+    let workers = workers.clamp(1, jobs.len().max(1));
+    let slots: Vec<Mutex<Option<StagedRun>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    if workers == 1 {
+        for (job, slot) in jobs.iter().zip(&slots) {
+            let staged = run_job(job, ctx);
+            if let Ok(mut s) = slot.lock() {
+                *s = Some(staged);
+            }
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let staged = run_job(job, ctx);
+                    if let Ok(mut s) = slots[i].lock() {
+                        *s = Some(staged);
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .unwrap_or_else(|| StagedRun {
+                    attempts: 1,
+                    outcome: Err(HemuError::Panicked("worker dropped a staged run".into())),
+                })
+        })
+        .collect()
+}

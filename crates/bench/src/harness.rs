@@ -1,19 +1,17 @@
 //! The caching, fault-tolerant experiment harness.
 
-use hemu_core::{Experiment, RunReport};
+use crate::executor::{self, ExecCtx, JobSpec, StagedRun};
+use hemu_core::RunReport;
 use hemu_fault::{EnduranceConfig, FaultPlan};
 use hemu_heap::CollectorKind;
 use hemu_machine::MachineProfile;
 use hemu_obs::json::{JsonObject, ToJson};
-use hemu_obs::{to_json_lines, Csv, TraceRecord};
+use hemu_obs::{to_json_lines, Csv, Reporter};
 use hemu_types::{HemuError, Result};
 use hemu_workloads::{spec, DatasetSize, Language, WorkloadSpec};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
-use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
-use std::thread;
 use std::time::Duration;
 
 /// How much of the evaluation to run.
@@ -37,7 +35,7 @@ pub enum Profile {
 }
 
 impl Profile {
-    fn machine(self) -> MachineProfile {
+    pub(crate) fn machine(self) -> MachineProfile {
         match self {
             Profile::Emulation => MachineProfile::emulation(),
             Profile::Simulation => MachineProfile::simulation(),
@@ -55,8 +53,21 @@ pub struct RunPolicy {
     pub deadline: Option<Duration>,
     /// Attempts per run; only transient faults consume extra attempts.
     pub max_attempts: u32,
-    /// Base backoff between retries (attempt `n` sleeps `n × backoff`).
+    /// Base backoff between retries (attempt `n` sleeps `n × backoff`,
+    /// capped at [`RunPolicy::max_backoff`]).
     pub backoff: Duration,
+    /// Upper bound on any single backoff sleep, so a generous `backoff`
+    /// combined with a deep retry budget cannot stall a worker for long
+    /// stretches.
+    pub max_backoff: Duration,
+}
+
+impl RunPolicy {
+    /// The capped linear backoff before retrying after `attempt` failed
+    /// attempts: `min(attempt × backoff, max_backoff)`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.backoff.saturating_mul(attempt).min(self.max_backoff)
+    }
 }
 
 impl Default for RunPolicy {
@@ -65,6 +76,7 @@ impl Default for RunPolicy {
             deadline: None,
             max_attempts: 3,
             backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
         }
     }
 }
@@ -131,24 +143,27 @@ pub struct Harness {
     /// Endurance model applied to every executed experiment.
     endurance: Option<EnduranceConfig>,
     policy: RunPolicy,
+    /// Worker-pool width for planned sweeps; 0 or 1 means fully inline
+    /// sequential execution (the historical path).
+    jobs: usize,
+    /// When true, [`Harness::run`] defers execution: unknown runs are
+    /// enqueued as pending jobs and answered with [`HemuError::Deferred`].
+    planning: bool,
+    /// Jobs discovered by planning passes, in discovery order.
+    pending: Vec<JobSpec>,
+    /// Keys already in `pending`, to keep the queue duplicate-free.
+    pending_set: HashSet<String>,
+    /// Executed-but-uncommitted results. A staged run becomes visible in
+    /// artifacts only when a real (non-planning) pass demands it; runs
+    /// executed speculatively but never demanded stay here and are
+    /// invisible in every export.
+    staged: HashMap<String, StagedRun>,
+    /// Serialized progress sink shared with pool workers.
+    reporter: Reporter,
 }
-
-/// Records retained per traced run; QPI batching keeps even long runs well
-/// under this.
-const TRACE_CAPACITY: usize = 1 << 16;
 
 fn io_err(context: &str, path: &Path, e: &std::io::Error) -> HemuError {
     HemuError::Io(format!("{context} {}: {e}", path.display()))
-}
-
-/// Renders a caught panic payload as a [`HemuError::Panicked`].
-fn panic_error(payload: &(dyn std::any::Any + Send)) -> HemuError {
-    let msg = payload
-        .downcast_ref::<&str>()
-        .map(|s| (*s).to_string())
-        .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "opaque panic payload".into());
-    HemuError::Panicked(msg)
 }
 
 /// Turns a run key (`lusearch.small|KG-N|1|Emulation`) into a file stem.
@@ -192,6 +207,22 @@ impl Harness {
     /// Sets the per-run deadline/retry policy.
     pub fn set_run_policy(&mut self, policy: RunPolicy) {
         self.policy = policy;
+    }
+
+    /// Sets the worker-pool width for planned sweeps. `0` and `1` both
+    /// select the fully inline sequential path.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs;
+    }
+
+    /// The configured worker-pool width (0/1 = sequential).
+    pub fn jobs(&self) -> usize {
+        self.jobs.max(1)
+    }
+
+    /// Replaces the progress sink (stderr by default).
+    pub fn set_reporter(&mut self, reporter: Reporter) {
+        self.reporter = reporter;
     }
 
     /// Configurations that terminally failed so far.
@@ -276,119 +307,137 @@ impl Harness {
         if let Some(e) = self.failed.get(&key) {
             return Err(e.clone());
         }
-        eprintln!("  running {key} ...");
-        let mut attempt = 1u32;
-        loop {
-            let experiment = self.configure(spec, collector, instances, profile, &key, attempt);
-            match self.run_guarded(experiment) {
-                Ok((report, trace)) => {
-                    if self.trace_out.is_some() {
-                        self.append_trace(&key, &trace)?;
-                    }
-                    if self.json_dir.is_some() {
-                        self.write_run_json(&key, &report)?;
-                    }
-                    self.cache.insert(key.clone(), report.clone());
-                    self.records.push(RunRecord {
-                        key,
-                        status: RunStatus::Ok,
-                        attempts: attempt,
-                        error: None,
-                    });
-                    self.runs_executed += 1;
-                    return Ok(report);
-                }
-                Err(e) => {
-                    let transient = matches!(
-                        e,
-                        HemuError::FaultInjected {
-                            transient: true,
-                            ..
-                        }
-                    );
-                    if transient && attempt < self.policy.max_attempts {
-                        thread::sleep(self.policy.backoff * attempt);
-                        attempt += 1;
-                        continue;
-                    }
-                    let status = if matches!(e, HemuError::Timeout { .. }) {
-                        RunStatus::TimedOut
-                    } else {
-                        RunStatus::Failed
-                    };
-                    eprintln!("  FAILED {key} after {attempt} attempt(s): {e}");
-                    self.records.push(RunRecord {
-                        key: key.clone(),
-                        status,
-                        attempts: attempt,
-                        error: Some(e.to_string()),
-                    });
-                    self.failed.insert(key, e.clone());
-                    self.runs_executed += 1;
-                    return Err(e);
-                }
+        if self.planning {
+            // Peek a staged result so the planning pass follows the same
+            // branches the real pass will — but do NOT commit it; commit
+            // order must be demand order of the real pass.
+            if let Some(sr) = self.staged.get(&key) {
+                return match &sr.outcome {
+                    Ok((report, _)) => Ok(report.clone()),
+                    Err(e) => Err(e.clone()),
+                };
             }
-        }
-    }
-
-    /// Builds the experiment for one attempt, applying the harness-wide
-    /// endurance model and (when the key matches) the fault plan reseeded
-    /// for this attempt so a retry does not deterministically re-fail.
-    fn configure(
-        &self,
-        spec: WorkloadSpec,
-        collector: CollectorKind,
-        instances: usize,
-        profile: Profile,
-        key: &str,
-        attempt: u32,
-    ) -> Experiment {
-        let mut e = Experiment::new(spec)
-            .collector(collector)
-            .instances(instances)
-            .profile(profile.machine());
-        if let Some(cfg) = self.endurance {
-            e = e.endurance(cfg);
-        }
-        if let Some(plan) = &self.fault_plan {
-            if plan.applies_to(key) {
-                e = e.faults(plan.for_attempt(attempt));
-            }
-        }
-        e
-    }
-
-    /// Runs one attempt with panic isolation and, when the policy sets a
-    /// deadline, a watchdog: the experiment runs on a helper thread and an
-    /// expired deadline abandons it (the thread is detached; the Machine it
-    /// owns is dropped when the attempt eventually unwinds or finishes).
-    fn run_guarded(&self, experiment: Experiment) -> Result<(RunReport, Vec<TraceRecord>)> {
-        let want_trace = self.trace_out.is_some();
-        let body = move || {
-            if want_trace {
-                experiment.run_with_trace(TRACE_CAPACITY)
-            } else {
-                experiment.run().map(|r| (r, Vec::new()))
-            }
-        };
-        match self.policy.deadline {
-            None => {
-                panic::catch_unwind(AssertUnwindSafe(body)).unwrap_or_else(|p| Err(panic_error(&p)))
-            }
-            Some(deadline) => {
-                let (tx, rx) = mpsc::channel();
-                thread::spawn(move || {
-                    let result = panic::catch_unwind(AssertUnwindSafe(body))
-                        .unwrap_or_else(|p| Err(panic_error(&p)));
-                    // The receiver may have given up already; that's fine.
-                    let _ = tx.send(result);
+            if self.pending_set.insert(key.clone()) {
+                self.pending.push(JobSpec {
+                    key: key.clone(),
+                    spec,
+                    collector,
+                    instances,
+                    profile,
                 });
-                match rx.recv_timeout(deadline) {
-                    Ok(result) => result,
-                    Err(_) => Err(HemuError::Timeout {
-                        deadline_ms: deadline.as_millis() as u64,
-                    }),
+            }
+            return Err(HemuError::Deferred { key });
+        }
+        if let Some(sr) = self.staged.remove(&key) {
+            return self.commit(key, sr);
+        }
+        // Inline execution: the sequential path (and the fallback should a
+        // planned sweep demand a run no planning pass discovered).
+        let ctx = self.exec_ctx();
+        let job = JobSpec {
+            key: key.clone(),
+            spec,
+            collector,
+            instances,
+            profile,
+        };
+        let sr = executor::run_job(&job, &ctx);
+        self.commit(key, sr)
+    }
+
+    /// Renders a figure with parallel prefetching when `--jobs N > 1`:
+    /// planning passes of `render` (output discarded) discover runnable
+    /// jobs, execution waves drain them on the worker pool, and the final
+    /// pass renders for real, committing results strictly in demand order.
+    /// With `jobs <= 1` this is exactly `render(self)`.
+    ///
+    /// Byte-for-byte equivalence with the sequential path is guaranteed
+    /// for deterministic `render` functions (see `executor` module docs)
+    /// and locked in by the `determinism` integration tests.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the final `render` pass returns.
+    pub fn run_planned<F>(&mut self, render: F) -> Result<String>
+    where
+        F: Fn(&mut Harness) -> Result<String>,
+    {
+        if self.jobs > 1 {
+            loop {
+                self.planning = true;
+                let _ = render(self);
+                self.planning = false;
+                if self.pending.is_empty() {
+                    break;
                 }
+                self.execute_pending();
+            }
+        }
+        render(self)
+    }
+
+    /// Drains the pending queue on the worker pool, staging every result.
+    fn execute_pending(&mut self) {
+        let jobs = std::mem::take(&mut self.pending);
+        self.pending_set.clear();
+        if jobs.is_empty() {
+            return;
+        }
+        let ctx = self.exec_ctx();
+        let staged = executor::execute_wave(&jobs, self.jobs, &ctx);
+        for (job, sr) in jobs.into_iter().zip(staged) {
+            self.staged.insert(job.key, sr);
+        }
+    }
+
+    /// The read-only execution context handed to workers (and to the
+    /// inline path, so both paths run the exact same code).
+    fn exec_ctx(&self) -> ExecCtx {
+        ExecCtx {
+            fault_plan: self.fault_plan.clone(),
+            endurance: self.endurance,
+            policy: self.policy,
+            want_trace: self.trace_out.is_some(),
+            reporter: self.reporter.clone(),
+        }
+    }
+
+    /// Commits one executed run: exports its artifacts, memoizes the
+    /// outcome, and appends the run record. Called in demand order only.
+    fn commit(&mut self, key: String, sr: StagedRun) -> Result<RunReport> {
+        match sr.outcome {
+            Ok((report, trace)) => {
+                if self.trace_out.is_some() {
+                    self.append_trace(&key, &trace)?;
+                }
+                if self.json_dir.is_some() {
+                    self.write_run_json(&key, &report)?;
+                }
+                self.cache.insert(key.clone(), report.clone());
+                self.records.push(RunRecord {
+                    key,
+                    status: RunStatus::Ok,
+                    attempts: sr.attempts,
+                    error: None,
+                });
+                self.runs_executed += 1;
+                Ok(report)
+            }
+            Err(e) => {
+                let status = if matches!(e, HemuError::Timeout { .. }) {
+                    RunStatus::TimedOut
+                } else {
+                    RunStatus::Failed
+                };
+                self.records.push(RunRecord {
+                    key: key.clone(),
+                    status,
+                    attempts: sr.attempts,
+                    error: Some(e.to_string()),
+                });
+                self.failed.insert(key, e.clone());
+                self.runs_executed += 1;
+                Err(e)
             }
         }
     }

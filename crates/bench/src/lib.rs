@@ -8,8 +8,11 @@
 //! multiprogrammed PCM-Only runs and Table III's lifetime inputs) run each
 //! experiment once.
 
+pub mod executor;
 pub mod experiments;
 pub mod fmt;
 pub mod harness;
+pub mod perf;
 
-pub use harness::{Harness, RunPolicy, RunRecord, RunStatus, Scale};
+pub use executor::{ExecCtx, JobSpec, StagedRun};
+pub use harness::{Harness, Profile, RunPolicy, RunRecord, RunStatus, Scale};

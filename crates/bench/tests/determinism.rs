@@ -1,0 +1,154 @@
+//! The parallel executor's determinism guarantee: every exported artifact
+//! — `runs.json`, `samples.csv`, per-run JSON reports, the event trace,
+//! and the rendered figure text — is byte-identical at any `--jobs` width,
+//! including against the fully sequential `--jobs 1` path. Holds with and
+//! without an active fault plan, and for sweeps whose later runs are
+//! conditional on earlier results (the planning-wave case).
+
+use hemu_bench::{Harness, Profile, RunPolicy, Scale};
+use hemu_fault::FaultPlan;
+use hemu_heap::CollectorKind;
+use hemu_obs::Reporter;
+use hemu_types::Result;
+use hemu_workloads::WorkloadSpec;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A miniature figure function with the shapes real figures have: a
+/// cross-product sweep via `run_opt`, plus a multiprogrammed run that is
+/// demanded only when its single-instance base succeeded (the dependent
+/// branch that forces multi-wave planning).
+fn sweep(h: &mut Harness) -> Result<String> {
+    let mut out = String::new();
+    for name in ["avrora", "fop", "luindex"] {
+        let spec = WorkloadSpec::by_name(name).expect("workload registry");
+        for collector in [CollectorKind::PcmOnly, CollectorKind::KgN] {
+            if let Some(r) = h.run_opt(spec, collector, 1, Profile::Emulation) {
+                out.push_str(&format!(
+                    "{name} {} pcm={} elapsed={:.3}\n",
+                    collector.name(),
+                    r.pcm_writes,
+                    r.elapsed_seconds
+                ));
+            }
+        }
+    }
+    let fop = WorkloadSpec::by_name("fop").expect("workload registry");
+    if h.run_opt(fop, CollectorKind::PcmOnly, 1, Profile::Emulation)
+        .is_some()
+    {
+        if let Some(r) = h.run_opt(fop, CollectorKind::PcmOnly, 2, Profile::Emulation) {
+            out.push_str(&format!("fop x2 pcm={}\n", r.pcm_writes));
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the sweep end to end at the given jobs width and returns the
+/// rendered text plus every artifact, keyed by file name.
+fn artifacts(
+    dir: &Path,
+    jobs: usize,
+    faults: Option<FaultPlan>,
+) -> (String, BTreeMap<String, String>) {
+    let mut h = Harness::new(Scale::Quick);
+    h.set_jobs(jobs);
+    h.set_reporter(Reporter::to_writer(Box::new(std::io::sink())));
+    h.set_json_dir(dir).expect("create json dir");
+    h.set_trace_out(dir.join("trace.jsonl")).expect("trace out");
+    h.set_run_policy(RunPolicy {
+        backoff: Duration::from_millis(1),
+        ..RunPolicy::default()
+    });
+    if let Some(plan) = faults {
+        h.set_fault_plan(plan);
+    }
+    let text = h.run_planned(sweep).expect("sweep renders");
+    h.finalize_exports().expect("finalize");
+
+    let mut files = BTreeMap::new();
+    for entry in fs::read_dir(dir).expect("read dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let content = fs::read_to_string(entry.path()).expect("read artifact");
+        files.insert(name, content);
+    }
+    (text, files)
+}
+
+fn assert_identical(
+    a: &(String, BTreeMap<String, String>),
+    b: &(String, BTreeMap<String, String>),
+) {
+    assert_eq!(a.0, b.0, "rendered text diverged");
+    assert_eq!(
+        a.1.keys().collect::<Vec<_>>(),
+        b.1.keys().collect::<Vec<_>>(),
+        "artifact file sets diverged"
+    );
+    for (name, content) in &a.1 {
+        assert_eq!(content, &b.1[name], "artifact {name} diverged");
+    }
+}
+
+/// `--jobs 4` must produce byte-identical artifacts to `--jobs 1`.
+#[test]
+fn parallel_sweep_is_byte_identical_to_sequential() {
+    let seq = artifacts(&tmp_dir("det-seq"), 1, None);
+    let par = artifacts(&tmp_dir("det-par"), 4, None);
+    assert_identical(&seq, &par);
+    assert!(
+        seq.1["runs.json"].matches("\"key\":").count() >= 7,
+        "the sweep includes the dependent multiprogrammed run"
+    );
+}
+
+/// Same guarantee with a fault plan injecting deterministic failures and
+/// retries: failed runs, attempt counts, and partial tables must also be
+/// byte-identical across jobs widths.
+#[test]
+fn faulted_parallel_sweep_is_byte_identical_to_sequential() {
+    let plan = FaultPlan {
+        seed: 3,
+        frame_alloc_p: 0.5,
+        only: Some("avrora".into()),
+        ..FaultPlan::none()
+    };
+    let seq = artifacts(&tmp_dir("det-fault-seq"), 1, Some(plan.clone()));
+    let par = artifacts(&tmp_dir("det-fault-par"), 4, Some(plan));
+    assert_identical(&seq, &par);
+}
+
+/// Widths beyond the job count (and odd widths) change nothing either.
+#[test]
+fn oversized_pool_is_byte_identical() {
+    let seq = artifacts(&tmp_dir("det-seq2"), 1, None);
+    let wide = artifacts(&tmp_dir("det-wide"), 32, None);
+    assert_identical(&seq, &wide);
+}
+
+/// The capped linear backoff: grows linearly, then saturates at
+/// `max_backoff` instead of stalling a worker for the full product.
+#[test]
+fn backoff_is_linear_then_capped() {
+    let policy = RunPolicy {
+        backoff: Duration::from_millis(40),
+        max_backoff: Duration::from_millis(100),
+        ..RunPolicy::default()
+    };
+    assert_eq!(policy.backoff_for(1), Duration::from_millis(40));
+    assert_eq!(policy.backoff_for(2), Duration::from_millis(80));
+    assert_eq!(policy.backoff_for(3), Duration::from_millis(100), "capped");
+    assert_eq!(policy.backoff_for(1000), Duration::from_millis(100));
+    // The default policy's cap bounds every sleep at one second.
+    let d = RunPolicy::default();
+    assert!(d.backoff_for(u32::MAX) <= Duration::from_secs(1));
+}

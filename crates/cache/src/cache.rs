@@ -3,8 +3,6 @@
 use crate::stats::CacheStats;
 use hemu_types::{AccessKind, ByteSize, LineAddr, CACHE_LINE};
 
-const INVALID: u64 = u64::MAX;
-
 /// Geometry and identity of one cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -21,11 +19,13 @@ impl CacheConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is degenerate (zero ways, or capacity not a
-    /// multiple of `assoc * CACHE_LINE`, or a non-power-of-two set count —
-    /// the set index is computed by masking).
+    /// Panics if the geometry is degenerate (zero ways, more than 32 ways
+    /// — per-set way metadata is packed into `u32` bitmasks — or capacity
+    /// not a multiple of `assoc * CACHE_LINE`, or a non-power-of-two set
+    /// count — the set index is computed by masking).
     pub fn new(name: &'static str, size: ByteSize, assoc: usize) -> Self {
         assert!(assoc > 0, "cache must have at least one way");
+        assert!(assoc <= 32, "way metadata is packed into 32-bit masks");
         let lines = size.bytes() as usize / CACHE_LINE;
         assert!(
             lines % assoc == 0,
@@ -68,18 +68,45 @@ pub struct AccessResult {
     pub victim: Option<Victim>,
 }
 
+/// Packed per-set way metadata: bit `w` of each mask describes way `w`.
+///
+/// One `SetMeta` replaces `assoc` scattered `bool`s: validity and
+/// dirtiness tests become single bit operations, an empty way is found
+/// with one `trailing_zeros`, and "any dirty line in this set?" is one
+/// compare against zero — the access fast path never walks a `Vec<bool>`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SetMeta {
+    /// Ways holding a valid line.
+    valid: u32,
+    /// Ways holding a dirty line (always a subset of `valid`).
+    dirty: u32,
+}
+
 /// A set-associative, write-back, write-allocate cache with LRU replacement.
 ///
 /// Tag arrays only — the simulator never stores data, it tracks which
 /// physical lines are resident and dirty, which is all that is needed to
 /// decide which stores become memory writes.
+///
+/// Derived geometry (set mask, associativity, full-set mask) is computed
+/// once at construction and cached in the struct, so the per-access path
+/// does no divisions; per-set valid/dirty state is packed into bitmask
+/// words ([`SetMeta`]).
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
+    /// Cached geometry: `sets - 1`, for mask-based set indexing.
     set_mask: u64,
-    /// `sets * assoc` entries; `INVALID` marks an empty way.
+    /// Cached geometry: ways per set.
+    assoc: usize,
+    /// Cached geometry: `(1 << assoc) - 1`, the all-ways-valid mask.
+    full_mask: u32,
+    /// `sets * assoc` tags; validity lives in `meta`, so a slot's tag is
+    /// meaningful only when its valid bit is set.
     tags: Vec<u64>,
-    dirty: Vec<bool>,
+    /// One packed valid/dirty word pair per set.
+    meta: Vec<SetMeta>,
+    /// `sets * assoc` LRU stamps (the tick of the last touch).
     lru: Vec<u64>,
     tick: u64,
     stats: CacheStats,
@@ -89,11 +116,18 @@ impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
         let total = config.lines();
+        let sets = config.sets();
         Cache {
             config,
-            set_mask: (config.sets() - 1) as u64,
-            tags: vec![INVALID; total],
-            dirty: vec![false; total],
+            set_mask: (sets - 1) as u64,
+            assoc: config.assoc,
+            full_mask: if config.assoc == 32 {
+                u32::MAX
+            } else {
+                (1u32 << config.assoc) - 1
+            },
+            tags: vec![0; total],
+            meta: vec![SetMeta::default(); sets],
             lru: vec![0; total],
             tick: 0,
             stats: CacheStats::default(),
@@ -115,11 +149,29 @@ impl Cache {
         self.stats.reset();
     }
 
+    /// Set index of a line (mask, no division — the mask is cached at
+    /// construction).
     #[inline]
-    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
-        let set = (line.raw() & self.set_mask) as usize;
-        let start = set * self.config.assoc;
-        start..start + self.config.assoc
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.raw() & self.set_mask) as usize
+    }
+
+    /// The way holding `line`, if resident. Probes only valid ways, via
+    /// the packed mask.
+    #[inline]
+    fn find_way(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_of(line);
+        let base = set * self.assoc;
+        let tag = line.raw();
+        let mut rem = self.meta[set].valid;
+        while rem != 0 {
+            let w = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            if self.tags[base + w] == tag {
+                return Some(w);
+            }
+        }
+        None
     }
 
     /// Accesses `line`; on a write the resident line is marked dirty.
@@ -129,69 +181,81 @@ impl Cache {
     /// caller can propagate the write-back.
     pub fn access(&mut self, line: LineAddr, kind: AccessKind) -> AccessResult {
         self.tick += 1;
-        let range = self.set_range(line);
+        let set = self.set_of(line);
+        let base = set * self.assoc;
         let tag = line.raw();
+        let meta = self.meta[set];
 
-        // Probe.
-        let mut victim_way = range.start;
-        let mut victim_lru = u64::MAX;
-        for way in range.clone() {
-            if self.tags[way] == tag {
+        // Probe the valid ways only.
+        let mut rem = meta.valid;
+        while rem != 0 {
+            let w = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            if self.tags[base + w] == tag {
                 self.stats.hits += 1;
-                self.lru[way] = self.tick;
+                self.lru[base + w] = self.tick;
                 if kind.is_write() {
-                    self.dirty[way] = true;
+                    self.meta[set].dirty |= 1 << w;
                 }
                 return AccessResult {
                     hit: true,
                     victim: None,
                 };
             }
-            if self.tags[way] == INVALID {
-                // Prefer an invalid way; lru 0 beats every valid stamp.
-                if victim_lru > 0 {
-                    victim_lru = 0;
-                    victim_way = way;
-                }
-            } else if self.lru[way] < victim_lru {
-                victim_lru = self.lru[way];
-                victim_way = way;
-            }
         }
 
-        // Miss: evict + allocate.
+        // Miss: pick a way (first invalid way, else LRU), evict + allocate.
         self.stats.misses += 1;
-        let victim = if self.tags[victim_way] != INVALID {
+        let (way, victim) = if meta.valid != self.full_mask {
+            (
+                (!meta.valid & self.full_mask).trailing_zeros() as usize,
+                None,
+            )
+        } else {
+            let mut victim_way = 0;
+            let mut victim_lru = u64::MAX;
+            for w in 0..self.assoc {
+                let stamp = self.lru[base + w];
+                if stamp < victim_lru {
+                    victim_lru = stamp;
+                    victim_way = w;
+                }
+            }
+            let dirty = meta.dirty >> victim_way & 1 == 1;
             self.stats.evictions += 1;
-            let dirty = self.dirty[victim_way];
             if dirty {
                 self.stats.writebacks += 1;
             }
-            Some(Victim {
-                line: LineAddr::new(self.tags[victim_way]),
-                dirty,
-            })
-        } else {
-            None
+            (
+                victim_way,
+                Some(Victim {
+                    line: LineAddr::new(self.tags[base + victim_way]),
+                    dirty,
+                }),
+            )
         };
-        self.tags[victim_way] = tag;
-        self.dirty[victim_way] = kind.is_write();
-        self.lru[victim_way] = self.tick;
+        let m = &mut self.meta[set];
+        m.valid |= 1 << way;
+        if kind.is_write() {
+            m.dirty |= 1 << way;
+        } else {
+            m.dirty &= !(1 << way);
+        }
+        self.tags[base + way] = tag;
+        self.lru[base + way] = self.tick;
         AccessResult { hit: false, victim }
     }
 
     /// Returns `true` if `line` is resident.
     pub fn contains(&self, line: LineAddr) -> bool {
-        let tag = line.raw();
-        self.set_range(line).any(|w| self.tags[w] == tag)
+        self.find_way(line).is_some()
     }
 
     /// Returns the dirty bit of `line` if resident.
     pub fn is_dirty(&self, line: LineAddr) -> Option<bool> {
-        let tag = line.raw();
-        self.set_range(line)
-            .find(|&w| self.tags[w] == tag)
-            .map(|w| self.dirty[w])
+        let set = self.set_of(line);
+        self.find_way(line)
+            .map(|w| self.meta[set].dirty >> w & 1 == 1)
     }
 
     /// Marks a resident line dirty without touching LRU state (used when a
@@ -199,52 +263,67 @@ impl Cache {
     ///
     /// Returns `false` if the line was not resident.
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
-        let tag = line.raw();
-        if let Some(w) = self.set_range(line).find(|&w| self.tags[w] == tag) {
-            self.dirty[w] = true;
-            true
-        } else {
-            false
+        let set = self.set_of(line);
+        match self.find_way(line) {
+            Some(w) => {
+                self.meta[set].dirty |= 1 << w;
+                true
+            }
+            None => false,
         }
     }
 
     /// Removes `line` if resident (inclusive-hierarchy back-invalidation),
     /// returning whether it was resident and whether it was dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
-        let tag = line.raw();
-        if let Some(w) = self.set_range(line).find(|&w| self.tags[w] == tag) {
-            self.tags[w] = INVALID;
-            let was_dirty = self.dirty[w];
-            self.dirty[w] = false;
-            Some(was_dirty)
-        } else {
-            None
-        }
+        let set = self.set_of(line);
+        let w = self.find_way(line)?;
+        let m = &mut self.meta[set];
+        let was_dirty = m.dirty >> w & 1 == 1;
+        m.valid &= !(1 << w);
+        m.dirty &= !(1 << w);
+        Some(was_dirty)
     }
 
-    /// Number of valid lines currently resident (O(capacity); for tests).
+    /// Number of valid lines currently resident (O(sets); for tests).
     pub fn resident_lines(&self) -> usize {
-        self.tags.iter().filter(|&&t| t != INVALID).count()
+        self.meta
+            .iter()
+            .map(|m| m.valid.count_ones() as usize)
+            .sum()
     }
 
     /// Iterates over the resident lines and their dirty bits (O(capacity);
     /// for invariant checking and debugging).
     pub fn iter_resident(&self) -> impl Iterator<Item = (LineAddr, bool)> + '_ {
-        self.tags
-            .iter()
-            .zip(self.dirty.iter())
-            .filter(|(&t, _)| t != INVALID)
-            .map(|(&t, &d)| (LineAddr::new(t), d))
+        (0..self.tags.len()).filter_map(move |i| {
+            let (set, w) = (i / self.assoc, i % self.assoc);
+            let m = self.meta[set];
+            if m.valid >> w & 1 == 1 {
+                Some((LineAddr::new(self.tags[i]), m.dirty >> w & 1 == 1))
+            } else {
+                None
+            }
+        })
     }
 
     /// Writes back and drops every dirty line, invoking `sink` for each
     /// (used at iteration barriers to flush residual dirty data).
+    ///
+    /// Sets with no dirty line are skipped with one mask test each.
     pub fn flush_dirty<F: FnMut(LineAddr)>(&mut self, mut sink: F) {
-        for w in 0..self.tags.len() {
-            if self.tags[w] != INVALID && self.dirty[w] {
-                sink(LineAddr::new(self.tags[w]));
-                self.dirty[w] = false;
+        for set in 0..self.meta.len() {
+            let mut rem = self.meta[set].dirty;
+            if rem == 0 {
+                continue;
             }
+            let base = set * self.assoc;
+            while rem != 0 {
+                let w = rem.trailing_zeros() as usize;
+                rem &= rem - 1;
+                sink(LineAddr::new(self.tags[base + w]));
+            }
+            self.meta[set].dirty = 0;
         }
     }
 }

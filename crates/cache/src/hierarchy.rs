@@ -106,20 +106,47 @@ impl Hierarchy {
 
     /// Issues one line access from hardware context `ctx`.
     ///
+    /// Convenience wrapper over [`Hierarchy::access_into`] that allocates
+    /// a fresh write-back vector per call; the machine's hot path uses
+    /// `access_into` with a reusable scratch buffer instead.
+    ///
     /// # Panics
     ///
     /// Panics if `ctx` is out of range.
     pub fn access(&mut self, ctx: usize, line: LineAddr, kind: AccessKind) -> HierarchyOutcome {
         let mut writebacks = Vec::new();
+        let (level, memory_fill) = self.access_into(ctx, line, kind, &mut writebacks);
+        HierarchyOutcome {
+            level,
+            memory_fill,
+            memory_writebacks: writebacks,
+        }
+    }
+
+    /// Issues one line access from hardware context `ctx`, appending any
+    /// memory write-backs to `writebacks` (cleared first) instead of
+    /// allocating a vector — the allocation-free form the machine's access
+    /// fast path uses, passing the same scratch buffer every call.
+    ///
+    /// Returns the level that satisfied the access and the line filled
+    /// from memory, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn access_into(
+        &mut self,
+        ctx: usize,
+        line: LineAddr,
+        kind: AccessKind,
+        writebacks: &mut Vec<LineAddr>,
+    ) -> (HitLevel, Option<LineAddr>) {
+        writebacks.clear();
 
         // L2 probe.
         let l2r = self.l2s[ctx].access(line, kind);
         if l2r.hit {
-            return HierarchyOutcome {
-                level: HitLevel::L2,
-                memory_fill: None,
-                memory_writebacks: writebacks,
-            };
+            return (HitLevel::L2, None);
         }
 
         // The L2 displaced a line; a dirty one must merge into the LLC.
@@ -159,11 +186,7 @@ impl Hierarchy {
             }
         }
 
-        HierarchyOutcome {
-            level,
-            memory_fill: fill,
-            memory_writebacks: writebacks,
-        }
+        (level, fill)
     }
 
     /// Flushes every dirty line in the whole hierarchy to memory, calling

@@ -1,0 +1,142 @@
+//! The packed-metadata cache against a naive reference model.
+//!
+//! `Cache` packs per-set valid/dirty state into `u32` bitmasks and probes
+//! via `trailing_zeros`; this suite drives it with long seeded
+//! pseudo-random access streams and checks, access by access, that it
+//! behaves exactly like the obvious scattered-per-way implementation —
+//! same hits, same victims, same victim dirtiness, same final statistics.
+//! Packing changed the representation, never the replacement policy.
+//!
+//! Dependency-free (seeded LCG, no proptest) so it runs in the hermetic
+//! tier-1 build.
+
+use hemu_cache::{Cache, CacheConfig};
+use hemu_types::{AccessKind, ByteSize, LineAddr, CACHE_LINE};
+
+/// Naive set-associative LRU model: per way, `Option<(tag, dirty, tick)>`.
+struct NaiveCache {
+    sets: usize,
+    assoc: usize,
+    ways: Vec<Option<(u64, bool, u64)>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    writebacks: u64,
+}
+
+impl NaiveCache {
+    fn new(sets: usize, assoc: usize) -> Self {
+        NaiveCache {
+            sets,
+            assoc,
+            ways: vec![None; sets * assoc],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Returns `(hit, victim)` with the victim as `(line, dirty)`.
+    fn access(&mut self, line: u64, is_write: bool) -> (bool, Option<(u64, bool)>) {
+        self.tick += 1;
+        let base = (line as usize % self.sets) * self.assoc;
+        let set = &mut self.ways[base..base + self.assoc];
+
+        if let Some(w) = set.iter().position(|s| s.map(|(t, _, _)| t) == Some(line)) {
+            self.hits += 1;
+            let (t, d, _) = set[w].expect("hit way is occupied");
+            set[w] = Some((t, d || is_write, self.tick));
+            return (true, None);
+        }
+
+        self.misses += 1;
+        // First invalid way, else the stalest stamp (lowest way index
+        // breaks ties — the strict `<` scan).
+        let way = set.iter().position(|s| s.is_none()).unwrap_or_else(|| {
+            let mut best = 0;
+            for w in 1..set.len() {
+                let stamp = |i: usize| set[i].map(|(_, _, s)| s).unwrap_or(0);
+                if stamp(w) < stamp(best) {
+                    best = w;
+                }
+            }
+            best
+        });
+        let victim = set[way].map(|(t, d, _)| (t, d));
+        if let Some((_, d)) = victim {
+            self.evictions += 1;
+            if d {
+                self.writebacks += 1;
+            }
+        }
+        set[way] = Some((line, is_write, self.tick));
+        (false, victim)
+    }
+}
+
+/// Drives both implementations with the same seeded stream and compares
+/// every observable.
+fn compare(seed: u64, sets: usize, assoc: usize, line_range: u64, ops: usize) {
+    let size = ByteSize::new((sets * assoc * CACHE_LINE) as u64);
+    let mut packed = Cache::new(CacheConfig::new("ref", size, assoc));
+    let mut naive = NaiveCache::new(sets, assoc);
+
+    let mut state = seed;
+    for i in 0..ops {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let line = (state >> 24) % line_range;
+        let is_write = state & 1 == 1;
+        let kind = if is_write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+
+        let got = packed.access(LineAddr::new(line), kind);
+        let (want_hit, want_victim) = naive.access(line, is_write);
+
+        assert_eq!(
+            got.hit, want_hit,
+            "op {i} (line {line}, write={is_write}): hit status diverged"
+        );
+        assert_eq!(
+            got.victim.map(|v| (v.line.raw(), v.dirty)),
+            want_victim,
+            "op {i} (line {line}, write={is_write}): victim diverged"
+        );
+    }
+
+    let s = packed.stats();
+    assert_eq!(s.hits, naive.hits, "hit totals diverged");
+    assert_eq!(s.misses, naive.misses, "miss totals diverged");
+    assert_eq!(s.evictions, naive.evictions, "eviction totals diverged");
+    assert_eq!(s.writebacks, naive.writebacks, "writeback totals diverged");
+}
+
+#[test]
+fn packed_matches_naive_small_hot_set() {
+    // Heavy reuse: mostly hits, occasional conflict evictions.
+    compare(42, 4, 4, 24, 20_000);
+}
+
+#[test]
+fn packed_matches_naive_thrashing() {
+    // Working set far beyond capacity: constant eviction pressure.
+    compare(7, 8, 2, 4096, 20_000);
+}
+
+#[test]
+fn packed_matches_naive_max_assoc() {
+    // 32 ways exercises the full-mask edge (`1 << 32` would overflow).
+    compare(1234, 2, 32, 256, 20_000);
+}
+
+#[test]
+fn packed_matches_naive_direct_mapped() {
+    compare(99, 16, 1, 64, 20_000);
+}

@@ -54,6 +54,9 @@ pub struct Machine {
     qpi_pending: u64,
     /// Pages transparently remapped after wear-out frame retirement.
     pages_remapped: u64,
+    /// Reusable write-back scratch for the access fast path, so the
+    /// hierarchy never allocates a fresh `Vec` per line access.
+    wb_scratch: Vec<LineAddr>,
 }
 
 impl Machine {
@@ -73,6 +76,7 @@ impl Machine {
             qpi_lines,
             qpi_pending: 0,
             pages_remapped: 0,
+            wb_scratch: Vec::with_capacity(4),
             profile,
         }
     }
@@ -185,9 +189,12 @@ impl Machine {
     /// Issues a memory access from hardware context `ctx` in process
     /// `proc`'s address space, advancing `ctx`'s clock by the access cost.
     ///
-    /// The access is split into cache-line accesses; each is translated,
-    /// sent through the hierarchy, and any fills and write-backs are
-    /// recorded at the owning memory controllers.
+    /// The access is split into cache-line accesses; the page table is
+    /// consulted once per *page* the stream crosses (the in-page line
+    /// addresses follow arithmetically), each line is sent through the
+    /// hierarchy, and any fills and write-backs are recorded at the owning
+    /// memory controllers. Write-back lines land in a scratch buffer reused
+    /// across accesses, so the hot path performs no allocation.
     ///
     /// # Errors
     ///
@@ -197,7 +204,7 @@ impl Machine {
     ///
     /// Panics if `ctx` or `proc` is out of range.
     pub fn access(&mut self, ctx: CtxId, proc: ProcId, access: MemoryAccess) -> Result<()> {
-        {
+        if access.size > 0 {
             let Machine {
                 profile,
                 mem,
@@ -208,60 +215,79 @@ impl Machine {
                 obs,
                 qpi_lines,
                 qpi_pending,
+                wb_scratch,
                 ..
             } = self;
             let space = &mut spaces[proc.0];
             let clock = &mut clocks[ctx.0];
             let lat = &profile.latency;
+            let kind = access.kind;
 
-            for vline in access.lines() {
-                let pa = space.translate(vline, mem)?;
-                let line = pa.line();
-                stats.line_accesses += 1;
-                let outcome = hierarchy.access(ctx.0, line, access.kind);
+            const PAGE: u64 = PAGE_SIZE as u64;
+            const LINE: u64 = CACHE_LINE as u64;
+            // Byte addresses of the first and last line touched.
+            let first = access.addr.line().raw();
+            let last = access.addr.offset(access.size as u64 - 1).line().raw();
 
-                // Timing: the requesting core stalls for the fill path.
-                let cost = match outcome.level {
-                    HitLevel::L2 => lat.l2_hit,
-                    HitLevel::Llc => lat.llc_hit,
-                    HitLevel::Memory => {
-                        let socket = mem.socket_of_line(line);
-                        if socket == SocketId::DRAM {
-                            stats.local_fills += 1;
-                            lat.local_fill
-                        } else {
-                            stats.remote_fills += 1;
-                            qpi_lines.incr();
-                            // Individual remote fills are too frequent to trace;
-                            // emit one aggregate event per batch of lines.
-                            *qpi_pending += 1;
-                            if *qpi_pending >= QPI_TRACE_BATCH {
-                                obs.tracer.record(
-                                    clock.now(),
-                                    TraceEvent::QpiTransfer {
-                                        lines: *qpi_pending,
-                                    },
-                                );
-                                *qpi_pending = 0;
+            let mut v = first;
+            while v <= last {
+                // One page-table walk covers every line up to the page end.
+                let page_end = (v / PAGE + 1) * PAGE;
+                let chunk_last = last.min(page_end - LINE);
+                let frame = space.frame_of(Addr::new(v), mem)?;
+                let chunk_line0 = frame.phys_base().line().raw() + (v % PAGE) / LINE;
+                let nlines = (chunk_last - v) / LINE + 1;
+                stats.line_accesses += nlines;
+
+                for i in 0..nlines {
+                    let line = LineAddr::new(chunk_line0 + i);
+                    let (level, fill) = hierarchy.access_into(ctx.0, line, kind, wb_scratch);
+
+                    // Timing: the requesting core stalls for the fill path.
+                    let cost = match level {
+                        HitLevel::L2 => lat.l2_hit,
+                        HitLevel::Llc => lat.llc_hit,
+                        HitLevel::Memory => {
+                            let socket = mem.socket_of_line(line);
+                            if socket == SocketId::DRAM {
+                                stats.local_fills += 1;
+                                lat.local_fill
+                            } else {
+                                stats.remote_fills += 1;
+                                qpi_lines.incr();
+                                // Individual remote fills are too frequent to trace;
+                                // emit one aggregate event per batch of lines.
+                                *qpi_pending += 1;
+                                if *qpi_pending >= QPI_TRACE_BATCH {
+                                    obs.tracer.record(
+                                        clock.now(),
+                                        TraceEvent::QpiTransfer {
+                                            lines: *qpi_pending,
+                                        },
+                                    );
+                                    *qpi_pending = 0;
+                                }
+                                // An installed fault injector may stall the link
+                                // (QPI burst injection); 0 cycles otherwise.
+                                let stall = mem.qpi_stall_cycles(1);
+                                lat.local_fill + profile.qpi.transfer_cost(1) + Cycles::new(stall)
                             }
-                            // An installed fault injector may stall the link
-                            // (QPI burst injection); 0 cycles otherwise.
-                            let stall = mem.qpi_stall_cycles(1);
-                            lat.local_fill + profile.qpi.transfer_cost(1) + Cycles::new(stall)
                         }
-                    }
-                };
-                clock.advance(cost);
+                    };
+                    clock.advance(cost);
 
-                // Traffic: fills read from memory; write-backs write to memory.
-                // Write-backs drain through write buffers and do not stall the
-                // requesting core, so they cost no time here.
-                if let Some(fill) = outcome.memory_fill {
-                    mem.record_line_access(fill, AccessKind::Read);
+                    // Traffic: fills read from memory; write-backs write to
+                    // memory. Write-backs drain through write buffers and do
+                    // not stall the requesting core, so they cost no time
+                    // here.
+                    if let Some(fill) = fill {
+                        mem.record_line_access(fill, AccessKind::Read);
+                    }
+                    for &wb in wb_scratch.iter() {
+                        mem.record_line_access(wb, AccessKind::Write);
+                    }
                 }
-                for wb in outcome.memory_writebacks {
-                    mem.record_line_access(wb, AccessKind::Write);
-                }
+                v = page_end;
             }
         }
         // PCM writes above may have spent a line's endurance budget; retire

@@ -124,18 +124,34 @@ impl AddressSpace {
     /// Returns [`HemuError::OutOfPhysicalMemory`] if the policy socket has
     /// no free frames.
     pub fn translate(&mut self, addr: Addr, mem: &mut NumaMemory) -> Result<PhysAddr> {
+        let frame = self.frame_of(addr, mem)?;
+        Ok(frame.phys_base().offset(addr.raw() % PAGE_SIZE as u64))
+    }
+
+    /// The physical frame backing `addr`'s page, faulting it in if needed.
+    ///
+    /// This is the page-granular translation primitive: the machine's
+    /// access path calls it once per *page* of an access stream and
+    /// derives the 64 line addresses inside the page arithmetically,
+    /// instead of paying a page-table lookup per line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::OutOfPhysicalMemory`] if the policy socket has
+    /// no free frames.
+    #[inline]
+    pub fn frame_of(&mut self, addr: Addr, mem: &mut NumaMemory) -> Result<PageNum> {
         let vpage = addr.page().raw();
-        let frame = match self.table.get(&vpage) {
-            Some(f) => *f,
+        match self.table.get(&vpage) {
+            Some(f) => Ok(*f),
             None => {
                 let socket = self.socket_of(addr);
                 let f = mem.allocate_frame(socket)?;
                 self.table.insert(vpage, f);
                 self.faults += 1;
-                f
+                Ok(f)
             }
-        };
-        Ok(frame.phys_base().offset(addr.raw() % PAGE_SIZE as u64))
+        }
     }
 
     /// Translates without faulting; `None` if the page is not mapped.

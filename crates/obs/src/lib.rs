@@ -16,6 +16,9 @@
 //!   log₂-bucketed [`Histogram`]s, queryable mid-run.
 //! * [`json`] / [`csv`] — a hand-rolled JSON/JSONL and CSV emitter built
 //!   around the [`ToJson`] trait.
+//! * [`progress`] — a thread-safe, line-serialized progress [`Reporter`]
+//!   for concurrent sweeps (the only thread-shared piece; tracer and
+//!   metrics stay per-run and unsynchronized).
 //!
 //! The [`Obs`] bundle groups one tracer and one metrics registry; the
 //! emulated machine owns one and the runtime layers above it (heap, GC,
@@ -26,11 +29,13 @@
 pub mod csv;
 pub mod json;
 pub mod metrics;
+pub mod progress;
 pub mod trace;
 
 pub use csv::Csv;
 pub use json::{to_json_lines, ToJson};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use progress::Reporter;
 pub use trace::{GcKind, TraceEvent, TraceRecord, Tracer};
 
 /// The observability bundle a machine carries: one event tracer plus one

@@ -63,6 +63,16 @@ pub enum HemuError {
     /// An experiment panicked; the panic was caught at the harness boundary
     /// and converted into an error so the rest of a sweep can proceed.
     Panicked(String),
+    /// A run was deferred to a batch executor instead of running inline.
+    ///
+    /// Produced only while a sweep harness is *planning* (collecting the
+    /// set of runs a figure demands so they can execute in parallel); it
+    /// never appears in exported artifacts because planning passes discard
+    /// their output.
+    Deferred {
+        /// The memoization key of the deferred run.
+        key: String,
+    },
 }
 
 impl fmt::Display for HemuError {
@@ -109,6 +119,9 @@ impl fmt::Display for HemuError {
                 )
             }
             HemuError::Panicked(msg) => write!(f, "experiment panicked: {msg}"),
+            HemuError::Deferred { key } => {
+                write!(f, "run deferred to the parallel executor: {key}")
+            }
         }
     }
 }

@@ -36,4 +36,16 @@ grep -q '"status":"failed"' "$smoke_dir/oom/runs.json"
 grep -q 'forced-oom' "$smoke_dir/oom/runs.json"
 grep -q '"status":"ok"' "$smoke_dir/oom/runs.json"
 
+echo "== parallel smoke: --jobs 4 artifacts match --jobs 1 byte-for-byte =="
+./target/release/repro fig3 --scale quick --jobs 1 --json-out "$smoke_dir/j1" \
+  --trace-out "$smoke_dir/j1-trace.jsonl"
+./target/release/repro fig3 --scale quick --jobs 4 --json-out "$smoke_dir/j4" \
+  --trace-out "$smoke_dir/j4-trace.jsonl"
+diff -r "$smoke_dir/j1" "$smoke_dir/j4"
+diff "$smoke_dir/j1-trace.jsonl" "$smoke_dir/j4-trace.jsonl"
+
+echo "== perf gate: access kernel within 20% of the checked-in baseline =="
+./target/release/repro --bench --jobs 4 --bench-out "$smoke_dir/bench.json" \
+  --bench-baseline BENCH_results.json
+
 echo "CI OK"
