@@ -6,7 +6,7 @@
 //! cargo run -p hemu-bench --bin repro --release -- table2 --json-out out/ --trace-out out/trace.jsonl
 //! ```
 //!
-//! Targets: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 table3 all`.
+//! Targets: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 table3 os all`.
 //! `--quick` (or `--scale quick`) restricts DaCapo to the seven-benchmark
 //! §V subset.
 //! `--json-out <dir>` writes one `<run>.json` per executed experiment plus
@@ -21,6 +21,14 @@
 //! while the sweep completes; the exit code is non-zero iff any run
 //! ultimately failed.
 //!
+//! OS-baseline flags (the `os` target; see `docs/observability.md` and
+//! `EXPERIMENTS.md`): `--os-policy dram-first,pcm-first,hot-cold` selects
+//! which paging policies sweep against the collectors (default: all
+//! three); `--epoch <lines>` sets the hot/cold migrator's epoch length in
+//! cache-line accesses; `--migration-budget <pages>` caps migrations per
+//! epoch; `--os-dram <MiB>` clamps the DRAM socket for OS-managed runs
+//! (default 4 MiB so migration pressure is visible; `0` = unlimited).
+//!
 //! Performance flags (see `docs/performance.md`):
 //! `--jobs N` runs each target's experiments on an N-worker pool (default:
 //! the machine's available parallelism; `--jobs 1` is the sequential
@@ -33,6 +41,7 @@
 
 use hemu_bench::{experiments, perf, Harness, RunPolicy, Scale};
 use hemu_fault::{EnduranceConfig, FaultPlan};
+use hemu_types::{ByteSize, OsPagingConfig, OsPolicy};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -68,6 +77,10 @@ fn main() {
     let run_deadline = take_value_flag(&mut args, "--run-deadline");
     let scale_flag = take_value_flag(&mut args, "--scale");
     let jobs_flag = take_value_flag(&mut args, "--jobs");
+    let os_policy_flag = take_value_flag(&mut args, "--os-policy");
+    let epoch_flag = take_value_flag(&mut args, "--epoch");
+    let budget_flag = take_value_flag(&mut args, "--migration-budget");
+    let os_dram_flag = take_value_flag(&mut args, "--os-dram");
     let bench_out = take_value_flag(&mut args, "--bench-out");
     let bench_baseline = take_value_flag(&mut args, "--bench-baseline");
     let bench = take_bool_flag(&mut args, "--bench");
@@ -128,8 +141,56 @@ fn main() {
             "fig7",
             "table3",
             "fig8",
+            "os",
             "ablations",
         ];
+    }
+
+    let os_policies: Vec<OsPolicy> = match os_policy_flag.as_deref() {
+        None | Some("all") => OsPolicy::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|p| match OsPolicy::parse(p.trim()) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("--os-policy: {e}");
+                    std::process::exit(2);
+                }
+            })
+            .collect(),
+    };
+    let mut os_tuning = OsPagingConfig::default();
+    // The emulated sockets are far larger than any workload here, so an
+    // unclamped DRAM socket never spills and every policy degenerates to
+    // dram-first; a small default clamp makes migration pressure real.
+    os_tuning.dram_limit = Some(ByteSize::from_mib(4));
+    if let Some(s) = &epoch_flag {
+        match s.parse::<u64>() {
+            Ok(n) if n > 0 => os_tuning.epoch_lines = n,
+            _ => {
+                eprintln!("--epoch: expected a positive number of line accesses");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(s) = &budget_flag {
+        match s.parse::<u64>() {
+            Ok(n) if n > 0 => os_tuning.migration_budget = n,
+            _ => {
+                eprintln!("--migration-budget: expected a positive number of pages");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(s) = &os_dram_flag {
+        match s.parse::<u64>() {
+            Ok(0) => os_tuning.dram_limit = None,
+            Ok(mib) => os_tuning.dram_limit = Some(ByteSize::from_mib(mib)),
+            _ => {
+                eprintln!("--os-dram: expected a DRAM size in MiB (0 = unlimited)");
+                std::process::exit(2);
+            }
+        }
     }
 
     let scale = if quick { Scale::Quick } else { Scale::Full };
@@ -177,6 +238,7 @@ fn main() {
         }
     }
     h.set_jobs(jobs);
+    h.set_os_tuning(os_tuning);
     let t0 = Instant::now();
     let mut target_failures = 0usize;
 
@@ -197,6 +259,7 @@ fn main() {
             "fig7" => h.run_planned(experiments::fig7),
             "fig8" => h.run_planned(experiments::fig8),
             "table3" => h.run_planned(experiments::table3),
+            "os" => h.run_planned(|h| experiments::os_baseline(h, &os_policies)),
             "ablations" => experiments::ablations(),
             s if s.starts_with("series:") => {
                 // e.g. `series:lusearch` or `series:pr`.

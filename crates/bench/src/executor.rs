@@ -27,12 +27,11 @@
 //! first demand, byte-identical to the historical sequential path — which
 //! in turn is byte-identical to any `--jobs N` by the argument above.
 
-use crate::harness::{Profile, RunPolicy};
+use crate::harness::{Manager, Profile, RunPolicy};
 use hemu_core::{Experiment, RunReport};
 use hemu_fault::{EnduranceConfig, FaultPlan};
-use hemu_heap::CollectorKind;
 use hemu_obs::{Reporter, TraceRecord};
-use hemu_types::HemuError;
+use hemu_types::{HemuError, OsPagingConfig};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -47,12 +46,12 @@ pub(crate) const TRACE_CAPACITY: usize = 1 << 16;
 /// worker thread needs nothing from the harness.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
-    /// The memoization key (`workload|collector|instances|profile`).
+    /// The memoization key (`workload|manager|instances|profile`).
     pub key: String,
     /// Workload to run.
     pub spec: hemu_workloads::WorkloadSpec,
-    /// Collector configuration.
-    pub collector: CollectorKind,
+    /// Who places pages: a collector or an OS paging policy.
+    pub manager: Manager,
     /// Co-running instance count.
     pub instances: usize,
     /// Machine profile.
@@ -78,6 +77,9 @@ pub struct ExecCtx {
     pub endurance: Option<EnduranceConfig>,
     /// Deadline/retry policy.
     pub policy: RunPolicy,
+    /// Migrator tuning for OS-managed jobs (the job's policy overrides the
+    /// `policy` field).
+    pub os_tuning: OsPagingConfig,
     /// Whether to capture an event trace of the measured iteration.
     pub want_trace: bool,
     /// Serialized progress sink shared by all workers.
@@ -99,9 +101,18 @@ fn panic_error(payload: &(dyn std::any::Any + Send)) -> HemuError {
 /// retry does not deterministically re-fail.
 fn configure(ctx: &ExecCtx, job: &JobSpec, attempt: u32) -> Experiment {
     let mut e = Experiment::new(job.spec)
-        .collector(job.collector)
         .instances(job.instances)
         .profile(job.profile.machine());
+    match job.manager {
+        Manager::Gc(collector) => e = e.collector(collector),
+        Manager::Os(policy) => {
+            let mut cfg = ctx.os_tuning;
+            cfg.policy = policy;
+            // The default collector is PCM-Only, the only one an OS-managed
+            // run accepts.
+            e = e.os_paging(cfg);
+        }
+    }
     if let Some(cfg) = ctx.endurance {
         e = e.endurance(cfg);
     }

@@ -12,10 +12,10 @@
 //! a sweep with one bad configuration still produces every other result.
 
 use crate::fmt::{ratio, table};
-use crate::harness::{Harness, Profile};
+use crate::harness::{Harness, Manager, Profile};
 use hemu_core::lifetime::{LifetimeModel, ENDURANCE_PROTOTYPES};
 use hemu_heap::{plan, CollectorKind};
-use hemu_types::{ByteSize, Result};
+use hemu_types::{ByteSize, OsPolicy, Result};
 use hemu_workloads::{spec, DatasetSize, Suite, WorkloadSpec};
 
 /// Table I: space-to-socket mapping of KG-N, KG-W and KG-W−MDO, printed
@@ -635,6 +635,98 @@ pub fn series(name: &str, collector: CollectorKind) -> Result<String> {
         r.pcm_write_rate_mbs,
         table(&rows)
     ))
+}
+
+/// GC vs OS page management: PCM writes of representative benchmarks under
+/// the write-rationing collectors and under OS-level paging policies,
+/// normalized to PCM-Only, followed by the migration activity of each OS
+/// run. The paper's thesis is that GC-side write rationing beats OS-level
+/// hot/cold page migration because the GC sees object lifetimes before
+/// pages get hot — so expect the KG columns well below the OS columns.
+///
+/// # Errors
+///
+/// Propagates experiment failures.
+pub fn os_baseline(h: &mut Harness, policies: &[OsPolicy]) -> Result<String> {
+    let benches = [
+        WorkloadSpec::by_name("lusearch").unwrap(),
+        WorkloadSpec::by_name("avrora").unwrap(),
+    ];
+    let mut managers: Vec<Manager> = vec![CollectorKind::KgN.into(), CollectorKind::KgW.into()];
+    managers.extend(policies.iter().copied().map(Manager::from));
+
+    let mut header = vec!["Benchmark".to_string(), "PCM-Only".to_string()];
+    header.extend(managers.iter().map(|m| m.name().to_string()));
+    let mut rows = vec![header];
+    for &b in &benches {
+        let base = h.run_opt(b, CollectorKind::PcmOnly, 1, Profile::Emulation);
+        let mut cells = vec![
+            b.to_string(),
+            if base.is_some() {
+                "1.00".into()
+            } else {
+                "FAIL".into()
+            },
+        ];
+        for &m in &managers {
+            cells.push(match (&base, h.run_opt(b, m, 1, Profile::Emulation)) {
+                (Some(base), Some(r)) => {
+                    format!("{:.2}", r.pcm_writes_normalized_to(base))
+                }
+                _ => "FAIL".into(),
+            });
+        }
+        rows.push(cells);
+    }
+
+    let tuning = h.os_tuning();
+    let mut out = format!(
+        "GC vs OS baseline: PCM writes normalized to PCM-Only (lower is better)\n\
+         OS tuning: epoch {} lines, budget {} pages/epoch, DRAM {}\n\n{}",
+        tuning.epoch_lines,
+        tuning.migration_budget,
+        tuning
+            .dram_limit
+            .map_or_else(|| "unlimited".to_string(), |b| b.to_string()),
+        table(&rows)
+    );
+
+    // Migration activity per OS-managed run. Every migrated page moves one
+    // 4 KiB page across the QPI interconnect (64 lines each way charged by
+    // the machine), and demotions write PCM.
+    let mut mrows = vec![vec![
+        "Benchmark".to_string(),
+        "Policy".to_string(),
+        "Epochs".to_string(),
+        "Promoted".to_string(),
+        "Demoted".to_string(),
+        "Migrated".to_string(),
+        "QPI lines".to_string(),
+        "Failed".to_string(),
+    ]];
+    for &b in &benches {
+        for &p in policies {
+            let Some(r) = h.run_opt(b, p, 1, Profile::Emulation) else {
+                continue;
+            };
+            let Some(os) = r.os_paging else { continue };
+            mrows.push(vec![
+                b.to_string(),
+                os.policy.name().to_string(),
+                os.epochs.to_string(),
+                os.promotions.to_string(),
+                os.demotions.to_string(),
+                os.migrated_bytes.to_string(),
+                (os.migrated_bytes.bytes() / 64).to_string(),
+                os.failed_migrations.to_string(),
+            ]);
+        }
+    }
+    if mrows.len() > 1 {
+        out.push_str("\nOS page-manager activity (measured iteration):\n\n");
+        out.push_str(&table(&mrows));
+    }
+    Ok(out)
 }
 
 fn mean(xs: &[f64]) -> f64 {

@@ -7,7 +7,7 @@ use hemu_heap::CollectorKind;
 use hemu_machine::MachineProfile;
 use hemu_obs::json::{JsonObject, ToJson};
 use hemu_obs::{to_json_lines, Csv, Reporter};
-use hemu_types::{HemuError, Result};
+use hemu_types::{HemuError, OsPagingConfig, OsPolicy, Result};
 use hemu_workloads::{spec, DatasetSize, Language, WorkloadSpec};
 use std::collections::{HashMap, HashSet};
 use std::fs;
@@ -40,6 +40,45 @@ impl Profile {
             Profile::Emulation => MachineProfile::emulation(),
             Profile::Simulation => MachineProfile::simulation(),
         }
+    }
+}
+
+/// Who owns page placement for a run: a write-rationing collector (the
+/// paper's Kingsguard family) or an OS paging policy (the kernel-side
+/// baseline). Both sides of that comparison sweep through the same
+/// harness, so a figure can put `KG-W` and `OS-hot-cold` in adjacent
+/// columns.
+///
+/// `From` impls let every call site keep passing a bare [`CollectorKind`]
+/// or [`OsPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Manager {
+    /// GC-managed placement under this collector configuration.
+    Gc(CollectorKind),
+    /// OS-managed placement under this policy (the collector underneath is
+    /// the placement-neutral PCM-Only configuration).
+    Os(OsPolicy),
+}
+
+impl Manager {
+    /// Stable display name used in run keys, reports and figure columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            Manager::Gc(c) => c.name(),
+            Manager::Os(p) => p.name(),
+        }
+    }
+}
+
+impl From<CollectorKind> for Manager {
+    fn from(c: CollectorKind) -> Self {
+        Manager::Gc(c)
+    }
+}
+
+impl From<OsPolicy> for Manager {
+    fn from(p: OsPolicy) -> Self {
+        Manager::Os(p)
     }
 }
 
@@ -106,7 +145,8 @@ impl RunStatus {
 /// One executed run (successful or not), in execution order.
 #[derive(Debug, Clone)]
 pub struct RunRecord {
-    /// The memoization key (`workload|collector|instances|profile`).
+    /// The memoization key (`workload|manager|instances|profile`, where
+    /// the manager is a collector or OS-policy name).
     pub key: String,
     /// Terminal outcome.
     pub status: RunStatus,
@@ -142,6 +182,9 @@ pub struct Harness {
     fault_plan: Option<FaultPlan>,
     /// Endurance model applied to every executed experiment.
     endurance: Option<EnduranceConfig>,
+    /// Migrator tuning (epoch length, budget, DRAM clamp) applied to every
+    /// OS-managed run; the policy field is overwritten per run.
+    os_tuning: OsPagingConfig,
     policy: RunPolicy,
     /// Worker-pool width for planned sweeps; 0 or 1 means fully inline
     /// sequential execution (the historical path).
@@ -207,6 +250,19 @@ impl Harness {
     /// Sets the per-run deadline/retry policy.
     pub fn set_run_policy(&mut self, policy: RunPolicy) {
         self.policy = policy;
+    }
+
+    /// Sets the migrator tuning (epoch length, migration budget, DRAM
+    /// clamp) applied to every subsequent OS-managed run. The `policy`
+    /// field of `cfg` is ignored — each run's [`Manager::Os`] value decides
+    /// the policy.
+    pub fn set_os_tuning(&mut self, cfg: OsPagingConfig) {
+        self.os_tuning = cfg;
+    }
+
+    /// The migrator tuning applied to OS-managed runs.
+    pub fn os_tuning(&self) -> OsPagingConfig {
+        self.os_tuning
     }
 
     /// Sets the worker-pool width for planned sweeps. `0` and `1` both
@@ -296,11 +352,12 @@ impl Harness {
     pub fn run(
         &mut self,
         spec: WorkloadSpec,
-        collector: CollectorKind,
+        manager: impl Into<Manager>,
         instances: usize,
         profile: Profile,
     ) -> Result<RunReport> {
-        let key = format!("{spec}|{}|{instances}|{profile:?}", collector.name());
+        let manager = manager.into();
+        let key = format!("{spec}|{}|{instances}|{profile:?}", manager.name());
         if let Some(r) = self.cache.get(&key) {
             return Ok(r.clone());
         }
@@ -321,7 +378,7 @@ impl Harness {
                 self.pending.push(JobSpec {
                     key: key.clone(),
                     spec,
-                    collector,
+                    manager,
                     instances,
                     profile,
                 });
@@ -337,7 +394,7 @@ impl Harness {
         let job = JobSpec {
             key: key.clone(),
             spec,
-            collector,
+            manager,
             instances,
             profile,
         };
@@ -397,6 +454,7 @@ impl Harness {
             fault_plan: self.fault_plan.clone(),
             endurance: self.endurance,
             policy: self.policy,
+            os_tuning: self.os_tuning,
             want_trace: self.trace_out.is_some(),
             reporter: self.reporter.clone(),
         }
@@ -517,8 +575,8 @@ impl Harness {
     /// # Errors
     ///
     /// Propagates experiment failures.
-    pub fn run1(&mut self, spec: WorkloadSpec, collector: CollectorKind) -> Result<RunReport> {
-        self.run(spec, collector, 1, Profile::Emulation)
+    pub fn run1(&mut self, spec: WorkloadSpec, manager: impl Into<Manager>) -> Result<RunReport> {
+        self.run(spec, manager, 1, Profile::Emulation)
     }
 
     /// Like [`Harness::run`], but a terminal failure (already recorded and
@@ -527,16 +585,20 @@ impl Harness {
     pub fn run_opt(
         &mut self,
         spec: WorkloadSpec,
-        collector: CollectorKind,
+        manager: impl Into<Manager>,
         instances: usize,
         profile: Profile,
     ) -> Option<RunReport> {
-        self.run(spec, collector, instances, profile).ok()
+        self.run(spec, manager, instances, profile).ok()
     }
 
     /// [`Harness::run_opt`] for a single instance on the emulation profile.
-    pub fn run1_opt(&mut self, spec: WorkloadSpec, collector: CollectorKind) -> Option<RunReport> {
-        self.run_opt(spec, collector, 1, Profile::Emulation)
+    pub fn run1_opt(
+        &mut self,
+        spec: WorkloadSpec,
+        manager: impl Into<Manager>,
+    ) -> Option<RunReport> {
+        self.run_opt(spec, manager, 1, Profile::Emulation)
     }
 
     /// Convenience: the C++ implementation of a GraphChi app (PCM-Only).

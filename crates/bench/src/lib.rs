@@ -15,4 +15,4 @@ pub mod harness;
 pub mod perf;
 
 pub use executor::{ExecCtx, JobSpec, StagedRun};
-pub use harness::{Harness, Profile, RunPolicy, RunRecord, RunStatus, Scale};
+pub use harness::{Harness, Manager, Profile, RunPolicy, RunRecord, RunStatus, Scale};

@@ -9,7 +9,7 @@ use hemu_bench::{Harness, Profile, RunPolicy, Scale};
 use hemu_fault::FaultPlan;
 use hemu_heap::CollectorKind;
 use hemu_obs::Reporter;
-use hemu_types::Result;
+use hemu_types::{ByteSize, OsPagingConfig, OsPolicy, Result};
 use hemu_workloads::WorkloadSpec;
 use std::collections::BTreeMap;
 use std::fs;
@@ -125,6 +125,76 @@ fn faulted_parallel_sweep_is_byte_identical_to_sequential() {
     let seq = artifacts(&tmp_dir("det-fault-seq"), 1, Some(plan.clone()));
     let par = artifacts(&tmp_dir("det-fault-par"), 4, Some(plan));
     assert_identical(&seq, &par);
+}
+
+/// A GC-vs-OS sweep: collectors and OS paging policies side by side, with
+/// the hot/cold migrator actively moving pages (small DRAM clamp, short
+/// epochs).
+fn os_sweep(h: &mut Harness) -> Result<String> {
+    let mut out = String::new();
+    let spec = WorkloadSpec::by_name("avrora").expect("workload registry");
+    for collector in [CollectorKind::PcmOnly, CollectorKind::KgN] {
+        if let Some(r) = h.run_opt(spec, collector, 1, Profile::Emulation) {
+            out.push_str(&format!("{} pcm={}\n", collector.name(), r.pcm_writes));
+        }
+    }
+    for policy in OsPolicy::ALL {
+        if let Some(r) = h.run_opt(spec, policy, 1, Profile::Emulation) {
+            let os = r.os_paging.expect("OS-managed run carries stats");
+            out.push_str(&format!(
+                "{} pcm={} epochs={} promoted={} demoted={}\n",
+                policy.name(),
+                r.pcm_writes,
+                os.epochs,
+                os.promotions,
+                os.demotions
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the OS-policy sweep at the given jobs width (shares the artifact
+/// collection of [`artifacts`], but with migrator tuning installed).
+fn os_artifacts(dir: &Path, jobs: usize) -> (String, BTreeMap<String, String>) {
+    let mut h = Harness::new(Scale::Quick);
+    h.set_jobs(jobs);
+    h.set_reporter(Reporter::to_writer(Box::new(std::io::sink())));
+    h.set_json_dir(dir).expect("create json dir");
+    h.set_trace_out(dir.join("trace.jsonl")).expect("trace out");
+    let mut tuning = OsPagingConfig::default();
+    tuning.dram_limit = Some(ByteSize::from_mib(4));
+    tuning.epoch_lines = 20_000;
+    h.set_os_tuning(tuning);
+    let text = h.run_planned(os_sweep).expect("sweep renders");
+    h.finalize_exports().expect("finalize");
+
+    let mut files = BTreeMap::new();
+    for entry in fs::read_dir(dir).expect("read dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let content = fs::read_to_string(entry.path()).expect("read artifact");
+        files.insert(name, content);
+    }
+    (text, files)
+}
+
+/// An OS-policy sweep with an active hot/cold migrator exports
+/// byte-identical artifacts at `--jobs 1` and `--jobs 4`.
+#[test]
+fn os_policy_sweep_is_byte_identical_to_sequential() {
+    let seq = os_artifacts(&tmp_dir("det-os-seq"), 1);
+    let par = os_artifacts(&tmp_dir("det-os-par"), 4);
+    assert_identical(&seq, &par);
+    assert!(
+        seq.0.contains("OS-hot-cold") && seq.0.contains("epochs="),
+        "hot/cold migrator ran in the sweep: {}",
+        seq.0
+    );
+    assert!(
+        seq.1["runs.json"].contains("\"os_paging\":{\"policy\":\"OS-hot-cold\""),
+        "runs.json carries the migration block"
+    );
 }
 
 /// Widths beyond the job count (and odd widths) change nothing either.

@@ -8,7 +8,8 @@ use hemu_heap::{CollectorKind, GcStats, ManagedHeap};
 use hemu_machine::{CtxId, Machine, MachineProfile};
 use hemu_malloc::{NativeHeap, NativeStats};
 use hemu_obs::{TraceRecord, Tracer};
-use hemu_types::{ByteSize, HemuError, Result, SocketId};
+use hemu_os::OsPageManager;
+use hemu_types::{ByteSize, HemuError, OsPagingConfig, Result, SocketId};
 use hemu_workloads::{Language, Memory, StepResult, Workload, WorkloadSpec};
 
 /// A configured experiment: workload × collector × instances × machine.
@@ -30,6 +31,7 @@ pub struct Experiment {
     track_wear: bool,
     faults: Option<FaultPlan>,
     endurance: Option<EnduranceConfig>,
+    os: Option<OsPagingConfig>,
 }
 
 impl Experiment {
@@ -49,6 +51,7 @@ impl Experiment {
             track_wear: false,
             faults: None,
             endurance: None,
+            os: None,
         }
     }
 
@@ -80,6 +83,19 @@ impl Experiment {
     /// studies; the KG-B configurations still scale it 3×).
     pub fn nursery(mut self, nursery: ByteSize) -> Self {
         self.nursery_override = Some(nursery);
+        self
+    }
+
+    /// Hands page placement to an OS page manager instead of the GC: the
+    /// paper's kernel-side baseline, where first-touch placement and (for
+    /// [`hemu_os::OsPolicy::HotCold`]) epoch-driven hot-page migration
+    /// decide which socket each page lives on.
+    ///
+    /// OS-managed runs keep the PCM-Only collector (the heap layout the OS
+    /// baseline sees is placement-neutral); combining OS paging with a
+    /// write-rationing collector is rejected at [`Experiment::run`].
+    pub fn os_paging(mut self, cfg: OsPagingConfig) -> Self {
+        self.os = Some(cfg);
         self
     }
 
@@ -171,8 +187,18 @@ impl Experiment {
                 "C++ workloads run on the PCM-Only reference system".into(),
             ));
         }
+        if self.os.is_some() && self.collector != CollectorKind::PcmOnly {
+            return Err(HemuError::InvalidConfig(
+                "OS-managed placement replaces write-rationing: use the \
+                 PCM-Only collector with an OS policy"
+                    .into(),
+            ));
+        }
 
         let mut machine = Machine::new(self.profile);
+        // The OS page manager installs before anything touches memory, so
+        // even heap metadata is placed (and sampled) under its policy.
+        let mut os_mgr = self.os.map(|cfg| OsPageManager::install(&mut machine, cfg));
         if self.track_wear {
             machine.enable_wear_tracking();
         }
@@ -191,6 +217,9 @@ impl Experiment {
                     let nursery = self.nursery_override.unwrap_or(workload.base_nursery());
                     let cfg = self.collector.config(nursery, workload.heap_size());
                     let proc = machine.add_process(cfg.young_socket());
+                    if let Some(os) = &os_mgr {
+                        os.attach_process(&mut machine, proc);
+                    }
                     Memory::managed(ManagedHeap::with_chunk_policy(
                         &mut machine,
                         proc,
@@ -201,15 +230,20 @@ impl Experiment {
                 }
                 Language::Cpp => {
                     let proc = machine.add_process(SocketId::PCM);
+                    if let Some(os) = &os_mgr {
+                        os.attach_process(&mut machine, proc);
+                    }
                     Memory::native(NativeHeap::new(&mut machine, proc, ctx, SocketId::PCM))
                 }
             };
             instances.push((workload, mem));
         }
 
-        // Warm-up iteration (replay compilation's compile iteration).
+        // Warm-up iteration (replay compilation's compile iteration). The
+        // OS manager is polled here too, so hot pages migrate toward their
+        // steady-state placement before measurement starts.
         if self.warmup {
-            run_iteration(&mut machine, &mut instances, None)?;
+            run_iteration(&mut machine, &mut instances, None, os_mgr.as_mut())?;
             // All instances synchronize at a barrier and start the second
             // iteration at the same time (§IV).
             machine.barrier();
@@ -234,7 +268,12 @@ impl Experiment {
         let alloc_before: u64 = instances.iter().map(|(_, m)| m.allocated_bytes()).sum();
 
         let mut monitor = WriteRateMonitor::new(self.monitor_interval);
-        run_iteration(&mut machine, &mut instances, Some(&mut monitor))?;
+        run_iteration(
+            &mut machine,
+            &mut instances,
+            Some(&mut monitor),
+            os_mgr.as_mut(),
+        )?;
         // No cache flush here: the measured iteration starts with warm,
         // dirty caches (steady state after warm-up) and ends the same way,
         // so eviction traffic during the interval is exactly the
@@ -264,7 +303,11 @@ impl Experiment {
 
         let report = RunReport {
             workload: format!("{}", self.spec),
-            collector: if self.spec.language == Language::Cpp {
+            // OS-managed runs are keyed by the placement policy: that is
+            // the design point being swept, not the (neutral) collector.
+            collector: if let Some(cfg) = self.os {
+                cfg.policy.name().into()
+            } else if self.spec.language == Language::Cpp {
                 "malloc".into()
             } else {
                 self.collector.name().into()
@@ -300,6 +343,7 @@ impl Experiment {
                 effective_capacity: machine.memory().effective_capacity(SocketId::PCM),
             }),
             gc_pause_histogram,
+            os_paging: os_mgr.as_ref().map(OsPageManager::stats),
         };
         Ok((report, trace))
     }
@@ -312,6 +356,7 @@ fn run_iteration(
     machine: &mut Machine,
     instances: &mut [(Box<dyn Workload>, Memory)],
     mut monitor: Option<&mut WriteRateMonitor>,
+    mut os: Option<&mut OsPageManager>,
 ) -> Result<()> {
     let mut done = vec![false; instances.len()];
     let mut remaining = instances.len();
@@ -335,6 +380,11 @@ fn run_iteration(
         }
         if let Some(mon) = monitor.as_deref_mut() {
             mon.poll(machine);
+        }
+        // The OS migrator ticks at scheduler-round granularity, like a
+        // kernel balancing pass between time slices.
+        if let Some(os) = os.as_deref_mut() {
+            os.poll(machine)?;
         }
     }
     Ok(())

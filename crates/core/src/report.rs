@@ -6,6 +6,7 @@ use hemu_machine::MachineStats;
 use hemu_malloc::NativeStats;
 use hemu_obs::json::{JsonObject, ToJson};
 use hemu_obs::HistogramSnapshot;
+use hemu_os::OsStats;
 use hemu_types::ByteSize;
 use std::fmt;
 
@@ -53,6 +54,9 @@ pub struct RunReport {
     /// Distribution of stop-the-world GC pauses (virtual cycles) over the
     /// measured iteration, from the `gc.pause_cycles` metric.
     pub gc_pause_histogram: Option<HistogramSnapshot>,
+    /// OS page-manager activity (present when the run was placed by an
+    /// [`hemu_os::OsPolicy`] instead of a write-rationing collector).
+    pub os_paging: Option<OsStats>,
 }
 
 /// Per-line PCM wear statistics from the opt-in wear tracker.
@@ -150,7 +154,8 @@ impl ToJson for RunReport {
             .field("samples", &self.samples)
             .field("wear", &self.wear)
             .field("endurance", &self.endurance)
-            .field("gc_pause_histogram", &self.gc_pause_histogram);
+            .field("gc_pause_histogram", &self.gc_pause_histogram)
+            .field("os_paging", &self.os_paging);
         obj.finish();
     }
 }
@@ -197,6 +202,7 @@ mod tests {
             wear: None,
             endurance: None,
             gc_pause_histogram: None,
+            os_paging: None,
         }
     }
 

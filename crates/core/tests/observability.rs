@@ -125,6 +125,7 @@ fn report_json_schema_golden() {
         }),
         endurance: None,
         gc_pause_histogram: None,
+        os_paging: None,
     };
     let expected = concat!(
         "{\"workload\":\"lusearch\",\"collector\":\"KG-N\",\"profile\":\"emulation\",",
@@ -142,7 +143,8 @@ fn report_json_schema_golden() {
         "\"wear\":{\"pcm_lines_touched\":5,\"max_line_writes\":9,",
         "\"levelling_efficiency\":0.5},",
         "\"endurance\":null,",
-        "\"gc_pause_histogram\":null}",
+        "\"gc_pause_histogram\":null,",
+        "\"os_paging\":null}",
     );
     assert_eq!(report.to_json(), expected);
 }

@@ -1,0 +1,86 @@
+//! End-to-end OS-paging runs: a workload placed by the kernel-side
+//! baseline instead of a write-rationing collector.
+
+use hemu_core::Experiment;
+use hemu_heap::CollectorKind;
+use hemu_types::{ByteSize, HemuError, OsPagingConfig, OsPolicy};
+use hemu_workloads::WorkloadSpec;
+
+fn avrora() -> WorkloadSpec {
+    WorkloadSpec::by_name("avrora").unwrap()
+}
+
+/// A hot/cold config sized for avrora: DRAM small enough to spill and an
+/// epoch short enough to fire several times per iteration.
+fn hot_cold() -> OsPagingConfig {
+    let mut cfg = OsPagingConfig::new(OsPolicy::HotCold);
+    cfg.dram_limit = Some(ByteSize::from_mib(4));
+    cfg.epoch_lines = 20_000;
+    cfg
+}
+
+#[test]
+fn os_paging_requires_the_pcm_only_collector() {
+    let e = Experiment::new(avrora())
+        .collector(CollectorKind::KgN)
+        .os_paging(hot_cold());
+    assert!(matches!(e.run(), Err(HemuError::InvalidConfig(_))));
+}
+
+#[test]
+fn os_run_reports_policy_and_migration_activity() {
+    let r = Experiment::new(avrora())
+        .os_paging(hot_cold())
+        .run()
+        .unwrap();
+    assert_eq!(r.collector, "OS-hot-cold");
+    let os = r
+        .os_paging
+        .expect("OS-managed run carries the paging block");
+    assert_eq!(os.policy, OsPolicy::HotCold);
+    assert!(os.epochs > 0, "migrator ran during the measured iteration");
+    assert_eq!(os.migrations, os.promotions + os.demotions);
+    assert_eq!(os.migrated_bytes.bytes(), os.migrations * 4096);
+    // A GC-managed run carries no paging block.
+    let gc = Experiment::new(avrora()).run().unwrap();
+    assert!(gc.os_paging.is_none());
+    assert_eq!(gc.collector, "PCM-Only");
+}
+
+#[test]
+fn placement_policy_decides_where_writes_land() {
+    // Unrestricted DRAM: dram-first keeps the whole working set local,
+    // pcm-first puts every page on the wear-limited socket.
+    let dram_first = Experiment::new(avrora())
+        .os_paging(OsPagingConfig::new(OsPolicy::DramFirst))
+        .run()
+        .unwrap();
+    let pcm_first = Experiment::new(avrora())
+        .os_paging(OsPagingConfig::new(OsPolicy::PcmFirst))
+        .run()
+        .unwrap();
+    assert_eq!(dram_first.collector, "OS-dram-first");
+    assert_eq!(pcm_first.collector, "OS-pcm-first");
+    assert!(
+        dram_first.pcm_writes < pcm_first.pcm_writes,
+        "dram-first {} vs pcm-first {}",
+        dram_first.pcm_writes,
+        pcm_first.pcm_writes
+    );
+    assert_eq!(pcm_first.dram_writes, ByteSize::ZERO);
+}
+
+#[test]
+fn os_runs_are_deterministic() {
+    let a = Experiment::new(avrora())
+        .os_paging(hot_cold())
+        .run()
+        .unwrap();
+    let b = Experiment::new(avrora())
+        .os_paging(hot_cold())
+        .run()
+        .unwrap();
+    assert_eq!(a.pcm_writes, b.pcm_writes);
+    assert_eq!(a.os_paging, b.os_paging);
+    assert_eq!(a.elapsed_seconds, b.elapsed_seconds);
+}

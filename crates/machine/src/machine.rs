@@ -7,8 +7,8 @@ use hemu_numa::{AddressSpace, NumaMemory};
 use hemu_obs::json::{JsonObject, ToJson};
 use hemu_obs::{Counter, Obs, TraceEvent, Tracer};
 use hemu_types::{
-    AccessKind, Addr, ByteSize, Cycles, HemuError, LineAddr, MemoryAccess, Result, SocketId,
-    VirtualClock, CACHE_LINE, PAGE_SIZE,
+    AccessKind, Addr, ByteSize, Cycles, HemuError, LineAddr, MemoryAccess, PageNum, Result,
+    SocketId, VirtualClock, CACHE_LINE, PAGE_SIZE,
 };
 
 /// Remote fills are coalesced into one aggregate [`TraceEvent::QpiTransfer`]
@@ -340,6 +340,7 @@ impl Machine {
                     continue;
                 }
                 self.pages_remapped += remapped;
+                self.mem.heat_on_remap(old, new);
                 let old_line0 = old.phys_base().line().raw();
                 let new_line0 = new.phys_base().line().raw();
                 for i in 0..lines_per_page {
@@ -356,6 +357,103 @@ impl Machine {
                 }
             }
         }
+    }
+
+    /// Migrates the physical page in frame `old` to a fresh frame on
+    /// socket `to`, the primitive under OS hot/cold page migration: a
+    /// replacement frame is allocated on the target socket, every address
+    /// space's mapping of `old` is rewritten, the page copy is charged as
+    /// DMA-like controller traffic (a read of the old frame, a write of
+    /// the new — wearing PCM when `to` is the PCM socket) plus one page of
+    /// QPI transfer, a [`TraceEvent::PageMigrated`] is emitted, and the
+    /// old frame is freed. Page heat follows the page to its new frame
+    /// with epoch deltas restarted.
+    ///
+    /// Returns `Ok(None)` without side effects when the frame already
+    /// lives on `to` or is not mapped by any process, and `Ok(Some(new))`
+    /// after a successful move.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::OutOfPhysicalMemory`] when the target socket
+    /// has no free frame (the caller may demote something first and
+    /// retry), and propagates internal invariant violations.
+    pub fn migrate_frame(&mut self, old: PageNum, to: SocketId) -> Result<Option<PageNum>> {
+        let from = self.mem.socket_of_frame(old);
+        if from == to {
+            return Ok(None);
+        }
+        // Migration is an OS background operation; it must not be failed
+        // by the experiment's fault injector, so allocate uninjected.
+        let new = self.mem.allocate_frame_uninjected(to)?;
+        let mut remapped = 0;
+        for space in &mut self.spaces {
+            remapped += space.remap_frame(old, new);
+        }
+        if remapped == 0 {
+            // Nothing maps the frame (it was freed since sampling saw it);
+            // return the unused replacement and report "not migrated".
+            self.mem.free_frame(new)?;
+            return Ok(None);
+        }
+        let lines_per_page = (PAGE_SIZE / CACHE_LINE) as u64;
+        let old_line0 = old.phys_base().line().raw();
+        let new_line0 = new.phys_base().line().raw();
+        for i in 0..lines_per_page {
+            self.mem
+                .record_line_access(LineAddr::new(old_line0 + i), AccessKind::Read);
+            self.mem
+                .record_line_access(LineAddr::new(new_line0 + i), AccessKind::Write);
+        }
+        // The copy crosses the inter-socket link once per line.
+        self.qpi_lines.add(lines_per_page);
+        self.obs.tracer.record(
+            self.elapsed(),
+            TraceEvent::PageMigrated {
+                frame: old.raw(),
+                from,
+                to,
+            },
+        );
+        self.mem.heat_on_remap(old, new);
+        self.mem.free_frame(old)?;
+        // Demotion writes wear PCM and may retire a line's frame.
+        if self.mem.has_pending_retirements() {
+            self.process_retirements(None)?;
+        }
+        Ok(Some(new))
+    }
+
+    /// Hands page placement of `proc` to the OS: faults allocate on
+    /// `primary` and spill to `spill` when it is full, ignoring `mbind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn set_os_placement(&mut self, proc: ProcId, primary: SocketId, spill: Option<SocketId>) {
+        self.spaces[proc.0].set_os_placement(primary, spill);
+    }
+
+    /// Enables per-page read/write sampling (input to OS hot-page
+    /// migration). Off by default; GC-managed runs pay nothing.
+    pub fn enable_page_heat(&mut self) {
+        self.mem.enable_page_heat();
+    }
+
+    /// The page-heat tracker, if sampling is enabled.
+    pub fn page_heat(&self) -> Option<&hemu_numa::PageHeatTracker> {
+        self.mem.page_heat()
+    }
+
+    /// Closes the heat-sampling epoch (per-page deltas restart at zero).
+    pub fn reset_page_heat_epoch(&mut self) {
+        self.mem.reset_page_heat_epoch();
+    }
+
+    /// Caps one socket's allocatable capacity (OS-paging experiments need
+    /// a DRAM small enough to actually fill). Call before any allocation.
+    pub fn restrict_socket_capacity(&mut self, socket: SocketId, limit: ByteSize) {
+        self.mem.restrict_socket(socket, limit);
     }
 
     /// Advances `ctx`'s clock by pure compute work (no memory traffic).
@@ -661,6 +759,88 @@ mod tests {
             .unwrap();
         assert_eq!(m.socket_reads(SocketId::PCM).bytes(), 640);
         assert_eq!(m.pcm_writes(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn migrate_frame_moves_page_charges_traffic_and_keeps_translation() {
+        let mut m = machine();
+        let p = m.add_process(SocketId::PCM);
+        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0x7000), 64))
+            .unwrap();
+        let old = m
+            .address_space(p)
+            .translate_existing(Addr::new(0x7000))
+            .unwrap()
+            .frame();
+        assert_eq!(m.memory().socket_of_frame(old), SocketId::PCM);
+        let pcm_reads_before = m.socket_reads(SocketId::PCM).bytes();
+        let dram_writes_before = m.socket_writes(SocketId::DRAM).bytes();
+        let qpi_before = m.obs().metrics.counter_value("qpi.lines");
+
+        let new = m
+            .migrate_frame(old, SocketId::DRAM)
+            .unwrap()
+            .expect("mapped page migrates");
+        assert_eq!(m.memory().socket_of_frame(new), SocketId::DRAM);
+        // Translation is preserved, now pointing at the DRAM frame.
+        let after = m
+            .address_space(p)
+            .translate_existing(Addr::new(0x7000))
+            .unwrap();
+        assert_eq!(after.frame(), new);
+        // The copy shows as one page read at PCM, one page written at
+        // DRAM, and one page of QPI transfer.
+        let page = PAGE_SIZE as u64;
+        assert_eq!(
+            m.socket_reads(SocketId::PCM).bytes() - pcm_reads_before,
+            page
+        );
+        assert_eq!(
+            m.socket_writes(SocketId::DRAM).bytes() - dram_writes_before,
+            page
+        );
+        assert_eq!(
+            m.obs().metrics.counter_value("qpi.lines") - qpi_before,
+            page / CACHE_LINE as u64
+        );
+    }
+
+    #[test]
+    fn migrate_frame_is_a_no_op_for_same_socket_or_unmapped_frames() {
+        let mut m = machine();
+        let p = m.add_process(SocketId::PCM);
+        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0x7000), 64))
+            .unwrap();
+        let old = m
+            .address_space(p)
+            .translate_existing(Addr::new(0x7000))
+            .unwrap()
+            .frame();
+        assert_eq!(m.migrate_frame(old, SocketId::PCM).unwrap(), None);
+        // A frame nobody maps is not migrated either.
+        let stray = PageNum::new(17);
+        assert_eq!(m.migrate_frame(stray, SocketId::PCM).unwrap(), None);
+    }
+
+    #[test]
+    fn migration_demotion_wears_pcm() {
+        let mut m = machine();
+        m.enable_wear_tracking();
+        let p = m.add_process(SocketId::DRAM);
+        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0x3000), 64))
+            .unwrap();
+        let old = m
+            .address_space(p)
+            .translate_existing(Addr::new(0x3000))
+            .unwrap()
+            .frame();
+        m.migrate_frame(old, SocketId::PCM).unwrap().unwrap();
+        let wear = m.memory().wear().unwrap();
+        assert_eq!(
+            wear.lines_touched() as u64,
+            (PAGE_SIZE / CACHE_LINE) as u64,
+            "the demotion copy wears every line of the PCM frame"
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod pagetable;
 mod qpi;
 mod wear;
 
-pub use counters::MemoryCounters;
+pub use counters::{MemoryCounters, PageHeat, PageHeatTracker};
 pub use memory::{NumaConfig, NumaMemory, SocketMemory};
 pub use pagetable::AddressSpace;
 pub use qpi::QpiLink;

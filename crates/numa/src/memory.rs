@@ -1,6 +1,6 @@
 //! The physical side of the machine: sockets, frames, and controllers.
 
-use crate::counters::MemoryCounters;
+use crate::counters::{MemoryCounters, PageHeatTracker};
 use crate::wear::WearTracker;
 use hemu_fault::{EnduranceConfig, EnduranceModel, FaultInjector};
 use hemu_types::{AccessKind, ByteSize, HemuError, LineAddr, PageNum, Result, SocketId, PAGE_SIZE};
@@ -152,6 +152,14 @@ impl SocketMemory {
     pub fn owns_frame(&self, frame: PageNum) -> bool {
         (self.first_frame..self.first_frame + self.frame_count).contains(&frame.raw())
     }
+
+    /// Caps this socket's allocatable capacity at `frames` (no-op when it
+    /// is already smaller). Intended for OS-paging experiments that need a
+    /// DRAM small enough to actually fill; call it before any allocation —
+    /// frames already handed out are unaffected but never reclaimed.
+    fn restrict_frames(&mut self, frames: u64) {
+        self.frame_count = self.frame_count.min(frames.max(1));
+    }
 }
 
 /// Endurance bookkeeping: the budget model plus the queue of frames that
@@ -180,6 +188,8 @@ pub struct NumaMemory {
     frames_per_socket: u64,
     /// Opt-in per-line wear tracking on the PCM socket.
     wear: Option<WearTracker>,
+    /// Opt-in per-page read/write sampling (OS hot-page migration input).
+    heat: Option<PageHeatTracker>,
     /// Opt-in endurance modeling (implies wear tracking).
     endurance: Option<EnduranceState>,
     /// Opt-in deterministic fault injection.
@@ -209,9 +219,49 @@ impl NumaMemory {
             sockets,
             frames_per_socket,
             wear: None,
+            heat: None,
             endurance: None,
             injector: None,
         }
+    }
+
+    /// Enables per-page read/write sampling on every socket. Costs one
+    /// B-tree update per line transfer; off by default so GC-managed runs
+    /// pay nothing.
+    pub fn enable_page_heat(&mut self) {
+        if self.heat.is_none() {
+            self.heat = Some(PageHeatTracker::new());
+        }
+    }
+
+    /// The page-heat tracker, if enabled.
+    pub fn page_heat(&self) -> Option<&PageHeatTracker> {
+        self.heat.as_ref()
+    }
+
+    /// Closes the heat-sampling epoch: per-page epoch deltas restart at
+    /// zero, cumulative totals stay. No-op when sampling is off.
+    pub fn reset_page_heat_epoch(&mut self) {
+        if let Some(h) = self.heat.as_mut() {
+            h.epoch_reset();
+        }
+    }
+
+    /// Follows a physical remap `old → new` in the heat tracker (page
+    /// migration and wear-out retirement both route through this). No-op
+    /// when sampling is off.
+    pub fn heat_on_remap(&mut self, old: PageNum, new: PageNum) {
+        if let Some(h) = self.heat.as_mut() {
+            h.on_remap(old, new);
+        }
+    }
+
+    /// Caps one socket's allocatable capacity (see the OS-paging
+    /// experiments: the default 8 GiB DRAM never fills, so first-touch
+    /// placement would face no pressure). Call before any allocation.
+    pub fn restrict_socket(&mut self, socket: SocketId, limit: ByteSize) {
+        let frames = limit.bytes() / PAGE_SIZE as u64;
+        self.sockets[socket.index()].restrict_frames(frames);
     }
 
     /// Enables per-line wear tracking on the PCM socket (socket 1). Costs
@@ -390,6 +440,9 @@ impl NumaMemory {
     pub fn record_line_access(&mut self, line: LineAddr, kind: AccessKind) {
         let s = self.socket_of_line(line);
         self.sockets[s.index()].counters.record(kind);
+        if let Some(h) = self.heat.as_mut() {
+            h.record(line.frame(), kind);
+        }
         if kind.is_write() && s == SocketId::PCM {
             if let Some(w) = self.wear.as_mut() {
                 let count = w.record(line);
@@ -549,6 +602,39 @@ mod tests {
         ));
         // The recovery path bypasses injection.
         assert!(m.allocate_frame_uninjected(SocketId::DRAM).is_ok());
+    }
+
+    #[test]
+    fn page_heat_attributes_lines_to_frames() {
+        let mut m = small();
+        m.enable_page_heat();
+        let f = m.allocate_frame(SocketId::PCM).unwrap();
+        let line = f.phys_base().line();
+        m.record_line_access(line, AccessKind::Write);
+        m.record_line_access(line, AccessKind::Write);
+        m.record_line_access(line, AccessKind::Read);
+        let h = m.page_heat().unwrap().heat(f);
+        assert_eq!((h.writes, h.reads), (2, 1));
+        m.reset_page_heat_epoch();
+        let h = m.page_heat().unwrap().heat(f);
+        assert_eq!((h.writes, h.epoch_writes), (2, 0));
+    }
+
+    #[test]
+    fn restrict_socket_caps_allocatable_frames() {
+        let mut m = small(); // 4 frames per socket
+        m.restrict_socket(SocketId::DRAM, ByteSize::from_kib(8)); // 2 frames
+        assert!(m.allocate_frame(SocketId::DRAM).is_ok());
+        assert!(m.allocate_frame(SocketId::DRAM).is_ok());
+        assert!(matches!(
+            m.allocate_frame(SocketId::DRAM),
+            Err(HemuError::OutOfPhysicalMemory { socket, .. }) if socket == SocketId::DRAM
+        ));
+        // PCM keeps its full capacity, and address decoding is unchanged.
+        for _ in 0..4 {
+            let f = m.allocate_frame(SocketId::PCM).unwrap();
+            assert_eq!(m.socket_of_frame(f), SocketId::PCM);
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Per-process virtual address spaces: page tables plus `mbind` policy.
 
 use crate::memory::NumaMemory;
-use hemu_types::{Addr, ByteSize, PageNum, PhysAddr, Result, SocketId, PAGE_SIZE};
+use hemu_types::{Addr, ByteSize, HemuError, PageNum, PhysAddr, Result, SocketId, PAGE_SIZE};
 use std::collections::{BTreeMap, HashMap};
 
 /// A binding-policy range: pages `[start, end)` must be faulted in on
@@ -38,6 +38,11 @@ pub struct AddressSpace {
     table: HashMap<u64, PageNum>,
     policy: BTreeMap<u64, PolicyRange>,
     default_socket: SocketId,
+    /// When set, the OS owns placement: faults allocate on the primary
+    /// socket and spill to the secondary once it is exhausted, ignoring
+    /// the `mbind` policy map entirely (the runtime's hints are advisory
+    /// under an OS-managed memory configuration).
+    os_placement: Option<(SocketId, Option<SocketId>)>,
     faults: u64,
     unmapped_pages: u64,
     remapped_pages: u64,
@@ -58,6 +63,18 @@ impl AddressSpace {
             default_socket: socket,
             ..Self::default()
         }
+    }
+
+    /// Hands page placement to the OS: subsequent faults allocate on
+    /// `primary` first and fall back to `spill` once it is full, ignoring
+    /// any `mbind` bindings. Already-mapped pages keep their frames.
+    pub fn set_os_placement(&mut self, primary: SocketId, spill: Option<SocketId>) {
+        self.os_placement = Some((primary, spill));
+    }
+
+    /// The OS placement override, if one is installed.
+    pub fn os_placement(&self) -> Option<(SocketId, Option<SocketId>)> {
+        self.os_placement
     }
 
     /// Sets the binding policy for the virtual range `[start, start + len)`.
@@ -145,8 +162,19 @@ impl AddressSpace {
         match self.table.get(&vpage) {
             Some(f) => Ok(*f),
             None => {
-                let socket = self.socket_of(addr);
-                let f = mem.allocate_frame(socket)?;
+                let f = match self.os_placement {
+                    // OS-managed: first touch on the primary socket, spill
+                    // only on genuine exhaustion (injected transient faults
+                    // must propagate, not silently change placement).
+                    Some((primary, spill)) => match mem.allocate_frame(primary) {
+                        Ok(f) => f,
+                        Err(HemuError::OutOfPhysicalMemory { .. }) if spill.is_some() => {
+                            mem.allocate_frame(spill.expect("checked by guard"))?
+                        }
+                        Err(e) => return Err(e),
+                    },
+                    None => mem.allocate_frame(self.socket_of(addr))?,
+                };
                 self.table.insert(vpage, f);
                 self.faults += 1;
                 Ok(f)
@@ -332,6 +360,89 @@ mod tests {
         assert_eq!(asp.fault_count(), 1);
         // Remapping an unknown frame is a no-op.
         assert_eq!(asp.remap_frame(PageNum::new(999_999), replacement), 0);
+    }
+
+    #[test]
+    fn os_placement_overrides_mbind_and_spills_on_exhaustion() {
+        // 4-frame sockets: DRAM fills after 4 faults, then spills to PCM.
+        let mut m = NumaMemory::new(NumaConfig {
+            sockets: 2,
+            capacity_per_socket: ByteSize::from_kib(16),
+        });
+        let mut asp = AddressSpace::new();
+        // The runtime's mbind says PCM, but the OS owns placement.
+        asp.mbind(Addr::new(0), ByteSize::from_mib(1), SocketId::PCM);
+        asp.set_os_placement(SocketId::DRAM, Some(SocketId::PCM));
+        for i in 0..4u64 {
+            let pa = asp.translate(Addr::new(i * 4096), &mut m).unwrap();
+            assert_eq!(m.socket_of_frame(pa.frame()), SocketId::DRAM);
+        }
+        for i in 4..6u64 {
+            let pa = asp.translate(Addr::new(i * 4096), &mut m).unwrap();
+            assert_eq!(m.socket_of_frame(pa.frame()), SocketId::PCM, "spilled");
+        }
+    }
+
+    #[test]
+    fn os_placement_without_spill_propagates_exhaustion() {
+        let mut m = NumaMemory::new(NumaConfig {
+            sockets: 2,
+            capacity_per_socket: ByteSize::from_kib(8), // 2 frames
+        });
+        let mut asp = AddressSpace::new();
+        asp.set_os_placement(SocketId::PCM, None);
+        asp.translate(Addr::new(0), &mut m).unwrap();
+        asp.translate(Addr::new(4096), &mut m).unwrap();
+        assert!(matches!(
+            asp.translate(Addr::new(8192), &mut m),
+            Err(HemuError::OutOfPhysicalMemory { socket, .. }) if socket == SocketId::PCM
+        ));
+    }
+
+    /// Per-page counter sampling + reset is exact across a page-table
+    /// remap: the migrated page keeps its cumulative totals under the new
+    /// frame and its epoch deltas restart at zero, while the vacated frame
+    /// reads as cold.
+    #[test]
+    fn page_heat_is_exact_across_a_remap() {
+        use hemu_types::AccessKind;
+        let mut m = mem();
+        m.enable_page_heat();
+        let mut asp = AddressSpace::new();
+        let pa = asp.translate(Addr::new(0x5000), &mut m).unwrap();
+        let old = pa.frame();
+        for _ in 0..6 {
+            m.record_line_access(pa.line(), AccessKind::Write);
+        }
+        m.record_line_access(pa.line(), AccessKind::Read);
+
+        // Migrate the page to a new frame, mirroring what the machine's
+        // migration engine does: remap the table, then move the heat.
+        let new = m.allocate_frame(SocketId::PCM).unwrap();
+        assert_eq!(asp.remap_frame(old, new), 1);
+        m.heat_on_remap(old, new);
+
+        let heat = m.page_heat().unwrap();
+        let migrated = heat.heat(new);
+        assert_eq!((migrated.writes, migrated.reads), (6, 1), "totals follow");
+        assert_eq!(
+            (migrated.epoch_writes, migrated.epoch_reads),
+            (0, 0),
+            "epoch deltas restart at zero on migration"
+        );
+        assert_eq!(heat.heat(old).writes, 0, "vacated frame is cold");
+
+        // Post-migration accesses land on the new frame and epoch deltas
+        // resume exactly from zero.
+        let pa2 = asp.translate(Addr::new(0x5000), &mut m).unwrap();
+        assert_eq!(pa2.frame(), new);
+        m.record_line_access(pa2.line(), AccessKind::Write);
+        let h = m.page_heat().unwrap().heat(new);
+        assert_eq!((h.writes, h.epoch_writes), (7, 1));
+        // And an epoch reset zeroes deltas without touching totals.
+        m.reset_page_heat_epoch();
+        let h = m.page_heat().unwrap().heat(new);
+        assert_eq!((h.writes, h.epoch_writes), (7, 0));
     }
 
     #[test]

@@ -78,6 +78,16 @@ pub enum TraceEvent {
         /// New owning socket.
         socket: SocketId,
     },
+    /// The OS page manager (or wear-out retirement) moved a physical page
+    /// between sockets; the copy traffic is charged at both controllers.
+    PageMigrated {
+        /// The physical frame that was vacated.
+        frame: u64,
+        /// Socket the page lived on.
+        from: SocketId,
+        /// Socket the page now lives on.
+        to: SocketId,
+    },
     /// A batch of cache lines crossed the inter-socket QPI link.
     ///
     /// Individual remote fills are far too frequent to trace one-by-one;
@@ -111,6 +121,7 @@ impl TraceEvent {
             TraceEvent::ChunkMap { .. } => "chunk_map",
             TraceEvent::ChunkUnmap { .. } => "chunk_unmap",
             TraceEvent::ChunkRebind { .. } => "chunk_rebind",
+            TraceEvent::PageMigrated { .. } => "page_migrated",
             TraceEvent::QpiTransfer { .. } => "qpi_transfer",
             TraceEvent::MonitorSample { .. } => "monitor_sample",
             TraceEvent::Phase { .. } => "phase",
@@ -154,6 +165,11 @@ impl ToJson for TraceRecord {
             }
             TraceEvent::ChunkRebind { addr, socket } => {
                 obj.field("addr", addr).field("socket", socket);
+            }
+            TraceEvent::PageMigrated { frame, from, to } => {
+                obj.field("frame", frame)
+                    .field("from", from)
+                    .field("to", to);
             }
             TraceEvent::QpiTransfer { lines } => {
                 obj.field("lines", lines);
@@ -334,6 +350,22 @@ mod tests {
         assert_eq!(
             rec.to_json(),
             r#"{"t_cycles":10,"event":"chunk_map","addr":4096,"socket":1,"recycled":true}"#
+        );
+    }
+
+    #[test]
+    fn page_migrated_serializes_with_both_sockets() {
+        let rec = TraceRecord {
+            t: at(7),
+            event: TraceEvent::PageMigrated {
+                frame: 123,
+                from: SocketId::PCM,
+                to: SocketId::DRAM,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"t_cycles":7,"event":"page_migrated","frame":123,"from":1,"to":0}"#
         );
     }
 

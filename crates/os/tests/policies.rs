@@ -1,0 +1,125 @@
+//! Acceptance tests for OS-level page placement: first-touch order,
+//! spill-on-exhaustion, and the hot-page migrator's effect on PCM writes.
+
+use hemu_machine::{CtxId, Machine, MachineProfile, ProcId};
+use hemu_os::{OsPageManager, OsPagingConfig, OsPolicy, OsStats};
+use hemu_types::{Addr, ByteSize, MemoryAccess, SocketId, PAGE_SIZE};
+
+const PAGE: u64 = PAGE_SIZE as u64;
+
+fn page_addr(i: u64) -> Addr {
+    Addr::new(i * PAGE)
+}
+
+/// The socket each of the first `n` pages of `proc` landed on.
+fn placements(m: &Machine, proc: ProcId, n: u64) -> Vec<SocketId> {
+    (0..n)
+        .map(|i| {
+            let frame = m
+                .address_space(proc)
+                .translate_existing(page_addr(i))
+                .expect("page was touched")
+                .frame();
+            m.memory().socket_of_frame(frame)
+        })
+        .collect()
+}
+
+#[test]
+fn dram_first_fills_dram_then_spills_to_pcm() {
+    let mut m = Machine::new(MachineProfile::emulation());
+    let mut cfg = OsPagingConfig::new(OsPolicy::DramFirst);
+    cfg.dram_limit = Some(ByteSize::new(4 * PAGE));
+    let os = OsPageManager::install(&mut m, cfg);
+    // Default socket is PCM: first-touch placement must override it.
+    let p = m.add_process(SocketId::PCM);
+    os.attach_process(&mut m, p);
+    for i in 0..6 {
+        m.access(CtxId(0), p, MemoryAccess::write(page_addr(i), 64))
+            .unwrap();
+    }
+    let (dram, pcm) = (SocketId::DRAM, SocketId::PCM);
+    assert_eq!(
+        placements(&m, p, 6),
+        vec![dram, dram, dram, dram, pcm, pcm],
+        "first 4 pages fill the restricted DRAM, later faults spill to PCM"
+    );
+}
+
+#[test]
+fn pcm_first_places_everything_on_pcm() {
+    let mut m = Machine::new(MachineProfile::emulation());
+    let os = OsPageManager::install(&mut m, OsPagingConfig::new(OsPolicy::PcmFirst));
+    let p = m.add_process(SocketId::DRAM);
+    os.attach_process(&mut m, p);
+    for i in 0..6 {
+        m.access(CtxId(0), p, MemoryAccess::write(page_addr(i), 64))
+            .unwrap();
+    }
+    assert!(placements(&m, p, 6).iter().all(|&s| s == SocketId::PCM));
+}
+
+/// A deterministic write-hot synthetic: a 32-page working set touched once,
+/// then 4 of the spilled pages hammered with one line write per round. The
+/// machine flushes every round so the writes reach a controller, and the
+/// manager is polled like the experiment scheduler would.
+fn run_synthetic(policy: OsPolicy) -> (u64, OsStats) {
+    let mut m = Machine::new(MachineProfile::emulation());
+    let mut cfg = OsPagingConfig::new(policy);
+    cfg.dram_limit = Some(ByteSize::new(8 * PAGE));
+    cfg.epoch_lines = 16;
+    cfg.hot_write_threshold = 2;
+    cfg.migration_budget = 16;
+    let mut os = OsPageManager::install(&mut m, cfg);
+    let p = m.add_process(SocketId::DRAM);
+    os.attach_process(&mut m, p);
+    for i in 0..32 {
+        m.access(CtxId(0), p, MemoryAccess::write(page_addr(i), 64))
+            .unwrap();
+    }
+    m.flush_caches().unwrap();
+    // Pages 28..32 faulted after DRAM filled, so under dram-first placement
+    // they live on PCM when the hot phase starts.
+    for _round in 0..200 {
+        for i in 28..32 {
+            m.access(CtxId(0), p, MemoryAccess::write(page_addr(i), 64))
+                .unwrap();
+        }
+        m.flush_caches().unwrap();
+        os.poll(&mut m).unwrap();
+    }
+    (m.memory().counters(SocketId::PCM).write_lines(), os.stats())
+}
+
+#[test]
+fn hot_page_promotion_reduces_pcm_writes_vs_pcm_first() {
+    let (hot_cold_writes, hot_cold) = run_synthetic(OsPolicy::HotCold);
+    let (pcm_first_writes, pcm_first) = run_synthetic(OsPolicy::PcmFirst);
+    assert_eq!(pcm_first.migrations, 0, "PcmFirst never migrates");
+    assert!(hot_cold.epochs > 0, "the migrator ran: {hot_cold:?}");
+    assert!(
+        hot_cold.promotions >= 4,
+        "all 4 hot pages were promoted: {hot_cold:?}"
+    );
+    assert!(
+        hot_cold.demotions > 0,
+        "promotions into a full DRAM demote cold pages: {hot_cold:?}"
+    );
+    assert_eq!(
+        hot_cold.migrated_bytes.bytes(),
+        hot_cold.migrations * PAGE,
+        "one page copied per migration"
+    );
+    assert!(
+        hot_cold_writes < pcm_first_writes,
+        "promoting the write-hot pages must shield PCM: \
+         hot-cold {hot_cold_writes} lines vs pcm-first {pcm_first_writes} lines"
+    );
+}
+
+#[test]
+fn hot_cold_migration_is_deterministic() {
+    let a = run_synthetic(OsPolicy::HotCold);
+    let b = run_synthetic(OsPolicy::HotCold);
+    assert_eq!(a, b, "same inputs, same placement decisions, same traffic");
+}

@@ -23,6 +23,7 @@ pub mod access;
 pub mod addr;
 pub mod clock;
 pub mod error;
+pub mod os;
 pub mod rng;
 pub mod size;
 
@@ -30,5 +31,6 @@ pub use access::{AccessKind, MemoryAccess};
 pub use addr::{Addr, LineAddr, PageNum, PhysAddr, SocketId};
 pub use clock::{Cycles, VirtualClock};
 pub use error::{HemuError, Result};
+pub use os::{OsPagingConfig, OsPolicy};
 pub use rng::DeterministicRng;
 pub use size::{ByteSize, CACHE_LINE, CHUNK_SIZE, GIB, KIB, MIB, PAGE_SIZE, WORD};

@@ -1,0 +1,136 @@
+//! OS-level page-placement vocabulary: policies and their tuning knobs.
+//!
+//! The paper's platform supports two owners of the DRAM/PCM split: the
+//! language runtime (the Kingsguard collectors) and the operating system's
+//! virtual-memory layer (first-touch placement plus hot/cold page
+//! migration). These types name the OS-side design points so the rest of
+//! the stack can sweep a workload under either manager.
+
+use crate::error::{HemuError, Result};
+use crate::size::ByteSize;
+use std::fmt;
+
+/// An OS page-placement policy: who decides which socket a page lives on
+/// when the kernel, not the GC, owns placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OsPolicy {
+    /// First-touch into DRAM; spill to PCM once DRAM is exhausted. No
+    /// migration — the classic local-allocation default.
+    DramFirst,
+    /// First-touch into PCM; spill to DRAM once PCM is exhausted. The
+    /// adversarial baseline: every page starts on the wear-limited device.
+    PcmFirst,
+    /// First-touch into DRAM with spill, plus an epoch-driven hot-page
+    /// migrator: each epoch, write-hot PCM pages are promoted to DRAM and
+    /// cold DRAM pages are demoted to make room, under a migration budget.
+    HotCold,
+}
+
+impl OsPolicy {
+    /// Every policy, in sweep order.
+    pub const ALL: [OsPolicy; 3] = [OsPolicy::DramFirst, OsPolicy::PcmFirst, OsPolicy::HotCold];
+
+    /// Stable display name used in run keys, reports and figures
+    /// (`OS-dram-first`, `OS-pcm-first`, `OS-hot-cold`).
+    pub fn name(self) -> &'static str {
+        match self {
+            OsPolicy::DramFirst => "OS-dram-first",
+            OsPolicy::PcmFirst => "OS-pcm-first",
+            OsPolicy::HotCold => "OS-hot-cold",
+        }
+    }
+
+    /// Parses the CLI spelling (`dram-first`, `pcm-first`, `hot-cold`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::InvalidConfig`] for an unknown name.
+    pub fn parse(s: &str) -> Result<OsPolicy> {
+        match s.trim() {
+            "dram-first" => Ok(OsPolicy::DramFirst),
+            "pcm-first" => Ok(OsPolicy::PcmFirst),
+            "hot-cold" => Ok(OsPolicy::HotCold),
+            other => Err(HemuError::InvalidConfig(format!(
+                "unknown OS policy `{other}` (expected dram-first, pcm-first or hot-cold)"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for OsPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tuning of an OS-managed run: the policy plus the hot-page migrator's
+/// knobs (ignored by the non-migrating policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsPagingConfig {
+    /// The placement policy.
+    pub policy: OsPolicy,
+    /// Epoch length in machine line accesses between migration decisions.
+    pub epoch_lines: u64,
+    /// Maximum pages moved (promotions + demotions) per epoch.
+    pub migration_budget: u64,
+    /// A PCM page is promotion-hot when its per-epoch write count reaches
+    /// this threshold.
+    pub hot_write_threshold: u64,
+    /// When set, DRAM capacity visible to the OS run is clamped to this
+    /// size, so first-touch placement actually faces pressure (the default
+    /// 8 GiB socket never fills under the benchmark working sets).
+    pub dram_limit: Option<ByteSize>,
+}
+
+impl OsPagingConfig {
+    /// A config for `policy` with the default migrator tuning.
+    pub fn new(policy: OsPolicy) -> Self {
+        OsPagingConfig {
+            policy,
+            epoch_lines: 200_000,
+            migration_budget: 64,
+            hot_write_threshold: 8,
+            dram_limit: None,
+        }
+    }
+}
+
+impl Default for OsPagingConfig {
+    fn default() -> Self {
+        OsPagingConfig::new(OsPolicy::HotCold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(OsPolicy::DramFirst.name(), "OS-dram-first");
+        assert_eq!(OsPolicy::PcmFirst.name(), "OS-pcm-first");
+        assert_eq!(OsPolicy::HotCold.name(), "OS-hot-cold");
+        assert_eq!(format!("{}", OsPolicy::HotCold), "OS-hot-cold");
+    }
+
+    #[test]
+    fn parse_round_trips_cli_spellings() {
+        assert_eq!(OsPolicy::parse("dram-first").unwrap(), OsPolicy::DramFirst);
+        assert_eq!(OsPolicy::parse(" pcm-first ").unwrap(), OsPolicy::PcmFirst);
+        assert_eq!(OsPolicy::parse("hot-cold").unwrap(), OsPolicy::HotCold);
+        assert!(matches!(
+            OsPolicy::parse("numa-balancing"),
+            Err(HemuError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn default_config_is_hot_cold_with_sane_knobs() {
+        let c = OsPagingConfig::default();
+        assert_eq!(c.policy, OsPolicy::HotCold);
+        assert!(c.epoch_lines > 0);
+        assert!(c.migration_budget > 0);
+        assert!(c.hot_write_threshold > 0);
+        assert!(c.dram_limit.is_none());
+    }
+}

@@ -68,6 +68,38 @@ fn avrora_completes_an_iteration_within_budget() {
     assert!(finished, "avrora did not finish an iteration");
 }
 
+/// OS-managed placement: the same managed workload, but with the
+/// kernel-side first-touch override installed. Every page the heap asks
+/// for on the PCM socket is placed on DRAM instead, and the per-page heat
+/// counters see the traffic the workload generates.
+#[test]
+fn os_placement_overrides_the_heap_socket() {
+    let s = WorkloadSpec::by_name("avrora").unwrap();
+    let mut machine = Machine::new(MachineProfile::emulation());
+    let mut w = s.instantiate(11);
+    let cfg = CollectorKind::PcmOnly.config(w.base_nursery(), w.heap_size());
+    let proc = machine.add_process(cfg.young_socket());
+    machine.set_os_placement(proc, SocketId::DRAM, Some(SocketId::PCM));
+    machine.enable_page_heat();
+    let mut mem =
+        Memory::managed(ManagedHeap::new(&mut machine, proc, CtxId(0), cfg).expect("heap builds"));
+    for _ in 0..500 {
+        if let StepResult::IterationDone = w.step(&mut machine, &mut mem).expect("step succeeds") {
+            break;
+        }
+    }
+    machine.flush_caches().expect("flush succeeds");
+    let dram = machine.memory().counters(SocketId::DRAM).write_lines();
+    let pcm = machine.memory().counters(SocketId::PCM).write_lines();
+    assert!(dram > 0, "workload traffic must reach the DRAM controller");
+    assert_eq!(pcm, 0, "first-touch DRAM placement left nothing on PCM");
+    let heat = machine.page_heat().expect("heat tracking enabled");
+    assert!(
+        heat.iter().any(|(_, h)| h.writes > 0),
+        "per-page counters must see the workload's writes"
+    );
+}
+
 #[test]
 fn names_round_trip_through_the_registry() {
     for s in spec::all_default() {

@@ -16,7 +16,8 @@ cargo fmt --all --check
 echo "== clippy: no unwrap() in library code =="
 cargo clippy --offline --lib \
   -p hemu-types -p hemu-obs -p hemu-fault -p hemu-numa -p hemu-cache \
-  -p hemu-machine -p hemu-heap -p hemu-malloc -p hemu-workloads -p hemu-core \
+  -p hemu-machine -p hemu-heap -p hemu-malloc -p hemu-workloads -p hemu-os \
+  -p hemu-core \
   -- -D clippy::unwrap_used
 
 echo "== fault smoke: sweep survives transient faults (expect exit 0) =="
@@ -35,6 +36,11 @@ fi
 grep -q '"status":"failed"' "$smoke_dir/oom/runs.json"
 grep -q 'forced-oom' "$smoke_dir/oom/runs.json"
 grep -q '"status":"ok"' "$smoke_dir/oom/runs.json"
+
+echo "== OS-paging smoke: GC-vs-OS sweep runs the hot/cold migrator (expect exit 0) =="
+./target/release/repro os --scale quick --os-policy hot-cold --json-out "$smoke_dir/os"
+grep -q '"collector":"OS-hot-cold"' "$smoke_dir/os/runs.json"
+grep -q '"os_paging":{"policy":"OS-hot-cold"' "$smoke_dir/os/runs.json"
 
 echo "== parallel smoke: --jobs 4 artifacts match --jobs 1 byte-for-byte =="
 ./target/release/repro fig3 --scale quick --jobs 1 --json-out "$smoke_dir/j1" \

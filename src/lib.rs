@@ -19,6 +19,7 @@
 //! | workloads | [`workloads`] (`hemu-workloads`) | 11 DaCapo models, Pjbb, GraphChi PR/CC/ALS in Java and C++ modes |
 //! | managed runtime | [`heap`] (`hemu-heap`) | two-free-list heap layout, spaces, barriers, 8 collector configurations |
 //! | manual runtime | [`malloc`] (`hemu-malloc`) | C/C++ size-class allocator |
+//! | OS paging | [`os`] (`hemu-os`) | first-touch placement, hot/cold page migration |
 //! | machine | [`machine`] (`hemu-machine`) | contexts, address spaces, timing |
 //! | caches | [`cache`] (`hemu-cache`) | private L2s + shared inclusive 20 MB LLC, write-back |
 //! | memory | [`numa`] (`hemu-numa`) | two sockets, page tables, `mbind`, controller counters |
@@ -56,6 +57,7 @@ pub use hemu_machine as machine;
 pub use hemu_malloc as malloc;
 pub use hemu_numa as numa;
 pub use hemu_obs as obs;
+pub use hemu_os as os;
 pub use hemu_types as types;
 pub use hemu_workloads as workloads;
 
