@@ -6,12 +6,20 @@
 //! cargo run -p hemu-bench --bin repro --release -- table2 --json-out out/ --trace-out out/trace.jsonl
 //! ```
 //!
-//! Targets: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 table3 os all`.
+//! Targets: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 table3 os
+//! write_breakdown all`.
 //! `--quick` (or `--scale quick`) restricts DaCapo to the seven-benchmark
 //! §V subset.
 //! `--json-out <dir>` writes one `<run>.json` per executed experiment plus
 //! the combined `runs.json` and `samples.csv`; `--trace-out <file>` appends
 //! every executed run's measured-iteration event trace as JSON Lines.
+//!
+//! Profiler flags (see `docs/observability.md`): `--profile` runs every
+//! harness experiment under the phase-and-provenance profiler (reports gain
+//! the per-cause/per-space write-attribution block); `--timeline-out
+//! <file>` writes the runs' virtual-time spans as a Chrome trace-event JSON
+//! document loadable in Perfetto; `--heatmap-out <file>` writes a per-page
+//! PCM wear CSV. The export flags imply `--profile`.
 //!
 //! Resilience flags (see `docs/fault-injection.md`):
 //! `--faults <spec>` installs a deterministic fault plan (`smoke`, `none`,
@@ -72,6 +80,9 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_out = take_value_flag(&mut args, "--json-out");
     let trace_out = take_value_flag(&mut args, "--trace-out");
+    let timeline_out = take_value_flag(&mut args, "--timeline-out");
+    let heatmap_out = take_value_flag(&mut args, "--heatmap-out");
+    let profile = take_bool_flag(&mut args, "--profile");
     let faults = take_value_flag(&mut args, "--faults");
     let endurance = take_value_flag(&mut args, "--endurance");
     let run_deadline = take_value_flag(&mut args, "--run-deadline");
@@ -143,6 +154,7 @@ fn main() {
             "fig8",
             "os",
             "ablations",
+            "write_breakdown",
         ];
     }
 
@@ -207,6 +219,19 @@ fn main() {
             std::process::exit(1);
         }
     }
+    h.set_profile(profile);
+    if let Some(path) = &timeline_out {
+        if let Err(e) = h.set_timeline_out(path) {
+            eprintln!("--timeline-out: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &heatmap_out {
+        if let Err(e) = h.set_heatmap_out(path) {
+            eprintln!("--heatmap-out: {e}");
+            std::process::exit(1);
+        }
+    }
     if let Some(spec) = &faults {
         match FaultPlan::parse(spec) {
             Ok(plan) => h.set_fault_plan(plan),
@@ -261,6 +286,7 @@ fn main() {
             "table3" => h.run_planned(experiments::table3),
             "os" => h.run_planned(|h| experiments::os_baseline(h, &os_policies)),
             "ablations" => experiments::ablations(),
+            "write_breakdown" => experiments::write_breakdown(h.os_tuning(), &os_policies),
             s if s.starts_with("series:") => {
                 // e.g. `series:lusearch` or `series:pr`.
                 experiments::series(&s["series:".len()..], hemu_heap::CollectorKind::PcmOnly)
@@ -295,6 +321,12 @@ fn main() {
     }
     if let Some(path) = &trace_out {
         println!("[event trace written to {path}]");
+    }
+    if let Some(path) = &timeline_out {
+        println!("[Perfetto timeline written to {path}]");
+    }
+    if let Some(path) = &heatmap_out {
+        println!("[wear heatmap written to {path}]");
     }
     println!(
         "\nTotal: {} experiments in {:.0?} ({:?} scale).",

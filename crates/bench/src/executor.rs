@@ -28,9 +28,9 @@
 //! in turn is byte-identical to any `--jobs N` by the argument above.
 
 use crate::harness::{Manager, Profile, RunPolicy};
-use hemu_core::{Experiment, RunReport};
+use hemu_core::{Experiment, RunArtifacts};
 use hemu_fault::{EnduranceConfig, FaultPlan};
-use hemu_obs::{Reporter, TraceRecord};
+use hemu_obs::{Reporter, Tracer};
 use hemu_types::{HemuError, OsPagingConfig};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -64,8 +64,9 @@ pub struct JobSpec {
 pub struct StagedRun {
     /// Attempts consumed (1 unless transient faults forced retries).
     pub attempts: u32,
-    /// The report and captured trace, or the terminal error.
-    pub outcome: Result<(RunReport, Vec<TraceRecord>), HemuError>,
+    /// The full artifact bundle (report, trace, profiler spans, wear
+    /// heatmap), or the terminal error.
+    pub outcome: Result<RunArtifacts, HemuError>,
 }
 
 /// Everything a worker needs to execute jobs: the harness-wide run
@@ -82,6 +83,9 @@ pub struct ExecCtx {
     pub os_tuning: OsPagingConfig,
     /// Whether to capture an event trace of the measured iteration.
     pub want_trace: bool,
+    /// Whether to run the phase-and-provenance profiler (virtual-time
+    /// spans, write attribution, wear heatmap).
+    pub want_profile: bool,
     /// Serialized progress sink shared by all workers.
     pub reporter: Reporter,
 }
@@ -103,6 +107,9 @@ fn configure(ctx: &ExecCtx, job: &JobSpec, attempt: u32) -> Experiment {
     let mut e = Experiment::new(job.spec)
         .instances(job.instances)
         .profile(job.profile.machine());
+    if ctx.want_profile {
+        e = e.profiling();
+    }
     match job.manager {
         Manager::Gc(collector) => e = e.collector(collector),
         Manager::Os(policy) => {
@@ -132,13 +139,14 @@ fn run_guarded(
     policy: &RunPolicy,
     want_trace: bool,
     experiment: Experiment,
-) -> Result<(RunReport, Vec<TraceRecord>), HemuError> {
+) -> Result<RunArtifacts, HemuError> {
     let body = move || {
-        if want_trace {
-            experiment.run_with_trace(TRACE_CAPACITY)
+        let tracer = if want_trace {
+            Tracer::bounded(TRACE_CAPACITY)
         } else {
-            experiment.run().map(|r| (r, Vec::new()))
-        }
+            Tracer::disabled()
+        };
+        experiment.run_traced(tracer)
     };
     match policy.deadline {
         None => {
@@ -167,16 +175,19 @@ fn run_guarded(
 /// are retried with capped linear backoff. Backoff sleeps park only the
 /// calling worker; other workers keep draining the queue.
 pub fn run_job(job: &JobSpec, ctx: &ExecCtx) -> StagedRun {
-    ctx.reporter.line(&format!("  running {} ...", job.key));
+    // begin/finish bracket the run so a failed or retried run always
+    // finalizes its display line — `running ...` is never a key's last word.
+    ctx.reporter.begin(&job.key);
     let mut attempt = 1u32;
     loop {
         let experiment = configure(ctx, job, attempt);
         match run_guarded(&ctx.policy, ctx.want_trace, experiment) {
             Ok(ok) => {
+                ctx.reporter.finish(&job.key, &format!("done {}", job.key));
                 return StagedRun {
                     attempts: attempt,
                     outcome: Ok(ok),
-                }
+                };
             }
             Err(e) => {
                 let transient = matches!(
@@ -187,14 +198,16 @@ pub fn run_job(job: &JobSpec, ctx: &ExecCtx) -> StagedRun {
                     }
                 );
                 if transient && attempt < ctx.policy.max_attempts {
+                    ctx.reporter
+                        .line(&format!("  retrying {} (attempt {attempt}): {e}", job.key));
                     thread::sleep(ctx.policy.backoff_for(attempt));
                     attempt += 1;
                     continue;
                 }
-                ctx.reporter.line(&format!(
-                    "  FAILED {} after {attempt} attempt(s): {e}",
-                    job.key
-                ));
+                ctx.reporter.finish(
+                    &job.key,
+                    &format!("FAILED {} after {attempt} attempt(s): {e}", job.key),
+                );
                 return StagedRun {
                     attempts: attempt,
                     outcome: Err(e),

@@ -1,12 +1,12 @@
 //! The caching, fault-tolerant experiment harness.
 
 use crate::executor::{self, ExecCtx, JobSpec, StagedRun};
-use hemu_core::RunReport;
+use hemu_core::{PageWear, RunReport};
 use hemu_fault::{EnduranceConfig, FaultPlan};
 use hemu_heap::CollectorKind;
 use hemu_machine::MachineProfile;
 use hemu_obs::json::{JsonObject, ToJson};
-use hemu_obs::{to_json_lines, Csv, Reporter};
+use hemu_obs::{to_json_lines, Csv, Reporter, Timeline};
 use hemu_types::{HemuError, OsPagingConfig, OsPolicy, Result};
 use hemu_workloads::{spec, DatasetSize, Language, WorkloadSpec};
 use std::collections::{HashMap, HashSet};
@@ -176,6 +176,19 @@ pub struct Harness {
     /// When set, every executed run captures a bounded event trace and
     /// appends it (JSONL) to this file.
     trace_out: Option<PathBuf>,
+    /// When true, every executed run enables the phase-and-provenance
+    /// profiler (write attribution in reports, spans, wear heatmaps).
+    profile_runs: bool,
+    /// When set, [`Harness::finalize_exports`] writes the committed runs'
+    /// spans as one Chrome trace-event timeline (implies profiling).
+    timeline_out: Option<PathBuf>,
+    /// When set, [`Harness::finalize_exports`] writes the committed runs'
+    /// per-page PCM wear rows as CSV (implies profiling).
+    heatmap_out: Option<PathBuf>,
+    /// Timeline of committed profiled runs, appended in demand order.
+    timeline: Timeline,
+    /// Wear-heatmap rows of committed profiled runs, in demand order.
+    heatmap_rows: Vec<(String, Vec<PageWear>)>,
     /// Executed runs in execution order, for the combined `runs.json`.
     records: Vec<RunRecord>,
     /// Fault plan applied (key-filtered) to every executed experiment.
@@ -322,6 +335,53 @@ impl Harness {
         Ok(())
     }
 
+    /// Enables the phase-and-provenance profiler for every subsequent run:
+    /// reports carry a [`hemu_core::ProvenanceSummary`], and runs record
+    /// virtual-time spans and a per-page wear heatmap (exported when
+    /// [`Harness::set_timeline_out`] / [`Harness::set_heatmap_out`] are
+    /// set). Off by default — an unprofiled sweep stores no tags.
+    pub fn set_profile(&mut self, enabled: bool) {
+        self.profile_runs = enabled;
+    }
+
+    /// Whether runs execute under the profiler (enabled explicitly or
+    /// implied by a timeline/heatmap export path).
+    pub fn profiling(&self) -> bool {
+        self.profile_runs || self.timeline_out.is_some() || self.heatmap_out.is_some()
+    }
+
+    /// Enables timeline export: [`Harness::finalize_exports`] writes every
+    /// committed run's spans, in demand order, as one Chrome trace-event
+    /// JSON document loadable in Perfetto. Implies profiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::Io`] if the parent directory cannot be created.
+    pub fn set_timeline_out(&mut self, path: impl Into<PathBuf>) -> Result<()> {
+        let path = path.into();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent).map_err(|e| io_err("creating", parent, &e))?;
+        }
+        self.timeline_out = Some(path);
+        Ok(())
+    }
+
+    /// Enables wear-heatmap export: [`Harness::finalize_exports`] writes
+    /// one CSV row per touched PCM frame per committed run. Implies
+    /// profiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::Io`] if the parent directory cannot be created.
+    pub fn set_heatmap_out(&mut self, path: impl Into<PathBuf>) -> Result<()> {
+        let path = path.into();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent).map_err(|e| io_err("creating", parent, &e))?;
+        }
+        self.heatmap_out = Some(path);
+        Ok(())
+    }
+
     /// The DaCapo benchmarks in scope at this scale.
     pub fn dacapo(&self) -> Vec<WorkloadSpec> {
         match self.scale {
@@ -370,7 +430,7 @@ impl Harness {
             // order must be demand order of the real pass.
             if let Some(sr) = self.staged.get(&key) {
                 return match &sr.outcome {
-                    Ok((report, _)) => Ok(report.clone()),
+                    Ok(arts) => Ok(arts.report.clone()),
                     Err(e) => Err(e.clone()),
                 };
             }
@@ -456,6 +516,7 @@ impl Harness {
             policy: self.policy,
             os_tuning: self.os_tuning,
             want_trace: self.trace_out.is_some(),
+            want_profile: self.profiling(),
             reporter: self.reporter.clone(),
         }
     }
@@ -464,12 +525,21 @@ impl Harness {
     /// outcome, and appends the run record. Called in demand order only.
     fn commit(&mut self, key: String, sr: StagedRun) -> Result<RunReport> {
         match sr.outcome {
-            Ok((report, trace)) => {
+            Ok(arts) => {
+                let report = arts.report;
                 if self.trace_out.is_some() {
-                    self.append_trace(&key, &trace)?;
+                    self.append_trace(&key, &arts.trace)?;
                 }
                 if self.json_dir.is_some() {
                     self.write_run_json(&key, &report)?;
+                }
+                if self.profiling() {
+                    // Demand order decides track layout and row order, so
+                    // the exported documents are byte-identical at any
+                    // `--jobs` width.
+                    self.timeline
+                        .add_run(&key, arts.freq_hz, arts.elapsed, arts.spans);
+                    self.heatmap_rows.push((key.clone(), arts.heatmap));
                 }
                 self.cache.insert(key.clone(), report.clone());
                 self.records.push(RunRecord {
@@ -525,13 +595,35 @@ impl Harness {
     /// `{"key", "status", "attempts", "error", "report"}` objects in
     /// execution order — `report` is `null` and `error` a message for
     /// failed runs) and `samples.csv` (all monitor samples of successful
-    /// runs, one row per interval per run). A no-op unless
-    /// [`Harness::set_json_dir`] was called.
+    /// runs, one row per interval per run) under the
+    /// [`Harness::set_json_dir`] directory, plus — independently of it —
+    /// the profiler's timeline JSON ([`Harness::set_timeline_out`]) and
+    /// wear-heatmap CSV ([`Harness::set_heatmap_out`]).
     ///
     /// # Errors
     ///
     /// Returns [`HemuError::Io`] on write failure.
     pub fn finalize_exports(&self) -> Result<()> {
+        if let Some(path) = self.timeline_out.as_ref() {
+            let mut doc = self.timeline.render();
+            doc.push('\n');
+            fs::write(path, doc).map_err(|e| io_err("writing", path, &e))?;
+        }
+        if let Some(path) = self.heatmap_out.as_ref() {
+            let mut csv = Csv::new(&["key", "frame", "writes", "lines_touched", "max_line_writes"]);
+            for (key, rows) in &self.heatmap_rows {
+                for r in rows {
+                    csv.row(&[
+                        key as &dyn std::fmt::Display,
+                        &r.frame,
+                        &r.writes,
+                        &r.lines_touched,
+                        &r.max_line_writes,
+                    ]);
+                }
+            }
+            fs::write(path, csv.finish()).map_err(|e| io_err("writing", path, &e))?;
+        }
         let Some(dir) = self.json_dir.as_ref() else {
             return Ok(());
         };

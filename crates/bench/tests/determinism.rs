@@ -197,6 +197,63 @@ fn os_policy_sweep_is_byte_identical_to_sequential() {
     );
 }
 
+/// Runs the sweep with the profiler and its timeline/heatmap exports
+/// enabled. The export files land in `dir`, so the generic artifact
+/// comparison covers them too.
+fn profiled_artifacts(dir: &Path, jobs: usize) -> (String, BTreeMap<String, String>) {
+    let mut h = Harness::new(Scale::Quick);
+    h.set_jobs(jobs);
+    h.set_reporter(Reporter::to_writer(Box::new(std::io::sink())));
+    h.set_json_dir(dir).expect("create json dir");
+    h.set_timeline_out(dir.join("timeline.json"))
+        .expect("timeline out");
+    h.set_heatmap_out(dir.join("heatmap.csv"))
+        .expect("heatmap out");
+    let text = h.run_planned(sweep).expect("sweep renders");
+    h.finalize_exports().expect("finalize");
+
+    let mut files = BTreeMap::new();
+    for entry in fs::read_dir(dir).expect("read dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let content = fs::read_to_string(entry.path()).expect("read artifact");
+        files.insert(name, content);
+    }
+    (text, files)
+}
+
+/// The profiler's exports — the span timeline and the per-page wear
+/// heatmap — are byte-identical at `--jobs 1` and `--jobs 4`, like every
+/// other artifact: spans carry only virtual time, and commit order (demand
+/// order) decides track and row layout.
+#[test]
+fn profiled_sweep_artifacts_are_byte_identical() {
+    let seq = profiled_artifacts(&tmp_dir("det-prof-seq"), 1);
+    let par = profiled_artifacts(&tmp_dir("det-prof-par"), 4);
+    assert_identical(&seq, &par);
+
+    let timeline = &seq.1["timeline.json"];
+    assert!(
+        timeline.contains("\"traceEvents\":[") && timeline.contains("\"name\":\"iteration\""),
+        "timeline carries the measured-iteration spans"
+    );
+    assert!(
+        timeline.contains("avrora|PCM-Only|1|Emulation"),
+        "runs are labelled by their keys"
+    );
+    let heatmap = &seq.1["heatmap.csv"];
+    assert!(
+        heatmap.starts_with("key,frame,writes,lines_touched,max_line_writes\n"),
+        "heatmap header is stable"
+    );
+    assert!(
+        heatmap.lines().count() > 1,
+        "profiled runs produce wear rows"
+    );
+    // Profiled reports carry the attribution block.
+    assert!(seq.1["runs.json"].contains("\"provenance\":{\"pcm\":{\"by_cause\":{\"mutator\":"));
+}
+
 /// Widths beyond the job count (and odd widths) change nothing either.
 #[test]
 fn oversized_pool_is_byte_identical() {

@@ -57,6 +57,10 @@ pub struct Victim {
     pub line: LineAddr,
     /// Whether it was dirty (must be written back to the next level).
     pub dirty: bool,
+    /// Provenance tag of the last write to the line (raw
+    /// [`hemu_types::WriteTag`] byte); 0 unless tag tracking is enabled.
+    /// Meaningful only when `dirty`.
+    pub tag: u8,
 }
 
 /// Result of one cache access.
@@ -108,6 +112,11 @@ pub struct Cache {
     meta: Vec<SetMeta>,
     /// `sets * assoc` LRU stamps (the tick of the last touch).
     lru: Vec<u64>,
+    /// Optional per-slot provenance tags (raw [`hemu_types::WriteTag`]
+    /// bytes): the cause/space of the last write to each resident line,
+    /// carried with the line until its write-back. `None` (the default)
+    /// costs nothing on the access path beyond one branch.
+    prov: Option<Vec<u8>>,
     tick: u64,
     stats: CacheStats,
 }
@@ -129,9 +138,36 @@ impl Cache {
             tags: vec![0; total],
             meta: vec![SetMeta::default(); sets],
             lru: vec![0; total],
+            prov: None,
             tick: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Enables per-line provenance tag tracking (one byte per slot). Tags
+    /// recorded by tagged writes from then on travel with dirty lines and
+    /// surface in [`Victim::tag`] and the flush sink. Idempotent.
+    pub fn enable_tags(&mut self) {
+        if self.prov.is_none() {
+            self.prov = Some(vec![0; self.tags.len()]);
+        }
+    }
+
+    /// Whether provenance tags are being tracked.
+    pub fn tags_enabled(&self) -> bool {
+        self.prov.is_some()
+    }
+
+    #[inline]
+    fn store_tag(&mut self, slot: usize, tag: u8) {
+        if let Some(p) = &mut self.prov {
+            p[slot] = tag;
+        }
+    }
+
+    #[inline]
+    fn tag_at(&self, slot: usize) -> u8 {
+        self.prov.as_ref().map_or(0, |p| p[slot])
     }
 
     /// The cache's geometry.
@@ -176,10 +212,20 @@ impl Cache {
 
     /// Accesses `line`; on a write the resident line is marked dirty.
     ///
-    /// On a miss the line is allocated (write-allocate for both reads and
-    /// writes) and the displaced valid line, if any, is returned so the
-    /// caller can propagate the write-back.
+    /// Untagged convenience for [`Cache::access_tagged`] (tag 0).
     pub fn access(&mut self, line: LineAddr, kind: AccessKind) -> AccessResult {
+        self.access_tagged(line, kind, 0)
+    }
+
+    /// Accesses `line`; on a write the resident line is marked dirty and
+    /// stamped with the provenance `wtag` (ignored unless
+    /// [`Cache::enable_tags`] was called).
+    ///
+    /// On a miss the line is allocated (write-allocate for both reads and
+    /// writes) and the displaced valid line, if any, is returned — with
+    /// the tag of its last write — so the caller can propagate the
+    /// write-back.
+    pub fn access_tagged(&mut self, line: LineAddr, kind: AccessKind, wtag: u8) -> AccessResult {
         self.tick += 1;
         let set = self.set_of(line);
         let base = set * self.assoc;
@@ -196,6 +242,7 @@ impl Cache {
                 self.lru[base + w] = self.tick;
                 if kind.is_write() {
                     self.meta[set].dirty |= 1 << w;
+                    self.store_tag(base + w, wtag);
                 }
                 return AccessResult {
                     hit: true,
@@ -231,6 +278,7 @@ impl Cache {
                 Some(Victim {
                     line: LineAddr::new(self.tags[base + victim_way]),
                     dirty,
+                    tag: self.tag_at(base + victim_way),
                 }),
             )
         };
@@ -240,6 +288,9 @@ impl Cache {
             m.dirty |= 1 << way;
         } else {
             m.dirty &= !(1 << way);
+        }
+        if kind.is_write() {
+            self.store_tag(base + way, wtag);
         }
         self.tags[base + way] = tag;
         self.lru[base + way] = self.tick;
@@ -261,12 +312,23 @@ impl Cache {
     /// Marks a resident line dirty without touching LRU state (used when a
     /// lower-level write-back lands in this cache).
     ///
+    /// Untagged convenience for [`Cache::mark_dirty_tagged`] (tag 0).
+    ///
     /// Returns `false` if the line was not resident.
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        self.mark_dirty_tagged(line, 0)
+    }
+
+    /// Marks a resident line dirty and stamps it with the provenance
+    /// `wtag`, without touching LRU state.
+    ///
+    /// Returns `false` if the line was not resident.
+    pub fn mark_dirty_tagged(&mut self, line: LineAddr, wtag: u8) -> bool {
         let set = self.set_of(line);
         match self.find_way(line) {
             Some(w) => {
                 self.meta[set].dirty |= 1 << w;
+                self.store_tag(set * self.assoc + w, wtag);
                 true
             }
             None => false,
@@ -276,13 +338,20 @@ impl Cache {
     /// Removes `line` if resident (inclusive-hierarchy back-invalidation),
     /// returning whether it was resident and whether it was dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        self.invalidate_tagged(line).map(|(dirty, _)| dirty)
+    }
+
+    /// Removes `line` if resident, returning its dirtiness and the
+    /// provenance tag of its last write.
+    pub fn invalidate_tagged(&mut self, line: LineAddr) -> Option<(bool, u8)> {
         let set = self.set_of(line);
         let w = self.find_way(line)?;
+        let wtag = self.tag_at(set * self.assoc + w);
         let m = &mut self.meta[set];
         let was_dirty = m.dirty >> w & 1 == 1;
         m.valid &= !(1 << w);
         m.dirty &= !(1 << w);
-        Some(was_dirty)
+        Some((was_dirty, wtag))
     }
 
     /// Number of valid lines currently resident (O(sets); for tests).
@@ -310,8 +379,16 @@ impl Cache {
     /// Writes back and drops every dirty line, invoking `sink` for each
     /// (used at iteration barriers to flush residual dirty data).
     ///
-    /// Sets with no dirty line are skipped with one mask test each.
+    /// Untagged convenience for [`Cache::flush_dirty_tagged`].
     pub fn flush_dirty<F: FnMut(LineAddr)>(&mut self, mut sink: F) {
+        self.flush_dirty_tagged(|line, _| sink(line));
+    }
+
+    /// Writes back and drops every dirty line, invoking `sink` with each
+    /// line and the provenance tag of its last write.
+    ///
+    /// Sets with no dirty line are skipped with one mask test each.
+    pub fn flush_dirty_tagged<F: FnMut(LineAddr, u8)>(&mut self, mut sink: F) {
         for set in 0..self.meta.len() {
             let mut rem = self.meta[set].dirty;
             if rem == 0 {
@@ -321,7 +398,8 @@ impl Cache {
             while rem != 0 {
                 let w = rem.trailing_zeros() as usize;
                 rem &= rem - 1;
-                sink(LineAddr::new(self.tags[base + w]));
+                let wtag = self.tag_at(base + w);
+                sink(LineAddr::new(self.tags[base + w]), wtag);
             }
             self.meta[set].dirty = 0;
         }
@@ -372,7 +450,8 @@ mod tests {
             r.victim,
             Some(Victim {
                 line: l(2),
-                dirty: false
+                dirty: false,
+                tag: 0
             })
         );
         assert!(c.contains(l(0)));
@@ -389,10 +468,49 @@ mod tests {
             r.victim,
             Some(Victim {
                 line: l(0),
-                dirty: true
+                dirty: true,
+                tag: 0
             })
         );
         assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn tags_travel_with_dirty_lines() {
+        let mut c = tiny();
+        c.enable_tags();
+        c.access_tagged(l(0), AccessKind::Write, 7);
+        c.access(l(2), AccessKind::Read);
+        // Eviction surfaces the dirty victim's tag.
+        let r = c.access(l(4), AccessKind::Read);
+        assert_eq!(
+            r.victim,
+            Some(Victim {
+                line: l(0),
+                dirty: true,
+                tag: 7
+            })
+        );
+        // A later write overwrites the tag; flush reports the latest one.
+        c.access_tagged(l(2), AccessKind::Write, 3);
+        c.access_tagged(l(2), AccessKind::Write, 5);
+        let mut flushed = Vec::new();
+        c.flush_dirty_tagged(|line, tag| flushed.push((line, tag)));
+        assert_eq!(flushed, vec![(l(2), 5)]);
+        // mark_dirty_tagged and invalidate_tagged round-trip the tag.
+        c.access(l(1), AccessKind::Read);
+        assert!(c.mark_dirty_tagged(l(1), 9));
+        assert_eq!(c.invalidate_tagged(l(1)), Some((true, 9)));
+    }
+
+    #[test]
+    fn tags_are_zero_when_disabled() {
+        let mut c = tiny();
+        c.access_tagged(l(0), AccessKind::Write, 7);
+        c.access(l(2), AccessKind::Read);
+        let r = c.access(l(4), AccessKind::Read);
+        assert_eq!(r.victim.map(|v| v.tag), Some(0), "no storage when off");
+        assert!(!c.tags_enabled());
     }
 
     #[test]

@@ -104,6 +104,17 @@ impl Hierarchy {
         &self.l2s[ctx]
     }
 
+    /// Enables provenance-tag tracking on every cache in the hierarchy:
+    /// tags passed to [`Hierarchy::access_into`] then travel with dirty
+    /// lines through L2 eviction, LLC merging, and back-invalidation until
+    /// the line reaches memory. Idempotent.
+    pub fn enable_tags(&mut self) {
+        for l2 in &mut self.l2s {
+            l2.enable_tags();
+        }
+        self.llc.enable_tags();
+    }
+
     /// Issues one line access from hardware context `ctx`.
     ///
     /// Convenience wrapper over [`Hierarchy::access_into`] that allocates
@@ -115,18 +126,21 @@ impl Hierarchy {
     /// Panics if `ctx` is out of range.
     pub fn access(&mut self, ctx: usize, line: LineAddr, kind: AccessKind) -> HierarchyOutcome {
         let mut writebacks = Vec::new();
-        let (level, memory_fill) = self.access_into(ctx, line, kind, &mut writebacks);
+        let (level, memory_fill) = self.access_into(ctx, line, kind, 0, &mut writebacks);
         HierarchyOutcome {
             level,
             memory_fill,
-            memory_writebacks: writebacks,
+            memory_writebacks: writebacks.into_iter().map(|(line, _)| line).collect(),
         }
     }
 
     /// Issues one line access from hardware context `ctx`, appending any
-    /// memory write-backs to `writebacks` (cleared first) instead of
-    /// allocating a vector — the allocation-free form the machine's access
-    /// fast path uses, passing the same scratch buffer every call.
+    /// memory write-backs — each with the provenance tag of the store that
+    /// dirtied it — to `writebacks` (cleared first) instead of allocating
+    /// a vector: the allocation-free form the machine's access fast path
+    /// uses, passing the same scratch buffer every call. `wtag` is the
+    /// provenance of this access when it is a write (ignored unless
+    /// [`Hierarchy::enable_tags`] was called; pass 0 when untracked).
     ///
     /// Returns the level that satisfied the access and the line filled
     /// from memory, if any.
@@ -139,23 +153,25 @@ impl Hierarchy {
         ctx: usize,
         line: LineAddr,
         kind: AccessKind,
-        writebacks: &mut Vec<LineAddr>,
+        wtag: u8,
+        writebacks: &mut Vec<(LineAddr, u8)>,
     ) -> (HitLevel, Option<LineAddr>) {
         writebacks.clear();
 
         // L2 probe.
-        let l2r = self.l2s[ctx].access(line, kind);
+        let l2r = self.l2s[ctx].access_tagged(line, kind, wtag);
         if l2r.hit {
             return (HitLevel::L2, None);
         }
 
-        // The L2 displaced a line; a dirty one must merge into the LLC.
+        // The L2 displaced a line; a dirty one must merge into the LLC,
+        // carrying the tag of its most recent store.
         if let Some(v) = l2r.victim {
-            if v.dirty && !self.llc.mark_dirty(v.line) {
+            if v.dirty && !self.llc.mark_dirty_tagged(v.line, v.tag) {
                 // Inclusion violated only transiently: the victim can have
                 // been back-invalidated from the LLC by a concurrent set
                 // conflict. Its data goes straight to memory.
-                writebacks.push(v.line);
+                writebacks.push((v.line, v.tag));
             }
         }
 
@@ -174,14 +190,20 @@ impl Hierarchy {
             fill = Some(line);
             if let Some(v) = llcr.victim {
                 // Inclusive LLC: evicting a line expels it from every L2.
+                // An L2 copy holds newer data than the LLC's, so its tag
+                // (the most recent store) wins.
                 let mut dirty = v.dirty;
+                let mut tag = v.tag;
                 for l2 in &mut self.l2s {
-                    if let Some(l2_dirty) = l2.invalidate(v.line) {
-                        dirty |= l2_dirty;
+                    if let Some((l2_dirty, l2_tag)) = l2.invalidate_tagged(v.line) {
+                        if l2_dirty {
+                            dirty = true;
+                            tag = l2_tag;
+                        }
                     }
                 }
                 if dirty {
-                    writebacks.push(v.line);
+                    writebacks.push((v.line, tag));
                 }
             }
         }
@@ -190,25 +212,26 @@ impl Hierarchy {
     }
 
     /// Flushes every dirty line in the whole hierarchy to memory, calling
-    /// `sink` once per line. Used at measurement barriers so that stores
-    /// still buffered in caches are attributed to the iteration that made
-    /// them.
-    pub fn flush<F: FnMut(LineAddr)>(&mut self, mut sink: F) {
+    /// `sink` once per line with the provenance tag of its last store (0
+    /// when tag tracking is off). Used at measurement barriers so that
+    /// stores still buffered in caches are attributed to the iteration
+    /// that made them.
+    pub fn flush<F: FnMut(LineAddr, u8)>(&mut self, mut sink: F) {
         // L2 dirty lines merge into the LLC copy (or go straight to memory
         // if inclusion was transiently broken).
         let mut l2_orphans = Vec::new();
         for l2 in &mut self.l2s {
             let llc = &mut self.llc;
-            l2.flush_dirty(|line| {
-                if !llc.mark_dirty(line) {
-                    l2_orphans.push(line);
+            l2.flush_dirty_tagged(|line, tag| {
+                if !llc.mark_dirty_tagged(line, tag) {
+                    l2_orphans.push((line, tag));
                 }
             });
         }
-        for line in l2_orphans {
-            sink(line);
+        for (line, tag) in l2_orphans {
+            sink(line, tag);
         }
-        self.llc.flush_dirty(&mut sink);
+        self.llc.flush_dirty_tagged(&mut sink);
     }
 
     /// Resets statistics on every cache (contents are preserved).
@@ -317,12 +340,33 @@ mod tests {
         h.access(1, l(1), AccessKind::Write);
         h.access(0, l(2), AccessKind::Read);
         let mut out = Vec::new();
-        h.flush(|line| out.push(line));
+        h.flush(|line, _| out.push(line));
         out.sort_by_key(|x| x.raw());
         assert_eq!(out, vec![l(0), l(1)]);
         let mut again = Vec::new();
-        h.flush(|line| again.push(line));
+        h.flush(|line, _| again.push(line));
         assert!(again.is_empty());
+    }
+
+    #[test]
+    fn tags_flow_through_hierarchy_to_memory() {
+        let mut h = tiny(1);
+        h.enable_tags();
+        let mut wbs = Vec::new();
+        // Write line 0 with tag 7; the dirty line is back-invalidated out
+        // of the L2 when LLC set 0 overflows, and the write-back must still
+        // carry tag 7.
+        h.access_into(0, l(0), AccessKind::Write, 7, &mut wbs);
+        for n in [4u64, 8, 12] {
+            h.access_into(0, l(n), AccessKind::Read, 0, &mut wbs);
+        }
+        h.access_into(0, l(16), AccessKind::Read, 0, &mut wbs);
+        assert_eq!(wbs, vec![(l(0), 7)]);
+        // Flush also reports tags: write line 20 with tag 3 and flush.
+        h.access_into(0, l(20), AccessKind::Write, 3, &mut wbs);
+        let mut flushed = Vec::new();
+        h.flush(|line, tag| flushed.push((line, tag)));
+        assert!(flushed.contains(&(l(20), 3)), "flush lost the tag");
     }
 
     #[test]

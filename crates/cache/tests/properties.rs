@@ -38,7 +38,7 @@ proptest! {
             }
         }
         // Flush the rest.
-        h.flush(|l| {
+        h.flush(|l, _| {
             written_back.insert(l.raw());
         });
         for line in written {

@@ -1,16 +1,41 @@
 //! Experiment configuration and the multiprogrammed runner.
 
 use crate::monitor::WriteRateMonitor;
-use crate::report::RunReport;
+use crate::report::{PageWear, ProvenanceSummary, RunReport};
 use hemu_fault::{EnduranceConfig, FaultPlan};
 use hemu_heap::chunks::ChunkPolicy;
 use hemu_heap::{CollectorKind, GcStats, ManagedHeap};
 use hemu_machine::{CtxId, Machine, MachineProfile};
 use hemu_malloc::{NativeHeap, NativeStats};
-use hemu_obs::{TraceRecord, Tracer};
+use hemu_obs::{SpanRecord, TraceRecord, Tracer};
 use hemu_os::OsPageManager;
-use hemu_types::{ByteSize, HemuError, OsPagingConfig, Result, SocketId};
+use hemu_types::{
+    ByteSize, HemuError, OsPagingConfig, Result, SocketId, SpaceTag, WriteCause, CACHE_LINE,
+    PAGE_SIZE,
+};
 use hemu_workloads::{Language, Memory, StepResult, Workload, WorkloadSpec};
+
+/// Everything one profiled run produces beyond the report: the event
+/// trace, the profiler's span records (virtual-time GC phases, OS epochs
+/// and the measured iteration), the per-page PCM wear heatmap, and the
+/// clock frequency needed to convert span cycles to seconds.
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// The measured iteration's report.
+    pub report: RunReport,
+    /// Captured trace events (empty unless tracing was requested).
+    pub trace: Vec<TraceRecord>,
+    /// Closed profiler spans, oldest first (empty unless profiling).
+    pub spans: Vec<SpanRecord>,
+    /// Per-PCM-frame wear rows sorted by frame number (empty unless the
+    /// run tracked wear).
+    pub heatmap: Vec<PageWear>,
+    /// The machine's clock frequency in Hz (for cycle → time conversion).
+    pub freq_hz: f64,
+    /// The measured iteration's total virtual time in cycles (the run's
+    /// extent on an exported timeline).
+    pub elapsed: hemu_types::Cycles,
+}
 
 /// A configured experiment: workload × collector × instances × machine.
 ///
@@ -29,6 +54,7 @@ pub struct Experiment {
     monitor_interval: f64,
     nursery_override: Option<ByteSize>,
     track_wear: bool,
+    profiling: bool,
     faults: Option<FaultPlan>,
     endurance: Option<EnduranceConfig>,
     os: Option<OsPagingConfig>,
@@ -49,6 +75,7 @@ impl Experiment {
             monitor_interval: 0.01,
             nursery_override: None,
             track_wear: false,
+            profiling: false,
             faults: None,
             endurance: None,
             os: None,
@@ -59,6 +86,17 @@ impl Experiment {
     /// measured wear-levelling efficiency instead of the paper's assumed
     /// 50 %.
     pub fn track_wear(mut self) -> Self {
+        self.track_wear = true;
+        self
+    }
+
+    /// Enables the phase-and-provenance profiler: GC-phase and OS-epoch
+    /// spans in virtual time, per-cause / per-space write attribution
+    /// ([`RunReport::provenance`]), and the per-page wear heatmap (implies
+    /// wear tracking). Retrieve the extra artifacts with
+    /// [`Experiment::run_full`].
+    pub fn profiling(mut self) -> Self {
+        self.profiling = true;
         self.track_wear = true;
         self
     }
@@ -152,8 +190,19 @@ impl Experiment {
     /// evaluates the C++ implementations on the PCM-Only reference
     /// system), and propagates heap or machine exhaustion.
     pub fn run(&self) -> Result<RunReport> {
+        self.run_traced(Tracer::disabled()).map(|a| a.report)
+    }
+
+    /// Runs the experiment and returns the full artifact bundle: report,
+    /// profiler spans and the wear heatmap ([`RunArtifacts`]). Spans and
+    /// heatmap are empty unless [`Experiment::profiling`] (or
+    /// [`Experiment::track_wear`], for the heatmap) was requested.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Experiment::run`].
+    pub fn run_full(&self) -> Result<RunArtifacts> {
         self.run_traced(Tracer::disabled())
-            .map(|(report, _)| report)
     }
 
     /// Runs the experiment with event tracing enabled for the measured
@@ -168,9 +217,19 @@ impl Experiment {
     /// Same conditions as [`Experiment::run`].
     pub fn run_with_trace(&self, capacity: usize) -> Result<(RunReport, Vec<TraceRecord>)> {
         self.run_traced(Tracer::bounded(capacity))
+            .map(|a| (a.report, a.trace))
     }
 
-    fn run_traced(&self, tracer: Tracer) -> Result<(RunReport, Vec<TraceRecord>)> {
+    /// Runs the experiment with an explicit tracer and returns the full
+    /// artifact bundle — the general form behind [`Experiment::run`],
+    /// [`Experiment::run_full`] and [`Experiment::run_with_trace`], for
+    /// callers (like the bench harness) that want both the event trace and
+    /// the profiler's artifacts from a single run.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Experiment::run`].
+    pub fn run_traced(&self, tracer: Tracer) -> Result<RunArtifacts> {
         if self.instances == 0 {
             return Err(HemuError::InvalidConfig(
                 "need at least one instance".into(),
@@ -199,8 +258,11 @@ impl Experiment {
         // The OS page manager installs before anything touches memory, so
         // even heap metadata is placed (and sampled) under its policy.
         let mut os_mgr = self.os.map(|cfg| OsPageManager::install(&mut machine, cfg));
-        if self.track_wear {
+        if self.track_wear || self.profiling {
             machine.enable_wear_tracking();
+        }
+        if self.profiling {
+            machine.enable_profiling();
         }
         if let Some(cfg) = self.endurance {
             machine.enable_endurance(cfg);
@@ -268,12 +330,17 @@ impl Experiment {
         let alloc_before: u64 = instances.iter().map(|(_, m)| m.allocated_bytes()).sum();
 
         let mut monitor = WriteRateMonitor::new(self.monitor_interval);
+        // The measured iteration is the root profiler span; clocks were
+        // just reset, so it opens at virtual zero.
+        let spans = machine.spans();
+        spans.begin("iteration", "run", hemu_types::Cycles::ZERO);
         run_iteration(
             &mut machine,
             &mut instances,
             Some(&mut monitor),
             os_mgr.as_mut(),
         )?;
+        spans.end(machine.elapsed());
         // No cache flush here: the measured iteration starts with warm,
         // dirty caches (steady state after warm-up) and ends the same way,
         // so eviction traffic during the interval is exactly the
@@ -300,6 +367,23 @@ impl Experiment {
             .metrics
             .histogram_snapshot("gc.pause_cycles")
             .filter(|h| h.count > 0);
+        let provenance = machine.profiling_enabled().then(|| {
+            let m = &machine.obs().metrics;
+            let spans = &machine.obs().spans;
+            ProvenanceSummary {
+                pcm_by_cause: WriteCause::ALL
+                    .map(|c| m.counter_value(&format!("writes.by_cause.{}", c.name()))),
+                pcm_by_space: SpaceTag::ALL
+                    .map(|s| m.counter_value(&format!("writes.by_space.{}", s.name()))),
+                dram_by_cause: WriteCause::ALL
+                    .map(|c| m.counter_value(&format!("writes.dram.by_cause.{}", c.name()))),
+                dram_by_space: SpaceTag::ALL
+                    .map(|s| m.counter_value(&format!("writes.dram.by_space.{}", s.name()))),
+                spans_recorded: spans.len() as u64 + spans.dropped(),
+                spans_dropped: spans.dropped(),
+            }
+        });
+        let heatmap = build_heatmap(&machine);
 
         let report = RunReport {
             workload: format!("{}", self.spec),
@@ -344,9 +428,41 @@ impl Experiment {
             }),
             gc_pause_histogram,
             os_paging: os_mgr.as_ref().map(OsPageManager::stats),
+            provenance,
         };
-        Ok((report, trace))
+        Ok(RunArtifacts {
+            report,
+            trace,
+            spans: machine.obs().spans.snapshot(),
+            heatmap,
+            freq_hz: self.profile.freq_hz as f64,
+            elapsed: machine.elapsed(),
+        })
     }
+}
+
+/// Aggregates the per-line wear tracker into per-frame heatmap rows,
+/// sorted by frame number (deterministic regardless of hash-map iteration
+/// order). Empty when wear tracking is off.
+fn build_heatmap(machine: &Machine) -> Vec<PageWear> {
+    let Some(wear) = machine.memory().wear() else {
+        return Vec::new();
+    };
+    let lines_per_page = (PAGE_SIZE / CACHE_LINE) as u64;
+    let mut pages: std::collections::BTreeMap<u64, PageWear> = std::collections::BTreeMap::new();
+    for (line, count) in wear.histogram() {
+        let frame = line.raw() / lines_per_page;
+        let row = pages.entry(frame).or_insert(PageWear {
+            frame,
+            writes: 0,
+            lines_touched: 0,
+            max_line_writes: 0,
+        });
+        row.writes += count;
+        row.lines_touched += 1;
+        row.max_line_writes = row.max_line_writes.max(count);
+    }
+    pages.into_values().collect()
 }
 
 /// Round-robin scheduler: one quantum per running instance per round, so

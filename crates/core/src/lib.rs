@@ -36,7 +36,7 @@ pub mod lifetime;
 pub mod monitor;
 pub mod report;
 
-pub use experiment::Experiment;
+pub use experiment::{Experiment, RunArtifacts};
 pub use lifetime::{lifetime_years, LifetimeModel};
 pub use monitor::{RateSample, WriteRateMonitor};
-pub use report::{EnduranceSummary, RunReport, WearSummary};
+pub use report::{EnduranceSummary, PageWear, ProvenanceSummary, RunReport, WearSummary};

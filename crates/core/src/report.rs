@@ -7,7 +7,7 @@ use hemu_malloc::NativeStats;
 use hemu_obs::json::{JsonObject, ToJson};
 use hemu_obs::HistogramSnapshot;
 use hemu_os::OsStats;
-use hemu_types::ByteSize;
+use hemu_types::{ByteSize, SpaceTag, WriteCause};
 use std::fmt;
 
 /// Everything measured during one experiment's measured iteration.
@@ -57,6 +57,71 @@ pub struct RunReport {
     /// OS page-manager activity (present when the run was placed by an
     /// [`hemu_os::OsPolicy`] instead of a write-rationing collector).
     pub os_paging: Option<OsStats>,
+    /// Write-provenance breakdown (present when the experiment enabled
+    /// profiling).
+    pub provenance: Option<ProvenanceSummary>,
+}
+
+/// Per-cause / per-space attribution of the measured iteration's memory
+/// writes, in cache lines, from the profiler's `writes.by_cause.*` and
+/// `writes.by_space.*` counters. Indices follow [`WriteCause::ALL`] and
+/// [`SpaceTag::ALL`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProvenanceSummary {
+    /// PCM line writes by cause.
+    pub pcm_by_cause: [u64; WriteCause::ALL.len()],
+    /// PCM line writes by targeted heap space.
+    pub pcm_by_space: [u64; SpaceTag::ALL.len()],
+    /// DRAM line writes by cause.
+    pub dram_by_cause: [u64; WriteCause::ALL.len()],
+    /// DRAM line writes by targeted heap space.
+    pub dram_by_space: [u64; SpaceTag::ALL.len()],
+    /// Spans captured by the profiler over the measured iteration.
+    pub spans_recorded: u64,
+    /// Spans overwritten because the bounded recorder filled up.
+    pub spans_dropped: u64,
+}
+
+impl ProvenanceSummary {
+    /// PCM line writes attributed to `cause`.
+    pub fn pcm_cause(&self, cause: WriteCause) -> u64 {
+        self.pcm_by_cause[cause as usize]
+    }
+
+    /// PCM line writes attributed to `space`.
+    pub fn pcm_space(&self, space: SpaceTag) -> u64 {
+        self.pcm_by_space[space as usize]
+    }
+
+    /// Total attributed PCM line writes.
+    pub fn pcm_total(&self) -> u64 {
+        self.pcm_by_cause.iter().sum()
+    }
+
+    /// Fraction of PCM line writes attributed to `cause` (0 when there
+    /// were none).
+    pub fn pcm_cause_fraction(&self, cause: WriteCause) -> f64 {
+        let total = self.pcm_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.pcm_cause(cause) as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregated wear of one PCM page frame, a row of the per-page wear
+/// heatmap CSV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageWear {
+    /// Physical frame number.
+    pub frame: u64,
+    /// Total line writes absorbed by the frame.
+    pub writes: u64,
+    /// Distinct lines of the frame written at least once.
+    pub lines_touched: u64,
+    /// Writes absorbed by the frame's hottest line.
+    pub max_line_writes: u64,
 }
 
 /// Per-line PCM wear statistics from the opt-in wear tracker.
@@ -134,6 +199,37 @@ impl ToJson for EnduranceSummary {
     }
 }
 
+impl ToJson for ProvenanceSummary {
+    fn write_json(&self, out: &mut String) {
+        fn side(out: &mut String, by_cause: &[u64], by_space: &[u64]) {
+            let mut obj = JsonObject::new(out);
+            obj.raw_field("by_cause", |o| {
+                let mut m = JsonObject::new(o);
+                for (cause, v) in WriteCause::ALL.iter().zip(by_cause) {
+                    m.field(cause.name(), v);
+                }
+                m.finish();
+            });
+            obj.raw_field("by_space", |o| {
+                let mut m = JsonObject::new(o);
+                for (space, v) in SpaceTag::ALL.iter().zip(by_space) {
+                    m.field(space.name(), v);
+                }
+                m.finish();
+            });
+            obj.finish();
+        }
+        let mut obj = JsonObject::new(out);
+        obj.raw_field("pcm", |o| side(o, &self.pcm_by_cause, &self.pcm_by_space));
+        obj.raw_field("dram", |o| {
+            side(o, &self.dram_by_cause, &self.dram_by_space)
+        });
+        obj.field("spans_recorded", &self.spans_recorded)
+            .field("spans_dropped", &self.spans_dropped);
+        obj.finish();
+    }
+}
+
 impl ToJson for RunReport {
     fn write_json(&self, out: &mut String) {
         let mut obj = JsonObject::new(out);
@@ -155,7 +251,8 @@ impl ToJson for RunReport {
             .field("wear", &self.wear)
             .field("endurance", &self.endurance)
             .field("gc_pause_histogram", &self.gc_pause_histogram)
-            .field("os_paging", &self.os_paging);
+            .field("os_paging", &self.os_paging)
+            .field("provenance", &self.provenance);
         obj.finish();
     }
 }
@@ -174,7 +271,17 @@ impl fmt::Display for RunReport {
             self.pcm_reads,
             self.dram_writes,
             self.elapsed_seconds,
-        )
+        )?;
+        if let Some(h) = &self.gc_pause_histogram {
+            write!(
+                f,
+                "; GC pause p50/p95/p99 {}/{}/{} cycles",
+                h.p50(),
+                h.p95(),
+                h.p99()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -203,6 +310,7 @@ mod tests {
             endurance: None,
             gc_pause_histogram: None,
             os_paging: None,
+            provenance: None,
         }
     }
 
@@ -227,5 +335,40 @@ mod tests {
         let s = format!("{}", report(2_000_000));
         assert!(s.contains("KG-N"));
         assert!(s.contains("MB/s"));
+    }
+
+    #[test]
+    fn display_surfaces_pause_quantiles_when_present() {
+        let mut r = report(100);
+        let h = {
+            let m = hemu_obs::Metrics::new();
+            let hist = m.histogram("gc.pause_cycles");
+            hist.observe(100);
+            hist.observe(200);
+            m.histogram_snapshot("gc.pause_cycles").unwrap()
+        };
+        r.gc_pause_histogram = Some(h);
+        let s = format!("{r}");
+        assert!(s.contains("GC pause p50/p95/p99"), "quantiles missing: {s}");
+    }
+
+    #[test]
+    fn provenance_summary_json_uses_stable_names() {
+        let mut p = ProvenanceSummary::default();
+        p.pcm_by_cause[WriteCause::Mutator as usize] = 10;
+        p.pcm_by_space[SpaceTag::Nursery as usize] = 10;
+        let json = p.to_json();
+        assert!(
+            json.starts_with(r#"{"pcm":{"by_cause":{"mutator":10,"nursery_evac":0"#),
+            "unexpected JSON prefix: {json}"
+        );
+        assert!(json.contains(r#""by_space":{"nursery":10"#));
+        assert!(json.contains(r#""spans_recorded":0"#));
+        assert_eq!(p.pcm_total(), 10);
+        assert!((p.pcm_cause_fraction(WriteCause::Mutator) - 1.0).abs() < 1e-12);
+        assert_eq!(
+            ProvenanceSummary::default().pcm_cause_fraction(WriteCause::Mutator),
+            0.0
+        );
     }
 }

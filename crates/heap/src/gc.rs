@@ -10,7 +10,7 @@ use crate::heap::ManagedHeap;
 use crate::object::{ObjectId, SpaceKind, HEADER_SIZE, LARGE_THRESHOLD};
 use hemu_machine::Machine;
 use hemu_obs::{GcKind, TraceEvent};
-use hemu_types::{Cycles, MemoryAccess, Result, WORD};
+use hemu_types::{Cycles, MemoryAccess, Result, SpaceTag, WriteCause, WriteTag, WORD};
 
 /// Stamps the start of a collection pause: emits a [`TraceEvent::GcStart`]
 /// and returns the pause's start time on the collecting context's clock.
@@ -149,9 +149,19 @@ fn evacuate(heap: &mut ManagedHeap, machine: &mut Machine, id: ObjectId, dest: D
     };
 
     let (ctx, proc) = (heap.ctx, heap.proc);
+    let old_space = heap.table.get(id).space;
+    // Copies out of a young space are the nursery-evacuation write stream;
+    // everything else (rescue, compaction) is a mature copy.
+    let copy_cause = if old_space.is_young() {
+        WriteCause::NurseryEvac
+    } else {
+        WriteCause::MatureCopy
+    };
     machine.access(ctx, proc, MemoryAccess::read(old_addr, size))?;
+    machine.set_write_tag(WriteTag::new(copy_cause, dest.space().tag()));
     machine.access(ctx, proc, MemoryAccess::write(new_addr, size))?;
     // Forwarding pointer in the old header, read by other tracers.
+    machine.set_write_tag(WriteTag::new(WriteCause::Metadata, old_space.tag()));
     machine.access(ctx, proc, MemoryAccess::write(old_addr, WORD as u32))?;
     // Per-object copy work: size check, forwarding CAS, table update.
     machine.compute(ctx, Cycles::new(60 + size as u64 / 4));
@@ -219,8 +229,19 @@ pub(crate) fn minor_gc(
         GcKind::Minor
     };
     let pause_t0 = pause_begin(heap, machine, kind, reason);
+    let spans = machine.spans();
+    spans.begin(
+        if collect_observer {
+            "minor_observer"
+        } else {
+            "minor"
+        },
+        "gc",
+        pause_t0,
+    );
     // Stop-the-world pause setup: stack and register root scan.
     machine.compute(heap.ctx, Cycles::new(30_000));
+    spans.begin("trace", "gc", machine.clock(heap.ctx).now());
 
     let in_evacuated =
         |s: SpaceKind| s == SpaceKind::Nursery || (collect_observer && s == SpaceKind::Observer);
@@ -259,6 +280,8 @@ pub(crate) fn minor_gc(
             mark(heap, t, &mut gray, &mut survivors);
         }
     }
+    spans.end(machine.clock(heap.ctx).now());
+    spans.begin("evacuate", "gc", machine.clock(heap.ctx).now());
 
     // --- Evacuate: observer first, then the nursery into the freed space.
     if collect_observer {
@@ -290,6 +313,8 @@ pub(crate) fn minor_gc(
             evacuate(heap, machine, id, dest)?;
         }
     }
+    spans.end(machine.clock(heap.ctx).now());
+    spans.begin("sweep", "gc", machine.clock(heap.ctx).now());
 
     // --- Sweep the evacuated spaces ---
     let dead: Vec<ObjectId> = heap
@@ -324,7 +349,9 @@ pub(crate) fn minor_gc(
         heap.remset_old.clear();
         rebuild_remsets(heap);
     }
+    spans.end(machine.clock(heap.ctx).now());
     pause_end(heap, machine, kind, pause_t0);
+    spans.end(machine.clock(heap.ctx).now());
     Ok(())
 }
 
@@ -339,7 +366,10 @@ pub(crate) fn full_gc(
     heap.stats.full_gcs += 1;
     heap.minor_since_full = 0;
     let pause_t0 = pause_begin(heap, machine, GcKind::Full, reason);
+    let spans = machine.spans();
+    spans.begin("full", "gc", pause_t0);
     machine.compute(heap.ctx, Cycles::new(120_000));
+    spans.begin("trace", "gc", machine.clock(heap.ctx).now());
 
     // --- Mark the whole graph ---
     let mut gray: Vec<ObjectId> = Vec::new();
@@ -385,13 +415,18 @@ pub(crate) fn full_gc(
             | SpaceKind::LargeDram
             | SpaceKind::LargePcm => {
                 let slot = meta.expect("mature object without a metadata slot");
+                machine.set_write_tag(WriteTag::new(WriteCause::Metadata, SpaceTag::Meta));
                 machine.access(heap.ctx, heap.proc, MemoryAccess::write(slot, 1))?;
             }
             _ => {
+                machine.set_write_tag(WriteTag::new(WriteCause::Metadata, space.tag()));
                 machine.access(heap.ctx, heap.proc, MemoryAccess::write(addr, WORD as u32))?;
             }
         }
     }
+
+    spans.end(machine.clock(heap.ctx).now());
+    spans.begin("sweep", "gc", machine.clock(heap.ctx).now());
 
     // --- Sweep: drop the dead ---
     let dead: Vec<ObjectId> = heap
@@ -432,6 +467,9 @@ pub(crate) fn full_gc(
             _ => {}
         }
     }
+
+    spans.end(machine.clock(heap.ctx).now());
+    spans.begin("evacuate", "gc", machine.clock(heap.ctx).now());
 
     // --- Rescue written PCM large objects to DRAM (KG-W family) ---
     if heap.config.has_observer() {
@@ -502,6 +540,8 @@ pub(crate) fn full_gc(
     if heap.config.has_observer() {
         rebuild_remsets(heap);
     }
+    spans.end(machine.clock(heap.ctx).now());
     pause_end(heap, machine, GcKind::Full, pause_t0);
+    spans.end(machine.clock(heap.ctx).now());
     Ok(())
 }

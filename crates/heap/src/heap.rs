@@ -15,7 +15,7 @@ use crate::space::{BumpSpace, ImmixSpace, LargeObjectSpace, MetaAllocator};
 use crate::stats::GcStats;
 use hemu_machine::{CtxId, Machine, ProcId};
 use hemu_obs::Counter;
-use hemu_types::{Addr, ByteSize, MemoryAccess, Result, WORD};
+use hemu_types::{Addr, ByteSize, MemoryAccess, Result, SpaceTag, WriteCause, WriteTag, WORD};
 
 /// Handle to a root slot (a VM-level reference such as a static or a stack
 /// slot) that keeps an object alive across collections.
@@ -253,6 +253,7 @@ impl ManagedHeap {
 
         // Java semantics: fresh storage is zero-initialised. This is one of
         // the three extra write sources of managed workloads (§VI.A).
+        machine.set_write_tag(WriteTag::new(WriteCause::Mutator, space.tag()));
         machine.access(self.ctx, self.proc, MemoryAccess::write(addr, size))?;
 
         self.stats.allocated_bytes += size as u64;
@@ -348,6 +349,7 @@ impl ManagedHeap {
         }
         let addr = self.boot_cursor;
         self.boot_cursor = self.boot_cursor.offset(size as u64);
+        machine.set_write_tag(WriteTag::new(WriteCause::Mutator, SpaceTag::Other));
         machine.access(self.ctx, self.proc, MemoryAccess::write(addr, size))?;
         self.stats.allocated_bytes += size as u64;
         self.stats.allocated_objects += 1;
@@ -392,15 +394,16 @@ impl ManagedHeap {
         slot: usize,
         target: Option<ObjectId>,
     ) -> Result<()> {
-        let slot_addr = {
+        let (slot_addr, src_tag) = {
             let info = self.table.get(src);
             assert!(
                 slot < info.ref_count as usize,
                 "ref slot {slot} out of range"
             );
-            info.ref_slot_addr(slot)
+            (info.ref_slot_addr(slot), info.space.tag())
         };
         // The store itself.
+        machine.set_write_tag(WriteTag::new(WriteCause::Mutator, src_tag));
         machine.access(
             self.ctx,
             self.proc,
@@ -434,6 +437,7 @@ impl ManagedHeap {
                         (self.remset_cursor * WORD as u64) % layout::REMSET_BUFFER_SIZE.bytes(),
                     );
                     self.remset_cursor += 1;
+                    machine.set_write_tag(WriteTag::new(WriteCause::Metadata, SpaceTag::Meta));
                     machine.access(self.ctx, self.proc, MemoryAccess::write(buf, WORD as u32))?;
                 }
             }
@@ -492,11 +496,12 @@ impl ManagedHeap {
         offset: u32,
         len: u32,
     ) -> Result<()> {
-        let addr = {
+        let (addr, tag) = {
             let info = self.table.get(obj);
             assert!(offset + len <= info.data_size(), "data write out of range");
-            info.data_addr().offset(offset as u64)
+            (info.data_addr().offset(offset as u64), info.space.tag())
         };
+        machine.set_write_tag(WriteTag::new(WriteCause::Mutator, tag));
         machine.access(self.ctx, self.proc, MemoryAccess::write(addr, len))?;
         self.monitor_write(machine, obj)
     }
@@ -542,6 +547,7 @@ impl ManagedHeap {
             SpaceKind::Observer => {
                 self.table.get_mut(obj).written = true;
                 self.stats.monitor_marks += 1;
+                machine.set_write_tag(WriteTag::new(WriteCause::Metadata, SpaceTag::Observer));
                 machine.access(self.ctx, self.proc, MemoryAccess::write(addr, WORD as u32))?;
                 // The first-write slow path of the monitoring barrier.
                 machine.compute(self.ctx, hemu_types::Cycles::new(120));

@@ -93,6 +93,19 @@ impl SpaceKind {
     pub fn is_large(self) -> bool {
         matches!(self, SpaceKind::LargeDram | SpaceKind::LargePcm)
     }
+
+    /// The provenance space tag for writes targeting this space.
+    pub fn tag(self) -> hemu_types::SpaceTag {
+        use hemu_types::SpaceTag;
+        match self {
+            SpaceKind::Nursery => SpaceTag::Nursery,
+            SpaceKind::Observer => SpaceTag::Observer,
+            SpaceKind::MatureDram => SpaceTag::MatureDram,
+            SpaceKind::MaturePcm => SpaceTag::MaturePcm,
+            SpaceKind::LargeDram | SpaceKind::LargePcm => SpaceTag::Large,
+            SpaceKind::Boot => SpaceTag::Other,
+        }
+    }
 }
 
 /// Everything the runtime knows about one object.

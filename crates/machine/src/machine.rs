@@ -5,10 +5,10 @@ use hemu_cache::{Hierarchy, HitLevel};
 use hemu_fault::{EnduranceConfig, FaultInjector, FaultPlan};
 use hemu_numa::{AddressSpace, NumaMemory};
 use hemu_obs::json::{JsonObject, ToJson};
-use hemu_obs::{Counter, Obs, TraceEvent, Tracer};
+use hemu_obs::{Counter, Metrics, Obs, SpanRecorder, TraceEvent, Tracer};
 use hemu_types::{
     AccessKind, Addr, ByteSize, Cycles, HemuError, LineAddr, MemoryAccess, PageNum, Result,
-    SocketId, VirtualClock, CACHE_LINE, PAGE_SIZE,
+    SocketId, SpaceTag, VirtualClock, WriteCause, WriteTag, CACHE_LINE, PAGE_SIZE,
 };
 
 /// Remote fills are coalesced into one aggregate [`TraceEvent::QpiTransfer`]
@@ -22,6 +22,60 @@ pub struct CtxId(pub usize);
 /// Index of an emulated process (one address space).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcId(pub usize);
+
+/// Default bounded capacity of the span ring installed by
+/// [`Machine::enable_profiling`]: enough for every GC phase of a full run
+/// at a few hundred collections, small enough to stay cheap.
+pub const PROFILE_SPAN_CAPACITY: usize = 1 << 15;
+
+/// Cached per-cause / per-space write counters.
+///
+/// Registered once in the metrics registry when profiling is enabled —
+/// registered handles survive `Metrics::reset`, so a measured-iteration
+/// reset zeroes them without invalidating the cached handles — and bumped
+/// straight through the handles on the write-back path. Counts are in
+/// cache *lines*.
+#[derive(Debug)]
+struct ProvenanceCounters {
+    pcm_by_cause: [Counter; WriteCause::ALL.len()],
+    pcm_by_space: [Counter; SpaceTag::ALL.len()],
+    dram_by_cause: [Counter; WriteCause::ALL.len()],
+    dram_by_space: [Counter; SpaceTag::ALL.len()],
+}
+
+impl ProvenanceCounters {
+    fn new(m: &Metrics) -> Self {
+        ProvenanceCounters {
+            pcm_by_cause: WriteCause::ALL
+                .map(|c| m.counter(&format!("writes.by_cause.{}", c.name()))),
+            pcm_by_space: SpaceTag::ALL
+                .map(|s| m.counter(&format!("writes.by_space.{}", s.name()))),
+            dram_by_cause: WriteCause::ALL
+                .map(|c| m.counter(&format!("writes.dram.by_cause.{}", c.name()))),
+            dram_by_space: SpaceTag::ALL
+                .map(|s| m.counter(&format!("writes.dram.by_space.{}", s.name()))),
+        }
+    }
+
+    /// Attributes `n` line writes arriving at `socket` to `tag`.
+    #[inline]
+    fn record_n(&self, socket: SocketId, tag: u8, n: u64) {
+        let t = WriteTag::from_raw(tag);
+        let (c, s) = (t.cause() as usize, t.space() as usize);
+        if socket == SocketId::PCM {
+            self.pcm_by_cause[c].add(n);
+            self.pcm_by_space[s].add(n);
+        } else {
+            self.dram_by_cause[c].add(n);
+            self.dram_by_space[s].add(n);
+        }
+    }
+
+    #[inline]
+    fn record(&self, socket: SocketId, tag: u8) {
+        self.record_n(socket, tag, 1);
+    }
+}
 
 /// Aggregate machine statistics for a measured interval.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,8 +109,16 @@ pub struct Machine {
     /// Pages transparently remapped after wear-out frame retirement.
     pages_remapped: u64,
     /// Reusable write-back scratch for the access fast path, so the
-    /// hierarchy never allocates a fresh `Vec` per line access.
-    wb_scratch: Vec<LineAddr>,
+    /// hierarchy never allocates a fresh `Vec` per line access. Each entry
+    /// carries the provenance tag of the store that dirtied the line (0
+    /// unless profiling is on).
+    wb_scratch: Vec<(LineAddr, u8)>,
+    /// Provenance tag stamped on subsequent write accesses; runtime layers
+    /// set it via [`Machine::set_write_tag`] just before issuing writes.
+    write_tag: u8,
+    /// Per-cause / per-space write attribution, present only while
+    /// profiling ([`Machine::enable_profiling`]).
+    prov: Option<ProvenanceCounters>,
 }
 
 impl Machine {
@@ -77,8 +139,46 @@ impl Machine {
             qpi_pending: 0,
             pages_remapped: 0,
             wb_scratch: Vec::with_capacity(4),
+            write_tag: WriteTag::OTHER.raw(),
+            prov: None,
             profile,
         }
+    }
+
+    /// Turns on the phase-and-provenance profiler: cache provenance tags,
+    /// per-cause / per-space write counters, and a bounded span recorder
+    /// ([`PROFILE_SPAN_CAPACITY`] spans). Idempotent; off by default, in
+    /// which case none of the machinery costs more than one branch per
+    /// write-back.
+    pub fn enable_profiling(&mut self) {
+        if self.prov.is_some() {
+            return;
+        }
+        self.hierarchy.enable_tags();
+        self.prov = Some(ProvenanceCounters::new(&self.obs.metrics));
+        self.obs.spans = SpanRecorder::bounded(PROFILE_SPAN_CAPACITY);
+    }
+
+    /// Whether [`Machine::enable_profiling`] has been called. Runtime
+    /// layers use this to skip tag computation entirely when off.
+    #[inline]
+    pub fn profiling_enabled(&self) -> bool {
+        self.prov.is_some()
+    }
+
+    /// Sets the provenance tag stamped on subsequent write accesses (until
+    /// changed again). A no-op in effect when profiling is off: the tag is
+    /// stored but never consulted.
+    #[inline]
+    pub fn set_write_tag(&mut self, tag: WriteTag) {
+        self.write_tag = tag.raw();
+    }
+
+    /// A clone of the machine's span recorder (shares the same ring), for
+    /// runtime layers that open and close spans. Disabled unless
+    /// [`Machine::enable_profiling`] was called.
+    pub fn spans(&self) -> SpanRecorder {
+        self.obs.spans.clone()
     }
 
     /// The machine's observability bundle (tracer + metrics registry).
@@ -216,6 +316,8 @@ impl Machine {
                 qpi_lines,
                 qpi_pending,
                 wb_scratch,
+                write_tag,
+                prov,
                 ..
             } = self;
             let space = &mut spaces[proc.0];
@@ -241,7 +343,8 @@ impl Machine {
 
                 for i in 0..nlines {
                     let line = LineAddr::new(chunk_line0 + i);
-                    let (level, fill) = hierarchy.access_into(ctx.0, line, kind, wb_scratch);
+                    let (level, fill) =
+                        hierarchy.access_into(ctx.0, line, kind, *write_tag, wb_scratch);
 
                     // Timing: the requesting core stalls for the fill path.
                     let cost = match level {
@@ -283,8 +386,11 @@ impl Machine {
                     if let Some(fill) = fill {
                         mem.record_line_access(fill, AccessKind::Read);
                     }
-                    for &wb in wb_scratch.iter() {
+                    for &(wb, tag) in wb_scratch.iter() {
                         mem.record_line_access(wb, AccessKind::Write);
+                        if let Some(pc) = prov {
+                            pc.record(mem.socket_of_line(wb), tag);
+                        }
                     }
                 }
                 v = page_end;
@@ -349,6 +455,10 @@ impl Machine {
                     self.mem
                         .record_line_access(LineAddr::new(new_line0 + i), AccessKind::Write);
                 }
+                if let Some(pc) = &self.prov {
+                    let tag = WriteTag::new(WriteCause::WearRemap, SpaceTag::Other).raw();
+                    pc.record_n(socket, tag, lines_per_page);
+                }
                 if let Some(ctx) = ctx {
                     // The faulting context stalls for a read+write pass
                     // over the page, at fill latency per line.
@@ -404,6 +514,10 @@ impl Machine {
                 .record_line_access(LineAddr::new(old_line0 + i), AccessKind::Read);
             self.mem
                 .record_line_access(LineAddr::new(new_line0 + i), AccessKind::Write);
+        }
+        if let Some(pc) = &self.prov {
+            let tag = WriteTag::new(WriteCause::OsMigration, SpaceTag::Other).raw();
+            pc.record_n(to, tag, lines_per_page);
         }
         // The copy crosses the inter-socket link once per line.
         self.qpi_lines.add(lines_per_page);
@@ -503,8 +617,18 @@ impl Machine {
     /// line and no healthy frame is left to remap the page to.
     pub fn flush_caches(&mut self) -> Result<()> {
         {
-            let Machine { mem, hierarchy, .. } = self;
-            hierarchy.flush(|line| mem.record_line_access(line, AccessKind::Write));
+            let Machine {
+                mem,
+                hierarchy,
+                prov,
+                ..
+            } = self;
+            hierarchy.flush(|line, tag| {
+                mem.record_line_access(line, AccessKind::Write);
+                if let Some(pc) = prov {
+                    pc.record(mem.socket_of_line(line), tag);
+                }
+            });
         }
         if self.mem.has_pending_retirements() {
             self.process_retirements(None)?;
@@ -591,6 +715,7 @@ impl Machine {
         self.stats = MachineStats::default();
         self.qpi_pending = 0;
         self.obs.metrics.reset();
+        self.obs.spans.reset();
         for c in &mut self.clocks {
             c.reset();
         }
@@ -840,6 +965,67 @@ mod tests {
             wear.lines_touched() as u64,
             (PAGE_SIZE / CACHE_LINE) as u64,
             "the demotion copy wears every line of the PCM frame"
+        );
+    }
+
+    #[test]
+    fn profiling_attributes_pcm_writes_to_cause_and_space() {
+        let mut m = machine();
+        m.enable_profiling();
+        let p = m.add_process(SocketId::DRAM);
+        m.mbind(
+            p,
+            Addr::new(0x1000_0000),
+            ByteSize::from_mib(64),
+            SocketId::PCM,
+        );
+        m.set_write_tag(WriteTag::new(WriteCause::Mutator, SpaceTag::Nursery));
+        m.access(
+            CtxId(0),
+            p,
+            MemoryAccess::write(Addr::new(0x1000_0000), 32 << 20),
+        )
+        .unwrap();
+        m.flush_caches().unwrap();
+        let lines = (32u64 << 20) / CACHE_LINE as u64;
+        let mtx = &m.obs().metrics;
+        assert_eq!(mtx.counter_value("writes.by_cause.mutator"), lines);
+        assert_eq!(mtx.counter_value("writes.by_space.nursery"), lines);
+        assert_eq!(mtx.counter_value("writes.by_cause.nursery_evac"), 0);
+        assert_eq!(mtx.counter_value("writes.dram.by_cause.mutator"), 0);
+    }
+
+    #[test]
+    fn profiling_disabled_records_no_attribution() {
+        let mut m = machine();
+        let p = m.add_process(SocketId::PCM);
+        m.set_write_tag(WriteTag::new(WriteCause::Mutator, SpaceTag::Nursery));
+        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0), 1 << 20))
+            .unwrap();
+        m.flush_caches().unwrap();
+        assert!(!m.profiling_enabled());
+        assert_eq!(m.obs().metrics.counter_value("writes.by_cause.mutator"), 0);
+    }
+
+    #[test]
+    fn migration_writes_are_attributed_to_os_migration() {
+        let mut m = machine();
+        m.enable_profiling();
+        let p = m.add_process(SocketId::DRAM);
+        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0x3000), 64))
+            .unwrap();
+        let old = m
+            .address_space(p)
+            .translate_existing(Addr::new(0x3000))
+            .unwrap()
+            .frame();
+        m.migrate_frame(old, SocketId::PCM).unwrap().unwrap();
+        let per_page = (PAGE_SIZE / CACHE_LINE) as u64;
+        assert_eq!(
+            m.obs()
+                .metrics
+                .counter_value("writes.by_cause.os_migration"),
+            per_page
         );
     }
 

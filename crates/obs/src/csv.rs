@@ -99,4 +99,28 @@ mod tests {
         let mut csv = Csv::new(&["a", "b"]);
         csv.row(&[&1u64]);
     }
+
+    /// RFC 4180 end-to-end at the document level: commas, quotes, CR/LF,
+    /// and combinations must all arrive quoted (and quotes doubled), in
+    /// header and data rows alike.
+    #[test]
+    fn document_escapes_special_fields_rfc4180() {
+        let mut csv = Csv::new(&["key", "note"]);
+        csv.row(&[&"lusearch,KG-N,1,emulation", &"plain"]);
+        csv.row(&[&"say \"hi\"", &"two\nlines"]);
+        csv.row(&[&"crlf\r\nrow", &"both,\"and\"\nmore"]);
+        assert_eq!(
+            csv.finish(),
+            "key,note\n\
+             \"lusearch,KG-N,1,emulation\",plain\n\
+             \"say \"\"hi\"\"\",\"two\nlines\"\n\
+             \"crlf\r\nrow\",\"both,\"\"and\"\"\nmore\"\n"
+        );
+    }
+
+    #[test]
+    fn header_fields_are_escaped_too() {
+        let csv = Csv::new(&["a,b", "plain"]);
+        assert_eq!(csv.finish(), "\"a,b\",plain\n");
+    }
 }

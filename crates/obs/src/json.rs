@@ -85,6 +85,20 @@ impl<'a> JsonObject<'a> {
         self
     }
 
+    /// Writes one `"name": value` member whose value is emitted by `f`
+    /// writing directly to the output buffer — for nested objects or
+    /// arrays that have no dedicated `ToJson` type.
+    pub fn raw_field(&mut self, name: &str, f: impl FnOnce(&mut String)) -> &mut Self {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_json_str(self.out, name);
+        self.out.push(':');
+        f(self.out);
+        self
+    }
+
     /// Closes the object.
     pub fn finish(self) {
         self.out.push('}');

@@ -14,6 +14,9 @@
 //!   recorded through a cheaply cloneable [`Tracer`] handle.
 //! * [`metrics`] — a registry of named [`Counter`]s, [`Gauge`]s, and
 //!   log₂-bucketed [`Histogram`]s, queryable mid-run.
+//! * [`span`] — hierarchical execution spans (GC phases, OS epochs,
+//!   measured iterations) in virtual time, recorded through a bounded
+//!   [`SpanRecorder`] and exportable as a Chrome trace-event timeline.
 //! * [`json`] / [`csv`] — a hand-rolled JSON/JSONL and CSV emitter built
 //!   around the [`ToJson`] trait.
 //! * [`progress`] — a thread-safe, line-serialized progress [`Reporter`]
@@ -30,12 +33,16 @@ pub mod csv;
 pub mod json;
 pub mod metrics;
 pub mod progress;
+pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use csv::Csv;
 pub use json::{to_json_lines, ToJson};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use progress::Reporter;
+pub use span::{SpanRecord, SpanRecorder};
+pub use timeline::Timeline;
 pub use trace::{GcKind, TraceEvent, TraceRecord, Tracer};
 
 /// The observability bundle a machine carries: one event tracer plus one
@@ -50,6 +57,9 @@ pub struct Obs {
     pub tracer: Tracer,
     /// Metrics registry. Always active; recording is cheap.
     pub metrics: Metrics,
+    /// Hierarchical span recorder. Disabled (a no-op) by default; the
+    /// profiler enables it.
+    pub spans: SpanRecorder,
 }
 
 impl Obs {
@@ -63,6 +73,7 @@ impl Obs {
         Obs {
             tracer: Tracer::bounded(capacity),
             metrics: Metrics::new(),
+            spans: SpanRecorder::disabled(),
         }
     }
 }

@@ -221,6 +221,49 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear interpolation
+    /// inside the log₂ bucket holding the target rank, tightened by the
+    /// exact `min`/`max`. The estimate is exact at the extremes and
+    /// accurate to within one bucket's width elsewhere, erring toward the
+    /// bucket's upper edge (the conservative direction for pause-time
+    /// quantiles). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample that answers the quantile.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            if seen + b.count >= target {
+                // The bucket's true value range, tightened by the observed
+                // extrema (exact when the bucket is first/last).
+                let lo = b.lo.max(self.min).min(self.max);
+                let hi = b.hi.min(self.max).max(lo);
+                let into = (target - seen) as f64 / b.count as f64;
+                return lo + ((hi - lo) as f64 * into).round() as u64;
+            }
+            seen += b.count;
+        }
+        self.max
+    }
+
+    /// Median (50th percentile) estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 impl ToJson for HistogramSnapshot {
@@ -231,6 +274,9 @@ impl ToJson for HistogramSnapshot {
             .field("min", &self.min)
             .field("max", &self.max)
             .field("mean", &self.mean())
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .field("p99", &self.p99())
             .field("buckets", &self.buckets);
         obj.finish();
     }
@@ -515,7 +561,49 @@ mod tests {
         let json = m.snapshot().to_json();
         assert_eq!(
             json,
-            r#"{"counters":{"a.b":2},"gauges":{"g":0.5},"histograms":{"h":{"count":1,"sum":1,"min":1,"max":1,"mean":1,"buckets":[{"lo":0,"hi":1,"count":1}]}}}"#
+            r#"{"counters":{"a.b":2},"gauges":{"g":0.5},"histograms":{"h":{"count":1,"sum":1,"min":1,"max":1,"mean":1,"p50":1,"p95":1,"p99":1,"buckets":[{"lo":0,"hi":1,"count":1}]}}}"#
         );
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let m = Metrics::new();
+        let h = m.histogram("q");
+        // 100 samples 1..=100: p50 ≈ 50, p95 ≈ 95, p99 ≈ 99, within one
+        // log₂ bucket's interpolation error.
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.0), 1);
+        assert_eq!(snap.quantile(1.0), 100);
+        let p50 = snap.p50();
+        assert!((33..=67).contains(&p50), "p50 estimate {p50} off");
+        let p95 = snap.p95();
+        assert!((85..=100).contains(&p95), "p95 estimate {p95} off");
+        assert!(snap.p99() >= p95, "quantiles must be monotone");
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_extrema() {
+        let m = Metrics::new();
+        let h = m.histogram("q");
+        for v in [4u64, 70, 3000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // The top quantiles hit the exact max (not the bucket's upper
+        // bound, 4095); the median stays within its bucket.
+        assert_eq!(snap.quantile(1.0), 3000);
+        assert_eq!(snap.p99(), 3000);
+        let p50 = snap.p50();
+        assert!((64..=127).contains(&p50), "p50 estimate {p50} off");
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snap = Metrics::new().histogram("none").snapshot();
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
     }
 }

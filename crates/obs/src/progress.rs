@@ -13,6 +13,7 @@
 //! exported artifacts deterministically afterwards, so the hot recording
 //! paths never pay for synchronization.
 
+use std::collections::BTreeSet;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
@@ -40,6 +41,11 @@ enum Sink {
 #[derive(Clone)]
 pub struct Reporter {
     sink: Arc<Mutex<Sink>>,
+    /// Labels announced via [`Reporter::begin`] but not yet finalized via
+    /// [`Reporter::finish`]. A well-behaved runner leaves this empty: every
+    /// run — successful, failed, or retried — must finalize its line so a
+    /// FAIL never leaves a stale `running ...` as the label's last word.
+    open: Arc<Mutex<BTreeSet<String>>>,
 }
 
 impl Reporter {
@@ -47,6 +53,7 @@ impl Reporter {
     pub fn stderr() -> Self {
         Reporter {
             sink: Arc::new(Mutex::new(Sink::Stderr)),
+            open: Arc::new(Mutex::new(BTreeSet::new())),
         }
     }
 
@@ -54,7 +61,36 @@ impl Reporter {
     pub fn to_writer(w: Box<dyn Write + Send>) -> Self {
         Reporter {
             sink: Arc::new(Mutex::new(Sink::Writer(w))),
+            open: Arc::new(Mutex::new(BTreeSet::new())),
         }
+    }
+
+    /// Announces that work on `label` started (`  running <label> ...`) and
+    /// marks the label in-progress until [`Reporter::finish`] is called
+    /// with it.
+    pub fn begin(&self, label: &str) {
+        if let Ok(mut open) = self.open.lock() {
+            open.insert(label.to_string());
+        }
+        self.line(&format!("  running {label} ..."));
+    }
+
+    /// Finalizes `label`'s display with `msg` (emitted two-space indented,
+    /// like [`Reporter::begin`]) and clears its in-progress mark. Safe to
+    /// call for a label that was never begun — the message still lands.
+    pub fn finish(&self, label: &str, msg: &str) {
+        if let Ok(mut open) = self.open.lock() {
+            open.remove(label);
+        }
+        self.line(&format!("  {msg}"));
+    }
+
+    /// Labels begun but not yet finished. Empty for a well-behaved runner
+    /// at the end of a sweep.
+    pub fn open_labels(&self) -> Vec<String> {
+        self.open
+            .lock()
+            .map_or_else(|_| Vec::new(), |open| open.iter().cloned().collect())
     }
 
     /// Emits one line (a newline is appended). Lines from concurrent
@@ -131,5 +167,38 @@ mod tests {
         assert!(lines
             .iter()
             .all(|l| l.starts_with("worker-") && l.ends_with(" end")));
+    }
+
+    #[test]
+    fn begin_finish_pairs_leave_no_stale_labels() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let r = Reporter::to_writer(Box::new(SharedBuf(Arc::clone(&buf))));
+        r.begin("a|KG-N|1|Emulation");
+        r.begin("b|KG-W|1|Emulation");
+        assert_eq!(r.open_labels().len(), 2);
+        r.finish("a|KG-N|1|Emulation", "done a|KG-N|1|Emulation");
+        r.finish(
+            "b|KG-W|1|Emulation",
+            "FAILED b|KG-W|1|Emulation after 3 attempt(s): timeout",
+        );
+        assert!(r.open_labels().is_empty(), "every begin must be finalized");
+        let text = String::from_utf8(buf.lock().expect("lock").clone()).expect("utf8");
+        // The failed run's last word is its FAIL line, not `running ...`.
+        let last_b = text
+            .lines()
+            .filter(|l| l.contains("b|KG-W"))
+            .next_back()
+            .expect("b lines");
+        assert!(last_b.contains("FAILED"), "stale in-progress display");
+    }
+
+    #[test]
+    fn finish_without_begin_still_lands() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let r = Reporter::to_writer(Box::new(SharedBuf(Arc::clone(&buf))));
+        r.finish("never-begun", "done never-begun");
+        assert!(r.open_labels().is_empty());
+        let text = String::from_utf8(buf.lock().expect("lock").clone()).expect("utf8");
+        assert!(text.contains("done never-begun"));
     }
 }

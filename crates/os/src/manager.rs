@@ -142,6 +142,14 @@ impl OsPageManager {
     /// sampling epoch.
     fn run_epoch(&mut self, machine: &mut Machine) -> Result<()> {
         self.epochs.incr();
+        let spans = machine.spans();
+        spans.begin("os_epoch", "os", machine.elapsed());
+        let result = self.run_epoch_inner(machine);
+        spans.end(machine.elapsed());
+        result
+    }
+
+    fn run_epoch_inner(&mut self, machine: &mut Machine) -> Result<()> {
         let (hot, cold) = self.sample(machine);
         let mut cold = cold.into_iter();
         let mut budget = self.cfg.migration_budget;

@@ -24,6 +24,7 @@ pub mod addr;
 pub mod clock;
 pub mod error;
 pub mod os;
+pub mod provenance;
 pub mod rng;
 pub mod size;
 
@@ -32,5 +33,6 @@ pub use addr::{Addr, LineAddr, PageNum, PhysAddr, SocketId};
 pub use clock::{Cycles, VirtualClock};
 pub use error::{HemuError, Result};
 pub use os::{OsPagingConfig, OsPolicy};
+pub use provenance::{SpaceTag, WriteCause, WriteTag};
 pub use rng::DeterministicRng;
 pub use size::{ByteSize, CACHE_LINE, CHUNK_SIZE, GIB, KIB, MIB, PAGE_SIZE, WORD};

@@ -42,6 +42,17 @@ echo "== OS-paging smoke: GC-vs-OS sweep runs the hot/cold migrator (expect exit
 grep -q '"collector":"OS-hot-cold"' "$smoke_dir/os/runs.json"
 grep -q '"os_paging":{"policy":"OS-hot-cold"' "$smoke_dir/os/runs.json"
 
+echo "== profiler smoke: --profile emits a valid Perfetto timeline + wear heatmap =="
+./target/release/repro os --scale quick --os-policy hot-cold --profile \
+  --timeline-out "$smoke_dir/timeline.json" --heatmap-out "$smoke_dir/heatmap.csv" \
+  --json-out "$smoke_dir/prof"
+python3 -m json.tool "$smoke_dir/timeline.json" > /dev/null
+grep -q '"name":"iteration"' "$smoke_dir/timeline.json"
+grep -q '"cat":"gc"' "$smoke_dir/timeline.json"
+grep -q '"name":"os_epoch"' "$smoke_dir/timeline.json"
+head -1 "$smoke_dir/heatmap.csv" | grep -q '^key,frame,writes,lines_touched,max_line_writes$'
+grep -q '"provenance":{"pcm":{"by_cause":{"mutator":' "$smoke_dir/prof/runs.json"
+
 echo "== parallel smoke: --jobs 4 artifacts match --jobs 1 byte-for-byte =="
 ./target/release/repro fig3 --scale quick --jobs 1 --json-out "$smoke_dir/j1" \
   --trace-out "$smoke_dir/j1-trace.jsonl"
