@@ -45,11 +45,16 @@
 //! path and a fixed quick sweep, writing `BENCH_results.json`
 //! (`--bench-out` overrides the path); `--bench-baseline FILE` additionally
 //! fails the run when access-kernel throughput drops more than 20% below
-//! the baseline file.
+//! the baseline file. `--access-path scalar|batched` selects the machine's
+//! access implementation (default: batched; both produce byte-identical
+//! artifacts) and `--intra-threads N` sets the batch-resolution worker
+//! count inside each run (default: the machine's available parallelism;
+//! any value is byte-identical, and the value used is recorded in the
+//! bench results schema).
 
 use hemu_bench::{experiments, perf, Harness, RunPolicy, Scale};
 use hemu_fault::{EnduranceConfig, FaultPlan};
-use hemu_types::{ByteSize, OsPagingConfig, OsPolicy};
+use hemu_types::{AccessPath, ByteSize, OsPagingConfig, OsPolicy};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -95,6 +100,31 @@ fn main() {
     let bench_out = take_value_flag(&mut args, "--bench-out");
     let bench_baseline = take_value_flag(&mut args, "--bench-baseline");
     let bench = take_bool_flag(&mut args, "--bench");
+    let access_path_flag = take_value_flag(&mut args, "--access-path");
+    let intra_threads_flag = take_value_flag(&mut args, "--intra-threads");
+    let access_path = match access_path_flag.as_deref() {
+        None => AccessPath::default(),
+        Some(s) => match AccessPath::parse(s) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("--access-path: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    // Safe to default wide: shard resolution is deterministic at any
+    // worker count (crates/bench/tests/determinism.rs), and the count used
+    // is recorded in the bench schema for reproducibility.
+    let intra_threads = match intra_threads_flag.as_deref() {
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--intra-threads: expected a positive integer, got `{s}`");
+                std::process::exit(2);
+            }
+        },
+    };
     let jobs = match jobs_flag.as_deref() {
         None => std::thread::available_parallelism().map_or(1, |n| n.get()),
         Some(s) => match s.parse::<usize>() {
@@ -110,6 +140,7 @@ fn main() {
         let out = bench_out.unwrap_or_else(|| "BENCH_results.json".into());
         match perf::run_bench(
             jobs,
+            intra_threads,
             Path::new(&out),
             bench_baseline.as_deref().map(Path::new),
         ) {
@@ -263,6 +294,8 @@ fn main() {
         }
     }
     h.set_jobs(jobs);
+    h.set_access_path(access_path);
+    h.set_intra_threads(intra_threads);
     h.set_os_tuning(os_tuning);
     let t0 = Instant::now();
     let mut target_failures = 0usize;

@@ -31,12 +31,13 @@ use crate::harness::{Manager, Profile, RunPolicy};
 use hemu_core::{Experiment, RunArtifacts};
 use hemu_fault::{EnduranceConfig, FaultPlan};
 use hemu_obs::{Reporter, Tracer};
-use hemu_types::{HemuError, OsPagingConfig};
+use hemu_types::{AccessPath, HemuError, OsPagingConfig};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::thread;
+use std::time::Instant;
 
 /// Records retained per traced run; QPI batching keeps even long runs well
 /// under this.
@@ -64,6 +65,10 @@ pub struct JobSpec {
 pub struct StagedRun {
     /// Attempts consumed (1 unless transient faults forced retries).
     pub attempts: u32,
+    /// Host wall-clock seconds the job took, all attempts included.
+    /// Observability only (bench p50/p95); never exported into run
+    /// artifacts, which must stay byte-identical across machines.
+    pub wall_seconds: f64,
     /// The full artifact bundle (report, trace, profiler spans, wear
     /// heatmap), or the terminal error.
     pub outcome: Result<RunArtifacts, HemuError>,
@@ -86,6 +91,11 @@ pub struct ExecCtx {
     /// Whether to run the phase-and-provenance profiler (virtual-time
     /// spans, write attribution, wear heatmap).
     pub want_profile: bool,
+    /// Access-path implementation every experiment's machine uses.
+    pub access_path: AccessPath,
+    /// Batch-resolution worker threads inside each run (results are
+    /// identical at any value).
+    pub intra_threads: usize,
     /// Serialized progress sink shared by all workers.
     pub reporter: Reporter,
 }
@@ -106,7 +116,9 @@ fn panic_error(payload: &(dyn std::any::Any + Send)) -> HemuError {
 fn configure(ctx: &ExecCtx, job: &JobSpec, attempt: u32) -> Experiment {
     let mut e = Experiment::new(job.spec)
         .instances(job.instances)
-        .profile(job.profile.machine());
+        .profile(job.profile.machine())
+        .access_path(ctx.access_path)
+        .intra_threads(ctx.intra_threads);
     if ctx.want_profile {
         e = e.profiling();
     }
@@ -178,6 +190,7 @@ pub fn run_job(job: &JobSpec, ctx: &ExecCtx) -> StagedRun {
     // begin/finish bracket the run so a failed or retried run always
     // finalizes its display line — `running ...` is never a key's last word.
     ctx.reporter.begin(&job.key);
+    let t0 = Instant::now();
     let mut attempt = 1u32;
     loop {
         let experiment = configure(ctx, job, attempt);
@@ -186,6 +199,7 @@ pub fn run_job(job: &JobSpec, ctx: &ExecCtx) -> StagedRun {
                 ctx.reporter.finish(&job.key, &format!("done {}", job.key));
                 return StagedRun {
                     attempts: attempt,
+                    wall_seconds: t0.elapsed().as_secs_f64(),
                     outcome: Ok(ok),
                 };
             }
@@ -210,6 +224,7 @@ pub fn run_job(job: &JobSpec, ctx: &ExecCtx) -> StagedRun {
                 );
                 return StagedRun {
                     attempts: attempt,
+                    wall_seconds: t0.elapsed().as_secs_f64(),
                     outcome: Err(e),
                 };
             }
@@ -254,6 +269,7 @@ pub fn execute_wave(jobs: &[JobSpec], workers: usize, ctx: &ExecCtx) -> Vec<Stag
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .unwrap_or_else(|| StagedRun {
                     attempts: 1,
+                    wall_seconds: 0.0,
                     outcome: Err(HemuError::Panicked("worker dropped a staged run".into())),
                 })
         })

@@ -7,7 +7,7 @@ use hemu_heap::CollectorKind;
 use hemu_machine::MachineProfile;
 use hemu_obs::json::{JsonObject, ToJson};
 use hemu_obs::{to_json_lines, Csv, Reporter, Timeline};
-use hemu_types::{HemuError, OsPagingConfig, OsPolicy, Result};
+use hemu_types::{AccessPath, HemuError, OsPagingConfig, OsPolicy, Result};
 use hemu_workloads::{spec, DatasetSize, Language, WorkloadSpec};
 use std::collections::{HashMap, HashSet};
 use std::fs;
@@ -154,6 +154,12 @@ pub struct RunRecord {
     pub attempts: u32,
     /// The final error rendered as text, for failed runs.
     pub error: Option<String>,
+    /// Host wall-clock seconds the run took (all attempts). Observability
+    /// only — deliberately excluded from `runs.json` and every other
+    /// exported artifact, which must stay byte-identical across hosts and
+    /// `--jobs`/intra-thread widths; the bench mode reads it for its
+    /// per-run p50/p95.
+    pub wall_seconds: f64,
 }
 
 /// Runs experiments, memoizing results by configuration so figures that
@@ -202,6 +208,10 @@ pub struct Harness {
     /// Worker-pool width for planned sweeps; 0 or 1 means fully inline
     /// sequential execution (the historical path).
     jobs: usize,
+    /// Access-path implementation for every run's machine.
+    access_path: AccessPath,
+    /// Intra-run batch-resolution threads; 0 and 1 both mean sequential.
+    intra_threads: usize,
     /// When true, [`Harness::run`] defers execution: unknown runs are
     /// enqueued as pending jobs and answered with [`HemuError::Deferred`].
     planning: bool,
@@ -287,6 +297,28 @@ impl Harness {
     /// The configured worker-pool width (0/1 = sequential).
     pub fn jobs(&self) -> usize {
         self.jobs.max(1)
+    }
+
+    /// Selects the access-path implementation for every subsequent run.
+    pub fn set_access_path(&mut self, path: AccessPath) {
+        self.access_path = path;
+    }
+
+    /// The access path runs execute with.
+    pub fn access_path(&self) -> AccessPath {
+        self.access_path
+    }
+
+    /// Sets the intra-run batch-resolution thread count for every
+    /// subsequent run. Artifacts are byte-identical at any value; only
+    /// wall-clock time changes.
+    pub fn set_intra_threads(&mut self, threads: usize) {
+        self.intra_threads = threads;
+    }
+
+    /// The configured intra-run thread count (0/1 = sequential).
+    pub fn intra_threads(&self) -> usize {
+        self.intra_threads.max(1)
     }
 
     /// Replaces the progress sink (stderr by default).
@@ -517,6 +549,8 @@ impl Harness {
             os_tuning: self.os_tuning,
             want_trace: self.trace_out.is_some(),
             want_profile: self.profiling(),
+            access_path: self.access_path,
+            intra_threads: self.intra_threads(),
             reporter: self.reporter.clone(),
         }
     }
@@ -547,6 +581,7 @@ impl Harness {
                     status: RunStatus::Ok,
                     attempts: sr.attempts,
                     error: None,
+                    wall_seconds: sr.wall_seconds,
                 });
                 self.runs_executed += 1;
                 Ok(report)
@@ -562,6 +597,7 @@ impl Harness {
                     status,
                     attempts: sr.attempts,
                     error: Some(e.to_string()),
+                    wall_seconds: sr.wall_seconds,
                 });
                 self.failed.insert(key, e.clone());
                 self.runs_executed += 1;

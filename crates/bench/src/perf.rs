@@ -19,9 +19,9 @@
 //! fails the run when access-kernel throughput drops below 80% of the
 //! baseline.
 
-use crate::harness::{Harness, Profile, Scale};
+use crate::harness::{Harness, Profile, RunStatus, Scale};
 use hemu_heap::CollectorKind;
-use hemu_machine::{CtxId, Machine, MachineProfile};
+use hemu_machine::{CtxId, Machine, MachineProfile, ProcId};
 use hemu_obs::json::{JsonObject, ToJson};
 use hemu_types::{Addr, HemuError, MemoryAccess, Result, SocketId};
 use hemu_workloads::WorkloadSpec;
@@ -36,6 +36,11 @@ const KERNEL_OPS: u64 = 1_000_000;
 /// Kernel working set; deliberately larger than the 20 MiB LLC so the
 /// stream exercises misses, evictions, and write-backs, not just hits.
 const KERNEL_REGION: u64 = 32 << 20;
+
+/// Accesses per [`Machine::access_batch`] call in the kernel benchmark —
+/// large enough that each shard's queue amortizes pipeline setup, small
+/// enough that the staging arrays stay cache-resident.
+const KERNEL_BATCH: usize = 4096;
 
 /// Workloads driven by the sweep benchmark: fast DaCapo members, so the
 /// mode stays usable as a CI gate.
@@ -53,6 +58,10 @@ pub struct KernelResult {
     pub seconds: f64,
     /// `line_accesses / seconds`.
     pub accesses_per_sec: f64,
+    /// Accesses per `access_batch` call.
+    pub batch_size: usize,
+    /// Batch-resolution worker threads the kernel machine used.
+    pub intra_threads: usize,
 }
 
 impl ToJson for KernelResult {
@@ -60,7 +69,9 @@ impl ToJson for KernelResult {
         let mut obj = JsonObject::new(out);
         obj.field("line_accesses", &self.line_accesses)
             .field("seconds", &self.seconds)
-            .field("accesses_per_sec", &self.accesses_per_sec);
+            .field("accesses_per_sec", &self.accesses_per_sec)
+            .field("batch_size", &self.batch_size)
+            .field("intra_threads", &self.intra_threads);
         obj.finish();
     }
 }
@@ -74,6 +85,12 @@ pub struct SweepResult {
     pub seconds: f64,
     /// `runs / seconds`.
     pub runs_per_sec: f64,
+    /// Median per-run wall seconds (right-edge quantile over all runs).
+    pub run_p50_seconds: f64,
+    /// 95th-percentile per-run wall seconds.
+    pub run_p95_seconds: f64,
+    /// Intra-run batch-resolution threads each run used.
+    pub intra_threads: usize,
 }
 
 impl ToJson for SweepResult {
@@ -81,9 +98,25 @@ impl ToJson for SweepResult {
         let mut obj = JsonObject::new(out);
         obj.field("runs", &self.runs)
             .field("seconds", &self.seconds)
-            .field("runs_per_sec", &self.runs_per_sec);
+            .field("runs_per_sec", &self.runs_per_sec)
+            .field("run_p50_seconds", &self.run_p50_seconds)
+            .field("run_p95_seconds", &self.run_p95_seconds)
+            .field("intra_threads", &self.intra_threads);
         obj.finish();
     }
+}
+
+/// Right-edge quantile of an unsorted sample set: the smallest element with
+/// at least `q` of the distribution at or below it. Returns 0 for an empty
+/// set.
+fn quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
 }
 
 /// Everything `repro --bench` measured, plus the verdict against an
@@ -106,24 +139,32 @@ pub struct BenchOutcome {
 ///
 /// Propagates machine access failures (none are expected on a healthy
 /// machine without fault injection).
-pub fn bench_kernel() -> Result<KernelResult> {
+pub fn bench_kernel(intra_threads: usize) -> Result<KernelResult> {
     let mut m = Machine::new(MachineProfile::emulation());
+    m.set_intra_threads(intra_threads);
     let proc = m.add_process(SocketId::DRAM);
     // Classic 64-bit LCG: deterministic, dependency-free, and cheap
     // enough that the measurement stays dominated by the access path.
     let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut batch: Vec<(CtxId, ProcId, MemoryAccess)> = Vec::with_capacity(KERNEL_BATCH);
     let t0 = Instant::now();
-    for i in 0..KERNEL_OPS {
-        state = state
-            .wrapping_mul(6_364_136_223_846_793_005)
-            .wrapping_add(1_442_695_040_888_963_407);
-        let addr = Addr::new((state >> 16) % (KERNEL_REGION - 256));
-        let access = if i % 4 == 0 {
-            MemoryAccess::write(addr, 256)
-        } else {
-            MemoryAccess::read(addr, 256)
-        };
-        m.access(CtxId((i % 4) as usize), proc, access)?;
+    let mut i = 0u64;
+    while i < KERNEL_OPS {
+        batch.clear();
+        while i < KERNEL_OPS && batch.len() < KERNEL_BATCH {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let addr = Addr::new((state >> 16) % (KERNEL_REGION - 256));
+            let access = if i % 4 == 0 {
+                MemoryAccess::write(addr, 256)
+            } else {
+                MemoryAccess::read(addr, 256)
+            };
+            batch.push((CtxId((i % 4) as usize), proc, access));
+            i += 1;
+        }
+        m.access_batch(&batch)?;
     }
     let seconds = t0.elapsed().as_secs_f64();
     let line_accesses = m.stats().line_accesses;
@@ -131,6 +172,8 @@ pub fn bench_kernel() -> Result<KernelResult> {
         line_accesses,
         seconds,
         accesses_per_sec: line_accesses as f64 / seconds.max(1e-9),
+        batch_size: KERNEL_BATCH,
+        intra_threads: m.intra_threads(),
     })
 }
 
@@ -140,9 +183,10 @@ pub fn bench_kernel() -> Result<KernelResult> {
 ///
 /// Propagates harness failures (workload registry lookups and any run
 /// that terminally fails).
-pub fn bench_sweep(jobs: usize) -> Result<SweepResult> {
+pub fn bench_sweep(jobs: usize, intra_threads: usize) -> Result<SweepResult> {
     let mut h = Harness::new(Scale::Quick);
     h.set_jobs(jobs);
+    h.set_intra_threads(intra_threads);
     let t0 = Instant::now();
     // run_opt (not `?`) so a planning pass discovers all six jobs at once
     // instead of aborting at the first deferred run.
@@ -165,10 +209,19 @@ pub fn bench_sweep(jobs: usize) -> Result<SweepResult> {
     }
     let seconds = t0.elapsed().as_secs_f64();
     let runs = h.runs_executed;
+    let wall: Vec<f64> = h
+        .records()
+        .iter()
+        .filter(|r| r.status == RunStatus::Ok)
+        .map(|r| r.wall_seconds)
+        .collect();
     Ok(SweepResult {
         runs,
         seconds,
         runs_per_sec: runs as f64 / seconds.max(1e-9),
+        run_p50_seconds: quantile(&wall, 0.50),
+        run_p95_seconds: quantile(&wall, 0.95),
+        intra_threads: h.intra_threads(),
     })
 }
 
@@ -194,15 +247,24 @@ fn json_number_field(text: &str, name: &str) -> Option<f64> {
 /// read/written, otherwise propagates benchmark failures. A throughput
 /// regression is NOT an error — it is reported in
 /// [`BenchOutcome::regression`] so the caller controls the exit code.
-pub fn run_bench(jobs: usize, out_path: &Path, baseline: Option<&Path>) -> Result<BenchOutcome> {
+pub fn run_bench(
+    jobs: usize,
+    intra_threads: usize,
+    out_path: &Path,
+    baseline: Option<&Path>,
+) -> Result<BenchOutcome> {
     let t0 = Instant::now();
-    let kernel = bench_kernel()?;
-    let sweep = bench_sweep(jobs)?;
+    let kernel = bench_kernel(intra_threads)?;
+    let sweep = bench_sweep(jobs, intra_threads)?;
     let wall_seconds = t0.elapsed().as_secs_f64();
 
+    // Schema 2 adds kernel.batch_size, kernel/sweep intra_threads, and the
+    // sweep's per-run p50/p95. The regression gate below reads only the
+    // first `accesses_per_sec` occurrence, so a schema-1 baseline keeps
+    // gating a schema-2 results file (and vice versa) during transitions.
     let mut text = String::new();
     let mut obj = JsonObject::new(&mut text);
-    obj.field("schema", "hemu-bench-results/1")
+    obj.field("schema", "hemu-bench-results/2")
         .field("jobs", &jobs)
         .field("kernel", &kernel)
         .field("sweep", &sweep)
@@ -233,16 +295,20 @@ pub fn run_bench(jobs: usize, out_path: &Path, baseline: Option<&Path>) -> Resul
     }
 
     let summary = format!(
-        "access kernel: {} line accesses in {:.2}s ({:.2} M/s)\n\
-         quick sweep:   {} runs in {:.2}s at --jobs {} ({:.2} runs/s)\n\
+        "access kernel: {} line accesses in {:.2}s ({:.2} M/s, batch {}, intra-threads {})\n\
+         quick sweep:   {} runs in {:.2}s at --jobs {} ({:.2} runs/s, p50 {:.2}s, p95 {:.2}s)\n\
          results written to {}",
         kernel.line_accesses,
         kernel.seconds,
         kernel.accesses_per_sec / 1e6,
+        kernel.batch_size,
+        kernel.intra_threads,
         sweep.runs,
         sweep.seconds,
         jobs,
         sweep.runs_per_sec,
+        sweep.run_p50_seconds,
+        sweep.run_p95_seconds,
         out_path.display()
     );
     Ok(BenchOutcome {
@@ -254,6 +320,16 @@ pub fn run_bench(jobs: usize, out_path: &Path, baseline: Option<&Path>) -> Resul
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_takes_right_edge() {
+        let s = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&s, 0.50), 2.0);
+        assert_eq!(quantile(&s, 0.95), 4.0);
+        assert_eq!(quantile(&s, 1.0), 4.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(quantile(&[7.5], 0.95), 7.5);
+    }
 
     #[test]
     fn json_number_field_parses_nested_output() {

@@ -1,9 +1,11 @@
 //! The parallel executor's determinism guarantee: every exported artifact
 //! — `runs.json`, `samples.csv`, per-run JSON reports, the event trace,
 //! and the rendered figure text — is byte-identical at any `--jobs` width,
-//! including against the fully sequential `--jobs 1` path. Holds with and
-//! without an active fault plan, and for sweeps whose later runs are
-//! conditional on earlier results (the planning-wave case).
+//! including against the fully sequential `--jobs 1` path, and at any
+//! *intra-run* batch-resolution thread count (the sharded cache pipeline
+//! inside each machine). Holds with and without an active fault plan, and
+//! for sweeps whose later runs are conditional on earlier results (the
+//! planning-wave case).
 
 use hemu_bench::{Harness, Profile, RunPolicy, Scale};
 use hemu_fault::FaultPlan;
@@ -59,8 +61,19 @@ fn artifacts(
     jobs: usize,
     faults: Option<FaultPlan>,
 ) -> (String, BTreeMap<String, String>) {
+    artifacts_intra(dir, jobs, 1, faults)
+}
+
+/// [`artifacts`] with an explicit intra-run batch-resolution thread count.
+fn artifacts_intra(
+    dir: &Path,
+    jobs: usize,
+    intra: usize,
+    faults: Option<FaultPlan>,
+) -> (String, BTreeMap<String, String>) {
     let mut h = Harness::new(Scale::Quick);
     h.set_jobs(jobs);
+    h.set_intra_threads(intra);
     h.set_reporter(Reporter::to_writer(Box::new(std::io::sink())));
     h.set_json_dir(dir).expect("create json dir");
     h.set_trace_out(dir.join("trace.jsonl")).expect("trace out");
@@ -252,6 +265,47 @@ fn profiled_sweep_artifacts_are_byte_identical() {
     );
     // Profiled reports carry the attribution block.
     assert!(seq.1["runs.json"].contains("\"provenance\":{\"pcm\":{\"by_cause\":{\"mutator\":"));
+}
+
+/// The intra-run matrix: artifacts are byte-identical across batch-
+/// resolution thread counts {1, 2, 4} crossed with `--jobs` {1, 4}. This
+/// is the determinism invariant one level below the executor — shard
+/// partitioning fixes every outcome regardless of how many workers resolve
+/// the shards, and the merge replays bookkeeping in submission order.
+#[test]
+fn intra_thread_matrix_is_byte_identical() {
+    let base = artifacts_intra(&tmp_dir("det-intra-base"), 1, 1, None);
+    for jobs in [1, 4] {
+        for intra in [1, 2, 4] {
+            if (jobs, intra) == (1, 1) {
+                continue;
+            }
+            let name = format!("det-intra-j{jobs}-t{intra}");
+            let got = artifacts_intra(&tmp_dir(&name), jobs, intra, None);
+            assert_identical(&base, &got);
+        }
+    }
+}
+
+/// The same matrix with a fault plan injecting deterministic allocation
+/// failures and retries: attempt counts, failed runs, and partial tables
+/// must not depend on either parallelism axis.
+#[test]
+fn faulted_intra_thread_matrix_is_byte_identical() {
+    let plan = FaultPlan {
+        seed: 3,
+        frame_alloc_p: 0.5,
+        only: Some("avrora".into()),
+        ..FaultPlan::none()
+    };
+    let base = artifacts_intra(&tmp_dir("det-fintra-base"), 1, 1, Some(plan.clone()));
+    for jobs in [1, 4] {
+        for intra in [2, 4] {
+            let name = format!("det-fintra-j{jobs}-t{intra}");
+            let got = artifacts_intra(&tmp_dir(&name), jobs, intra, Some(plan.clone()));
+            assert_identical(&base, &got);
+        }
+    }
 }
 
 /// Widths beyond the job count (and odd widths) change nothing either.

@@ -1,4 +1,29 @@
 //! A single set-associative, write-back, write-allocate cache.
+//!
+//! # Set-block layout
+//!
+//! All per-set state lives in one contiguous, 64-byte-aligned **set
+//! block**, sized so the paper's L2 geometry (8-way) is exactly one host
+//! cache line and the LLC geometry (20-way) exactly two:
+//!
+//! ```text
+//! word 0        valid mask (low 32) | dirty mask (high 32)
+//! words 1-2     packed recency ranks: 6 bits per way (u128)
+//! words 3..P    presence bytes, one per way (inclusion directory)
+//! words P..     tags, two u32 per word
+//! ```
+//!
+//! A probe therefore touches one or two host cache lines (and one TLB
+//! entry) instead of walking three parallel arrays, and the LRU victim is
+//! found by scanning a register, not memory. The ranks are an exact LRU
+//! encoding: rank 0 is the most recently touched way, rank `assoc - 1`
+//! the least; a touch increments every rank younger than the touched
+//! way's in one SWAR step, so the ranks always form a permutation and
+//! replacement decisions are bit-identical to stamp-based LRU.
+//!
+//! Tags store `line >> log2(sets)` (the set index is implied), packed as
+//! `u32` — enough for any physical memory this simulator can represent;
+//! the store path asserts it.
 
 use crate::stats::CacheStats;
 use hemu_types::{AccessKind, ByteSize, LineAddr, CACHE_LINE};
@@ -19,13 +44,16 @@ impl CacheConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is degenerate (zero ways, more than 32 ways
-    /// — per-set way metadata is packed into `u32` bitmasks — or capacity
-    /// not a multiple of `assoc * CACHE_LINE`, or a non-power-of-two set
-    /// count — the set index is computed by masking).
+    /// Panics if the geometry is degenerate (zero ways, more than 21 ways
+    /// — per-set recency ranks are packed six bits per way into a `u128`
+    /// — or capacity not a multiple of `assoc * CACHE_LINE`, or a
+    /// non-power-of-two set count — the set index is computed by masking).
     pub fn new(name: &'static str, size: ByteSize, assoc: usize) -> Self {
         assert!(assoc > 0, "cache must have at least one way");
-        assert!(assoc <= 32, "way metadata is packed into 32-bit masks");
+        assert!(
+            assoc <= 21,
+            "recency ranks are packed 6 bits per way into a u128"
+        );
         let lines = size.bytes() as usize / CACHE_LINE;
         assert!(
             lines % assoc == 0,
@@ -68,34 +96,39 @@ pub struct Victim {
 pub struct AccessResult {
     /// Whether the line was already resident.
     pub hit: bool,
+    /// The way the accessed line occupies after the access (its slot index
+    /// is `set * assoc + way`); lets callers maintain per-slot side tables
+    /// without re-probing.
+    pub way: u8,
     /// On a miss that displaced a valid line, that line.
     pub victim: Option<Victim>,
 }
 
-/// Packed per-set way metadata: bit `w` of each mask describes way `w`.
-///
-/// One `SetMeta` replaces `assoc` scattered `bool`s: validity and
-/// dirtiness tests become single bit operations, an empty way is found
-/// with one `trailing_zeros`, and "any dirty line in this set?" is one
-/// compare against zero — the access fast path never walks a `Vec<bool>`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct SetMeta {
-    /// Ways holding a valid line.
-    valid: u32,
-    /// Ways holding a dirty line (always a subset of `valid`).
-    dirty: u32,
-}
+/// One 64-byte-aligned slab of eight set-block words; blocks are a whole
+/// number of slabs so every set starts on a host cache line.
+#[repr(C, align(64))]
+#[derive(Debug, Clone, Copy)]
+struct SetSlab([u64; 8]);
+
+/// Word offset of the valid/dirty masks inside a set block.
+const VD: usize = 0;
+/// Word offset of the low half of the packed recency ranks.
+const ORDER_LO: usize = 1;
+/// Word offset of the high half of the packed recency ranks.
+const ORDER_HI: usize = 2;
+/// Word offset of the first presence byte (inclusion directory).
+const PRES: usize = 3;
+/// Bits per packed recency-rank field.
+const RANK_BITS: u32 = 6;
+/// Mask of one recency-rank field.
+const RANK_MASK: u128 = 0x3F;
 
 /// A set-associative, write-back, write-allocate cache with LRU replacement.
 ///
 /// Tag arrays only — the simulator never stores data, it tracks which
 /// physical lines are resident and dirty, which is all that is needed to
-/// decide which stores become memory writes.
-///
-/// Derived geometry (set mask, associativity, full-set mask) is computed
-/// once at construction and cached in the struct, so the per-access path
-/// does no divisions; per-set valid/dirty state is packed into bitmask
-/// words ([`SetMeta`]).
+/// decide which stores become memory writes. See the module docs for the
+/// packed set-block layout the fast path runs against.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
@@ -105,42 +138,95 @@ pub struct Cache {
     assoc: usize,
     /// Cached geometry: `(1 << assoc) - 1`, the all-ways-valid mask.
     full_mask: u32,
-    /// `sets * assoc` tags; validity lives in `meta`, so a slot's tag is
-    /// meaningful only when its valid bit is set.
-    tags: Vec<u64>,
-    /// One packed valid/dirty word pair per set.
-    meta: Vec<SetMeta>,
-    /// `sets * assoc` LRU stamps (the tick of the last touch).
-    lru: Vec<u64>,
+    /// Cached geometry: `log2(sets)`, for tag extraction.
+    set_bits: u32,
+    /// Words per set block (a multiple of 8, so blocks are slab-aligned).
+    stride: usize,
+    /// Word offset of the packed tags inside a block.
+    tags_off: usize,
+    /// SWAR broadcast constant: a 1 in every way's rank field.
+    rank_ones: u128,
+    /// SWAR borrow guard: the high bit of every way's rank field.
+    rank_high: u128,
+    /// `(assoc - 1) * rank_ones`: the LRU rank broadcast to every field.
+    rank_target: u128,
+    /// `r * rank_ones` for every rank `r`, so the touch path broadcasts a
+    /// rank with one load instead of a 128-bit multiply.
+    rank_bcast: [u128; 22],
+    /// `sets * stride / 8` slabs of packed per-set state.
+    arena: Vec<SetSlab>,
     /// Optional per-slot provenance tags (raw [`hemu_types::WriteTag`]
     /// bytes): the cause/space of the last write to each resident line,
     /// carried with the line until its write-back. `None` (the default)
     /// costs nothing on the access path beyond one branch.
     prov: Option<Vec<u8>>,
-    tick: u64,
     stats: CacheStats,
 }
 
 impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
-        let total = config.lines();
         let sets = config.sets();
-        Cache {
+        let assoc = config.assoc;
+        let tags_off = PRES + assoc.div_ceil(8);
+        let stride = (tags_off + assoc.div_ceil(2)).next_multiple_of(8);
+        let mut rank_ones = 0u128;
+        for w in 0..assoc {
+            rank_ones |= 1 << (RANK_BITS * w as u32);
+        }
+        let mut rank_bcast = [0u128; 22];
+        for (r, b) in rank_bcast.iter_mut().enumerate() {
+            *b = r as u128 * rank_ones;
+        }
+        let mut cache = Cache {
             config,
             set_mask: (sets - 1) as u64,
-            assoc: config.assoc,
-            full_mask: if config.assoc == 32 {
-                u32::MAX
-            } else {
-                (1u32 << config.assoc) - 1
-            },
-            tags: vec![0; total],
-            meta: vec![SetMeta::default(); sets],
-            lru: vec![0; total],
+            assoc,
+            full_mask: (1u32 << assoc) - 1,
+            set_bits: sets.trailing_zeros(),
+            stride,
+            tags_off,
+            rank_ones,
+            rank_high: rank_ones << (RANK_BITS - 1),
+            rank_target: (assoc - 1) as u128 * rank_ones,
+            rank_bcast,
+            arena: vec![SetSlab([0; 8]); sets * stride / 8],
             prov: None,
-            tick: 0,
             stats: CacheStats::default(),
+        };
+        // Ranks must always form a permutation of 0..assoc; start each set
+        // with way w at rank w (the first fills touch ways in index order,
+        // which keeps the permutation consistent from the first access).
+        let mut init = 0u128;
+        for w in 0..assoc {
+            init |= (w as u128) << (RANK_BITS * w as u32);
+        }
+        for set in 0..sets {
+            cache.set_order(set * stride, init);
+        }
+        cache
+    }
+
+    /// The set-block words, viewed flat.
+    #[inline]
+    fn words(&self) -> &[u64] {
+        // Safety: `SetSlab` is a `repr(C)` eight-u64 array with stronger
+        // alignment, so the slab vector is exactly `len * 8` contiguous
+        // initialized words.
+        unsafe {
+            std::slice::from_raw_parts(self.arena.as_ptr().cast::<u64>(), self.arena.len() * 8)
+        }
+    }
+
+    /// The set-block words, viewed flat, mutably.
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        // Safety: as in `words`; the borrow of `self` is exclusive.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.arena.as_mut_ptr().cast::<u64>(),
+                self.arena.len() * 8,
+            )
         }
     }
 
@@ -149,7 +235,7 @@ impl Cache {
     /// surface in [`Victim::tag`] and the flush sink. Idempotent.
     pub fn enable_tags(&mut self) {
         if self.prov.is_none() {
-            self.prov = Some(vec![0; self.tags.len()]);
+            self.prov = Some(vec![0; self.config.lines()]);
         }
     }
 
@@ -166,7 +252,7 @@ impl Cache {
     }
 
     #[inline]
-    fn tag_at(&self, slot: usize) -> u8 {
+    fn prov_at(&self, slot: usize) -> u8 {
         self.prov.as_ref().map_or(0, |p| p[slot])
     }
 
@@ -192,22 +278,202 @@ impl Cache {
         (line.raw() & self.set_mask) as usize
     }
 
-    /// The way holding `line`, if resident. Probes only valid ways, via
-    /// the packed mask.
+    /// First word of `set`'s block.
     #[inline]
-    fn find_way(&self, line: LineAddr) -> Option<usize> {
-        let set = self.set_of(line);
-        let base = set * self.assoc;
-        let tag = line.raw();
-        let mut rem = self.meta[set].valid;
-        while rem != 0 {
-            let w = rem.trailing_zeros() as usize;
-            rem &= rem - 1;
-            if self.tags[base + w] == tag {
-                return Some(w);
+    fn base(&self, set: usize) -> usize {
+        set * self.stride
+    }
+
+    /// One block word. Callers pass `base + offset` indices that are in
+    /// bounds by construction (`base = set * stride` with `set < sets`,
+    /// `offset < stride`), so the check is elided.
+    #[inline]
+    fn word(&self, i: usize) -> u64 {
+        debug_assert!(i < self.arena.len() * 8);
+        // Safety: see above; every caller's index is `set * stride + off`
+        // with `set` masked to the set count and `off < stride`.
+        unsafe { *self.words().get_unchecked(i) }
+    }
+
+    /// Mutable access to one block word (same bounds argument as `word`).
+    #[inline]
+    fn word_mut(&mut self, i: usize) -> &mut u64 {
+        debug_assert!(i < self.arena.len() * 8);
+        // Safety: as in `word`.
+        unsafe { self.words_mut().get_unchecked_mut(i) }
+    }
+
+    /// The packed recency ranks of the block at `base`.
+    #[inline]
+    fn order_at(&self, base: usize) -> u128 {
+        u128::from(self.word(base + ORDER_LO)) | u128::from(self.word(base + ORDER_HI)) << 64
+    }
+
+    #[inline]
+    fn set_order(&mut self, base: usize, order: u128) {
+        *self.word_mut(base + ORDER_LO) = order as u64;
+        *self.word_mut(base + ORDER_HI) = (order >> 64) as u64;
+    }
+
+    /// The stored tag of way `w` in the block at `base`.
+    #[inline]
+    fn tag_at(&self, base: usize, w: usize) -> u32 {
+        (self.word(base + self.tags_off + w / 2) >> ((w & 1) * 32)) as u32
+    }
+
+    #[inline]
+    fn set_tag(&mut self, base: usize, w: usize, tag: u32) {
+        let off = self.tags_off;
+        let word = self.word_mut(base + off + w / 2);
+        let shift = (w & 1) * 32;
+        *word = (*word & !(0xFFFF_FFFFu64 << shift)) | u64::from(tag) << shift;
+    }
+
+    /// Reconstructs the full line number of way `w` in `set`.
+    #[inline]
+    fn line_of(&self, base: usize, set: usize, w: usize) -> LineAddr {
+        LineAddr::new(u64::from(self.tag_at(base, w)) << self.set_bits | set as u64)
+    }
+
+    /// Marks way `w` most recently used: one SWAR step increments every
+    /// rank younger than `w`'s and zeroes `w`'s, preserving the
+    /// permutation — bit-identical ordering to stamp-based LRU.
+    #[inline]
+    fn touch(&mut self, base: usize, w: usize) {
+        let o = self.order_at(base);
+        let r = (o >> (RANK_BITS * w as u32) & RANK_MASK) as usize;
+        // Per-field `f < r` via the borrow trick: fields are 6 bits but
+        // values stay below 32, so the top bit of each field is spare. The
+        // rank broadcast comes from a tiny table instead of a 128-bit
+        // multiply.
+        let diff = (o | self.rank_high).wrapping_sub(self.rank_bcast[r]);
+        let inc = (!diff & self.rank_high) >> (RANK_BITS - 1);
+        self.set_order(base, (o + inc) & !(RANK_MASK << (RANK_BITS * w as u32)));
+    }
+
+    /// `touch` specialized for filling the just-evicted LRU way: its rank
+    /// is `assoc - 1`, so every other field is younger and the whole step
+    /// collapses to one add (no field can carry: ranks stay below 21 and
+    /// the victim's incremented field is masked to zero).
+    #[inline]
+    fn touch_evicted(&mut self, base: usize, w: usize) {
+        let o = self.order_at(base);
+        self.set_order(
+            base,
+            (o + self.rank_ones) & !(RANK_MASK << (RANK_BITS * w as u32)),
+        );
+    }
+
+    /// The way with rank `assoc - 1` (least recently used), found
+    /// branchlessly: XOR against the broadcast target zeroes exactly the
+    /// matching field, SWAR zero-detection flags it, `trailing_zeros`
+    /// names it. Only meaningful when the set is full, which is the only
+    /// time it is consulted.
+    #[inline]
+    fn oldest_way(&self, base: usize) -> usize {
+        let x = self.order_at(base) ^ self.rank_target;
+        // Fields are < 32 (assoc <= 21), so XOR never sets a field's top
+        // bit and the borrow trick detects the zero field exactly.
+        let zero = !(x | self.rank_high).wrapping_sub(self.rank_ones) & self.rank_high;
+        debug_assert!(zero != 0, "ranks must form a permutation of 0..assoc");
+        zero.trailing_zeros() as usize / RANK_BITS as usize
+    }
+
+    /// Branchless probe of the block at `base`: compares every way's
+    /// packed tag and returns the match bits (stale tags in invalid ways
+    /// must be masked out by the caller).
+    ///
+    /// On x86_64 the packed-`u32` tag array is compared four ways per
+    /// SSE2 vector op; a trailing odd tag word is compared scalar so the
+    /// vector loads never cross the end of the block.
+    #[inline]
+    fn probe_mask(&self, base: usize, tag: u32) -> u32 {
+        let words = self.assoc.div_ceil(2);
+        let mut m = 0u32;
+        #[cfg(target_arch = "x86_64")]
+        {
+            use core::arch::x86_64::{
+                _mm_castsi128_ps, _mm_cmpeq_epi32, _mm_loadu_si128, _mm_movemask_ps, _mm_set1_epi32,
+            };
+            // Safety: SSE2 is part of the x86_64 baseline; the loads read
+            // `words / 2 * 16` bytes starting at `base + tags_off`, all
+            // inside this set's block (the tag area is `words * 8` bytes).
+            unsafe {
+                let p = self.words().as_ptr().add(base + self.tags_off);
+                let needle = _mm_set1_epi32(tag as i32);
+                for v in 0..words / 2 {
+                    let eq = _mm_cmpeq_epi32(_mm_loadu_si128(p.add(v * 2).cast()), needle);
+                    m |= (_mm_movemask_ps(_mm_castsi128_ps(eq)) as u32) << (4 * v);
+                }
+                if words & 1 == 1 {
+                    let pair = *p.add(words - 1);
+                    m |= u32::from(pair as u32 == tag) << (2 * (words - 1));
+                    m |= u32::from((pair >> 32) as u32 == tag) << (2 * words - 1);
+                }
             }
         }
-        None
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let pairs = &self.words()[base + self.tags_off..][..words];
+            for (i, &pair) in pairs.iter().enumerate() {
+                m |= u32::from(pair as u32 == tag) << (2 * i);
+                m |= u32::from((pair >> 32) as u32 == tag) << (2 * i + 1);
+            }
+        }
+        m
+    }
+
+    /// Splits a line into its (set, block base, packed tag) triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag overflows the packed 32-bit storage — only
+    /// possible for physical memories beyond anything this simulator
+    /// models (e.g. 2^46 lines through the paper's LLC geometry).
+    #[inline]
+    fn locate(&self, line: LineAddr) -> (usize, usize, u32) {
+        let set = self.set_of(line);
+        let tag = line.raw() >> self.set_bits;
+        assert!(
+            tag <= u64::from(u32::MAX),
+            "line {:#x}: tag overflows packed u32 tag storage",
+            line.raw()
+        );
+        (set, self.base(set), tag as u32)
+    }
+
+    /// The way holding `line`, if resident.
+    #[inline]
+    fn find_way(&self, line: LineAddr) -> Option<usize> {
+        let (_, base, tag) = self.locate(line);
+        let valid = self.word(base + VD) as u32;
+        let m = self.probe_mask(base, tag) & valid;
+        (m != 0).then(|| m.trailing_zeros() as usize)
+    }
+
+    /// Prefetches the set block `line` maps to into the host's cache
+    /// (no-op off x86_64). Purely a performance hint: the batch resolver
+    /// calls this a few queue entries ahead so the probe's dependent loads
+    /// don't stall on host memory; it never changes simulated state.
+    #[inline]
+    pub fn prefetch_set(&self, line: LineAddr) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let slab = self.set_of(line) * self.stride / 8;
+            // Safety: `slab` is in bounds by construction and prefetch has
+            // no memory effects; each slab is one 64-byte host line.
+            unsafe {
+                for i in 0..self.stride / 8 {
+                    _mm_prefetch(
+                        (self.arena.as_ptr().add(slab + i)).cast::<i8>(),
+                        _MM_HINT_T0,
+                    );
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = line;
     }
 
     /// Accesses `line`; on a write the resident line is marked dirty.
@@ -226,75 +492,95 @@ impl Cache {
     /// the tag of its last write — so the caller can propagate the
     /// write-back.
     pub fn access_tagged(&mut self, line: LineAddr, kind: AccessKind, wtag: u8) -> AccessResult {
-        self.tick += 1;
-        let set = self.set_of(line);
-        let base = set * self.assoc;
-        let tag = line.raw();
-        let meta = self.meta[set];
+        let (set, base, tag) = self.locate(line);
+        let vd = self.word(base + VD);
+        let (valid, dirty) = (vd as u32, (vd >> 32) as u32);
 
-        // Probe the valid ways only.
-        let mut rem = meta.valid;
-        while rem != 0 {
-            let w = rem.trailing_zeros() as usize;
-            rem &= rem - 1;
-            if self.tags[base + w] == tag {
-                self.stats.hits += 1;
-                self.lru[base + w] = self.tick;
-                if kind.is_write() {
-                    self.meta[set].dirty |= 1 << w;
-                    self.store_tag(base + w, wtag);
-                }
-                return AccessResult {
-                    hit: true,
-                    victim: None,
-                };
+        let hit_mask = self.probe_mask(base, tag) & valid;
+        if hit_mask != 0 {
+            let w = hit_mask.trailing_zeros() as usize;
+            self.stats.hits += 1;
+            self.touch(base, w);
+            if kind.is_write() {
+                *self.word_mut(base + VD) = vd | 1u64 << (32 + w);
+                self.store_tag(set * self.assoc + w, wtag);
             }
+            return AccessResult {
+                hit: true,
+                way: w as u8,
+                victim: None,
+            };
         }
 
         // Miss: pick a way (first invalid way, else LRU), evict + allocate.
         self.stats.misses += 1;
-        let (way, victim) = if meta.valid != self.full_mask {
-            (
-                (!meta.valid & self.full_mask).trailing_zeros() as usize,
-                None,
-            )
+        let (way, victim) = if valid != self.full_mask {
+            let w = (!valid & self.full_mask).trailing_zeros() as usize;
+            self.touch(base, w);
+            (w, None)
         } else {
-            let mut victim_way = 0;
-            let mut victim_lru = u64::MAX;
-            for w in 0..self.assoc {
-                let stamp = self.lru[base + w];
-                if stamp < victim_lru {
-                    victim_lru = stamp;
-                    victim_way = w;
-                }
-            }
-            let dirty = meta.dirty >> victim_way & 1 == 1;
+            let w = self.oldest_way(base);
+            let was_dirty = dirty >> w & 1 == 1;
             self.stats.evictions += 1;
-            if dirty {
+            if was_dirty {
                 self.stats.writebacks += 1;
             }
+            // The evicted way's rank is by definition the maximum, so the
+            // recency update collapses to the cheap fused form.
+            self.touch_evicted(base, w);
             (
-                victim_way,
+                w,
                 Some(Victim {
-                    line: LineAddr::new(self.tags[base + victim_way]),
-                    dirty,
-                    tag: self.tag_at(base + victim_way),
+                    line: self.line_of(base, set, w),
+                    dirty: was_dirty,
+                    tag: self.prov_at(set * self.assoc + w),
                 }),
             )
         };
-        let m = &mut self.meta[set];
-        m.valid |= 1 << way;
-        if kind.is_write() {
-            m.dirty |= 1 << way;
+        let new_valid = valid | 1 << way;
+        let new_dirty = if kind.is_write() {
+            dirty | 1 << way
         } else {
-            m.dirty &= !(1 << way);
-        }
+            dirty & !(1 << way)
+        };
+        *self.word_mut(base + VD) = u64::from(new_valid) | u64::from(new_dirty) << 32;
         if kind.is_write() {
-            self.store_tag(base + way, wtag);
+            self.store_tag(set * self.assoc + way, wtag);
         }
-        self.tags[base + way] = tag;
-        self.lru[base + way] = self.tick;
-        AccessResult { hit: false, victim }
+        self.set_tag(base, way, tag);
+        AccessResult {
+            hit: false,
+            way: way as u8,
+            victim,
+        }
+    }
+
+    /// The presence byte of way `way` in the set `line` maps to — the
+    /// per-slot inclusion directory the hierarchy maintains (which private
+    /// caches may hold this slot's line).
+    #[cfg(test)]
+    fn pres_at(&self, line: LineAddr, way: usize) -> u8 {
+        let base = self.base(self.set_of(line));
+        (self.word(base + PRES + way / 8) >> ((way & 7) * 8)) as u8
+    }
+
+    /// ORs `bits` into the presence byte of (`line`'s set, `way`).
+    #[inline]
+    pub(crate) fn pres_or(&mut self, line: LineAddr, way: usize, bits: u8) {
+        let base = self.base(self.set_of(line));
+        *self.word_mut(base + PRES + way / 8) |= u64::from(bits) << ((way & 7) * 8);
+    }
+
+    /// Replaces the presence byte of (`line`'s set, `way`) with `bits`,
+    /// returning the previous value (the displaced line's presence).
+    #[inline]
+    pub(crate) fn pres_replace(&mut self, line: LineAddr, way: usize, bits: u8) -> u8 {
+        let base = self.base(self.set_of(line));
+        let word = self.word_mut(base + PRES + way / 8);
+        let shift = (way & 7) * 8;
+        let old = (*word >> shift) as u8;
+        *word = (*word & !(0xFFu64 << shift)) | u64::from(bits) << shift;
+        old
     }
 
     /// Returns `true` if `line` is resident.
@@ -304,9 +590,9 @@ impl Cache {
 
     /// Returns the dirty bit of `line` if resident.
     pub fn is_dirty(&self, line: LineAddr) -> Option<bool> {
-        let set = self.set_of(line);
+        let base = self.base(self.set_of(line));
         self.find_way(line)
-            .map(|w| self.meta[set].dirty >> w & 1 == 1)
+            .map(|w| (self.word(base + VD) >> 32) as u32 >> w & 1 == 1)
     }
 
     /// Marks a resident line dirty without touching LRU state (used when a
@@ -327,7 +613,8 @@ impl Cache {
         let set = self.set_of(line);
         match self.find_way(line) {
             Some(w) => {
-                self.meta[set].dirty |= 1 << w;
+                let base = self.base(set);
+                *self.word_mut(base + VD) |= 1u64 << (32 + w);
                 self.store_tag(set * self.assoc + w, wtag);
                 true
             }
@@ -346,33 +633,34 @@ impl Cache {
     pub fn invalidate_tagged(&mut self, line: LineAddr) -> Option<(bool, u8)> {
         let set = self.set_of(line);
         let w = self.find_way(line)?;
-        let wtag = self.tag_at(set * self.assoc + w);
-        let m = &mut self.meta[set];
-        let was_dirty = m.dirty >> w & 1 == 1;
-        m.valid &= !(1 << w);
-        m.dirty &= !(1 << w);
+        let wtag = self.prov_at(set * self.assoc + w);
+        let base = self.base(set);
+        let vd = self.word(base + VD);
+        let was_dirty = (vd >> 32) as u32 >> w & 1 == 1;
+        *self.word_mut(base + VD) = vd & !(1u64 << w) & !(1u64 << (32 + w));
         Some((was_dirty, wtag))
     }
 
     /// Number of valid lines currently resident (O(sets); for tests).
     pub fn resident_lines(&self) -> usize {
-        self.meta
-            .iter()
-            .map(|m| m.valid.count_ones() as usize)
+        (0..self.config.sets())
+            .map(|s| (self.words()[self.base(s) + VD] as u32).count_ones() as usize)
             .sum()
     }
 
     /// Iterates over the resident lines and their dirty bits (O(capacity);
     /// for invariant checking and debugging).
     pub fn iter_resident(&self) -> impl Iterator<Item = (LineAddr, bool)> + '_ {
-        (0..self.tags.len()).filter_map(move |i| {
-            let (set, w) = (i / self.assoc, i % self.assoc);
-            let m = self.meta[set];
-            if m.valid >> w & 1 == 1 {
-                Some((LineAddr::new(self.tags[i]), m.dirty >> w & 1 == 1))
-            } else {
-                None
-            }
+        (0..self.config.sets()).flat_map(move |set| {
+            let base = self.base(set);
+            let vd = self.words()[base + VD];
+            (0..self.assoc).filter_map(move |w| {
+                if vd as u32 >> w & 1 == 1 {
+                    Some((self.line_of(base, set, w), (vd >> 32) as u32 >> w & 1 == 1))
+                } else {
+                    None
+                }
+            })
         })
     }
 
@@ -389,19 +677,20 @@ impl Cache {
     ///
     /// Sets with no dirty line are skipped with one mask test each.
     pub fn flush_dirty_tagged<F: FnMut(LineAddr, u8)>(&mut self, mut sink: F) {
-        for set in 0..self.meta.len() {
-            let mut rem = self.meta[set].dirty;
+        for set in 0..self.config.sets() {
+            let base = self.base(set);
+            let vd = self.words()[base + VD];
+            let mut rem = (vd >> 32) as u32;
             if rem == 0 {
                 continue;
             }
-            let base = set * self.assoc;
             while rem != 0 {
                 let w = rem.trailing_zeros() as usize;
                 rem &= rem - 1;
-                let wtag = self.tag_at(base + w);
-                sink(LineAddr::new(self.tags[base + w]), wtag);
+                let wtag = self.prov_at(set * self.assoc + w);
+                sink(self.line_of(base, set, w), wtag);
             }
-            self.meta[set].dirty = 0;
+            self.words_mut()[base + VD] = vd & 0xFFFF_FFFF;
         }
     }
 }
@@ -569,6 +858,35 @@ mod tests {
         let mut again = Vec::new();
         c.flush_dirty(|line| again.push(line));
         assert!(again.is_empty());
+    }
+
+    #[test]
+    fn invalidated_way_is_refilled_consistently() {
+        // Invalidate a way mid-stream and keep going: ranks must stay a
+        // valid permutation and LRU decisions must match the stamp model.
+        let mut c = tiny();
+        c.access(l(0), AccessKind::Read);
+        c.access(l(2), AccessKind::Read);
+        assert_eq!(c.invalidate(l(0)), Some(false));
+        c.access(l(4), AccessKind::Read); // refills the invalid way
+        assert!(c.contains(l(2)));
+        assert!(c.contains(l(4)));
+        // 2 is older than 4 now; a new line must evict 2.
+        let r = c.access(l(6), AccessKind::Read);
+        assert_eq!(r.victim.map(|v| v.line), Some(l(2)));
+    }
+
+    #[test]
+    fn presence_bytes_round_trip() {
+        let mut c = tiny();
+        assert_eq!(c.pres_at(l(0), 1), 0);
+        c.pres_or(l(0), 1, 0b101);
+        assert_eq!(c.pres_at(l(0), 1), 0b101);
+        assert_eq!(c.pres_replace(l(0), 1, 0b10), 0b101);
+        assert_eq!(c.pres_at(l(0), 1), 0b10);
+        // Other slots are untouched.
+        assert_eq!(c.pres_at(l(0), 0), 0);
+        assert_eq!(c.pres_at(l(1), 1), 0);
     }
 
     #[test]

@@ -64,6 +64,13 @@ impl HierarchyConfig {
 /// back-invalidated and any L2 dirtiness is merged into the write-back, so
 /// no store is ever lost and no line is dirty in an L2 without the LLC
 /// knowing it resides above.
+/// The inclusion directory lives *inside* the LLC's set blocks: one
+/// presence byte per LLC slot, bit `c & 7` set when context `c`'s L2 *may*
+/// hold the slot's line. Maintained as a superset of true residency (bits
+/// are set on every L2 fill but only cleared when the slot is reallocated),
+/// so back-invalidation probes only the flagged L2s instead of all of them
+/// — the unflagged ones provably miss. With more than 8 contexts bits
+/// alias, which just means extra (harmless) probes.
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
     l2s: Vec<Cache>,
@@ -79,9 +86,10 @@ impl Hierarchy {
     pub fn new(config: HierarchyConfig) -> Self {
         assert!(config.contexts > 0, "need at least one hardware context");
         let l2cfg = CacheConfig::new("L2", config.l2_size, config.l2_assoc);
+        let llc_cfg = CacheConfig::new("LLC", config.llc_size, config.llc_assoc);
         Hierarchy {
             l2s: (0..config.contexts).map(|_| Cache::new(l2cfg)).collect(),
-            llc: Cache::new(CacheConfig::new("LLC", config.llc_size, config.llc_assoc)),
+            llc: Cache::new(llc_cfg),
         }
     }
 
@@ -134,6 +142,14 @@ impl Hierarchy {
         }
     }
 
+    /// Prefetches the L2 and LLC set metadata `line` maps to into the
+    /// host's cache (performance hint only; see [`Cache::prefetch_set`]).
+    #[inline]
+    pub(crate) fn prefetch(&self, ctx: usize, line: LineAddr) {
+        self.l2s[ctx].prefetch_set(line);
+        self.llc.prefetch_set(line);
+    }
+
     /// Issues one line access from hardware context `ctx`, appending any
     /// memory write-backs — each with the provenance tag of the store that
     /// dirtied it — to `writebacks` (cleared first) instead of allocating
@@ -179,36 +195,55 @@ impl Hierarchy {
         // access itself is a read-for-fill; dirtiness reaches the LLC later
         // via the L2 write-back path above.
         let llcr = self.llc.access(line, AccessKind::Read);
-        let level = if llcr.hit {
-            HitLevel::Llc
-        } else {
-            HitLevel::Memory
-        };
+        let ctx_bit = 1u8 << (ctx & 7);
+        if llcr.hit {
+            // The accessed line just filled into ctx's L2; record it.
+            self.llc.pres_or(line, llcr.way as usize, ctx_bit);
+            return (HitLevel::Llc, None);
+        }
 
-        let mut fill = None;
-        if !llcr.hit {
-            fill = Some(line);
-            if let Some(v) = llcr.victim {
-                // Inclusive LLC: evicting a line expels it from every L2.
-                // An L2 copy holds newer data than the LLC's, so its tag
-                // (the most recent store) wins.
-                let mut dirty = v.dirty;
-                let mut tag = v.tag;
-                for l2 in &mut self.l2s {
-                    if let Some((l2_dirty, l2_tag)) = l2.invalidate_tagged(v.line) {
+        // The slot was reallocated: its presence byte describes the victim
+        // (if any), then starts over with just the filling context.
+        let present = self.llc.pres_replace(line, llcr.way as usize, ctx_bit);
+        if let Some(v) = llcr.victim {
+            // Inclusive LLC: evicting a line expels it from every L2. An
+            // L2 copy holds newer data than the LLC's, so its tag (the
+            // most recent store) wins. Only the L2s flagged in the
+            // directory can hold the line; the rest provably miss.
+            let mut dirty = v.dirty;
+            let mut tag = v.tag;
+            if self.l2s.len() <= 8 {
+                let mut rem = present;
+                while rem != 0 {
+                    let c = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    if let Some((l2_dirty, l2_tag)) = self.l2s[c].invalidate_tagged(v.line) {
                         if l2_dirty {
                             dirty = true;
                             tag = l2_tag;
                         }
                     }
                 }
-                if dirty {
-                    writebacks.push((v.line, tag));
+            } else {
+                // Aliased presence bits: probe every context whose bit is
+                // set (a superset of the true holders).
+                for (c, l2) in self.l2s.iter_mut().enumerate() {
+                    if present & (1 << (c & 7)) != 0 {
+                        if let Some((l2_dirty, l2_tag)) = l2.invalidate_tagged(v.line) {
+                            if l2_dirty {
+                                dirty = true;
+                                tag = l2_tag;
+                            }
+                        }
+                    }
                 }
+            }
+            if dirty {
+                writebacks.push((v.line, tag));
             }
         }
 
-        (level, fill)
+        (HitLevel::Memory, Some(line))
     }
 
     /// Flushes every dirty line in the whole hierarchy to memory, calling

@@ -37,8 +37,10 @@
 
 mod cache;
 mod hierarchy;
+mod shard;
 mod stats;
 
 pub use cache::{AccessResult, Cache, CacheConfig, Victim};
 pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyOutcome, HitLevel};
+pub use shard::{ShardedHierarchy, DEFAULT_SHARD_BITS};
 pub use stats::CacheStats;

@@ -1,0 +1,606 @@
+//! The set-sharded hierarchy: the batch pipeline's resolution engine.
+//!
+//! # Why sharding by low line bits is exact
+//!
+//! Both cache levels index sets with the *low* bits of the physical line
+//! number (`line & (sets - 1)`), and the L2 set count divides the LLC set
+//! count. Pick `NS = 2^k` with `k <= log2(l2_sets)`: every line whose low
+//! `k` bits equal `s` — and, crucially, every side-effect line any access
+//! to it can produce (its L2 victim, its LLC victim, the dirty-merge
+//! target, the back-invalidation targets) — shares those same low bits,
+//! because victims come from the same cache set as the accessed line.
+//! Partitioning lines by `line & (NS - 1)` therefore splits the hierarchy
+//! into `NS` fully independent sub-hierarchies that never exchange state.
+//!
+//! Each shard holds a [`Hierarchy`] with `1/NS`-th of each cache's
+//! capacity and operates on `line >> k` (a bijection within the shard;
+//! the full set index is `shard | sub_set << k`). LRU comparisons only
+//! ever happen within one set, and a set lives in exactly one shard, so
+//! per-set tick ordering — and with it every hit, victim, and write-back —
+//! is bit-identical to the monolithic hierarchy. The reference-model suite
+//! (`crates/cache/tests/reference_model.rs`) locks this in.
+//!
+//! # Why this is fast
+//!
+//! The monolithic hierarchy's tag/LRU arrays are several MiB; a random
+//! access stream misses the *simulator's own* caches on nearly every probe.
+//! One shard's arrays are `1/NS`-th that size (~100 KiB at the default
+//! `NS = 64` for the paper's geometry) — draining a whole batch queue
+//! against one shard keeps its metadata resident in the host's L2.
+//!
+//! # Deterministic intra-run parallelism
+//!
+//! Because shards share no state, a batch can be resolved by any number of
+//! worker threads, each owning a disjoint range of shards, with no
+//! synchronization beyond the scope join — and the outcome of every queued
+//! access is *identical* at any thread count by construction. The merge
+//! back into global submission order is the caller's job (the machine
+//! walks its batch arrays and pops per-shard outcome cursors).
+
+use crate::cache::Cache;
+use crate::hierarchy::{Hierarchy, HierarchyConfig, HitLevel};
+use crate::stats::CacheStats;
+use hemu_types::{AccessKind, ByteSize, LineAddr};
+
+/// Default shard-count exponent: `2^6 = 64` shards.
+pub const DEFAULT_SHARD_BITS: u32 = 6;
+
+/// Queues below this many total lines resolve inline even when worker
+/// threads are requested; spawning a scope costs more than it saves.
+const PARALLEL_MIN_LINES: usize = 8192;
+
+/// How many queue entries ahead the resolver prefetches cache metadata.
+/// Far enough to cover a host memory round-trip at a few dozen cycles per
+/// resolved line, near enough that prefetched lines survive until use.
+const PREFETCH_AHEAD: usize = 12;
+
+/// One queued line access, packed struct-of-arrays style: the original
+/// (unshifted) line plus a meta word holding context, kind, and tag.
+#[derive(Debug, Clone, Copy)]
+struct QueuedLine {
+    line: u64,
+    /// `ctx << 16 | wtag << 8 | is_write`.
+    meta: u32,
+}
+
+/// One shard: a private sub-hierarchy plus its batch queue and outcome
+/// buffers.
+#[derive(Debug)]
+struct Shard {
+    hier: Hierarchy,
+    /// The shard's own low line bits, OR-ed back into shifted victims.
+    low: u64,
+    queue: Vec<QueuedLine>,
+    /// Per queued access: hit level (2 bits) | write-back count `<< 2`.
+    out: Vec<u8>,
+    /// Unshifted write-backs of the whole queue, in access order.
+    wbs: Vec<(LineAddr, u8)>,
+    /// Merge cursors: next outcome / next write-back to hand out.
+    cursor: usize,
+    wb_cursor: usize,
+    scratch: Vec<(LineAddr, u8)>,
+}
+
+impl Shard {
+    /// Resolves the whole queue against this shard's sub-hierarchy.
+    fn run_queue(&mut self, ns_bits: u32) {
+        let Shard {
+            hier,
+            queue,
+            out,
+            wbs,
+            scratch,
+            low,
+            ..
+        } = self;
+        out.clear();
+        wbs.clear();
+        for (i, q) in queue.iter().enumerate() {
+            // The queue is known upfront, so hide the host-memory latency
+            // of the tag/LRU probes by prefetching a fixed distance ahead.
+            if let Some(next) = queue.get(i + PREFETCH_AHEAD) {
+                hier.prefetch(
+                    (next.meta >> 16) as usize,
+                    LineAddr::new(next.line >> ns_bits),
+                );
+            }
+            let ctx = (q.meta >> 16) as usize;
+            let wtag = (q.meta >> 8) as u8;
+            let kind = if q.meta & 1 == 1 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let shifted = LineAddr::new(q.line >> ns_bits);
+            let (level, _fill) = hier.access_into(ctx, shifted, kind, wtag, scratch);
+            debug_assert!(scratch.len() <= 2, "at most an LLC and an L2 victim");
+            out.push(level_code(level) | (scratch.len() as u8) << 2);
+            wbs.extend(
+                scratch
+                    .iter()
+                    .map(|&(l, t)| (LineAddr::new(l.raw() << ns_bits | *low), t)),
+            );
+        }
+    }
+}
+
+#[inline]
+const fn level_code(level: HitLevel) -> u8 {
+    match level {
+        HitLevel::L2 => 0,
+        HitLevel::Llc => 1,
+        HitLevel::Memory => 2,
+    }
+}
+
+#[inline]
+const fn code_level(code: u8) -> HitLevel {
+    match code & 0b11 {
+        0 => HitLevel::L2,
+        1 => HitLevel::Llc,
+        _ => HitLevel::Memory,
+    }
+}
+
+/// The hierarchy partitioned into independent set shards, with a batch
+/// queue per shard. Drop-in semantic replacement for [`Hierarchy`] (see
+/// the module docs for the equivalence argument), plus the batch API:
+/// [`ShardedHierarchy::begin_batch`] / [`ShardedHierarchy::enqueue`] /
+/// [`ShardedHierarchy::resolve`] / [`ShardedHierarchy::next_outcome`].
+#[derive(Debug)]
+pub struct ShardedHierarchy {
+    ns_bits: u32,
+    shard_mask: u64,
+    shards: Vec<Shard>,
+    contexts: usize,
+    queued: usize,
+}
+
+impl ShardedHierarchy {
+    /// Builds the sharded hierarchy. `ns_bits` is clamped so the shard
+    /// count never exceeds the smaller cache's set count (each shard must
+    /// own at least one full set of each level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.contexts` is zero or a cache geometry is invalid
+    /// (same contract as [`Hierarchy::new`]).
+    pub fn new(config: HierarchyConfig, ns_bits: u32) -> Self {
+        let l2_sets = (config.l2_size.bytes() as usize / 64 / config.l2_assoc).max(1);
+        let llc_sets = (config.llc_size.bytes() as usize / 64 / config.llc_assoc).max(1);
+        let ns_bits = ns_bits
+            .min(l2_sets.trailing_zeros())
+            .min(llc_sets.trailing_zeros());
+        let ns = 1usize << ns_bits;
+        let sub = HierarchyConfig {
+            contexts: config.contexts,
+            l2_size: ByteSize::new(config.l2_size.bytes() >> ns_bits),
+            l2_assoc: config.l2_assoc,
+            llc_size: ByteSize::new(config.llc_size.bytes() >> ns_bits),
+            llc_assoc: config.llc_assoc,
+        };
+        ShardedHierarchy {
+            ns_bits,
+            shard_mask: (ns - 1) as u64,
+            shards: (0..ns)
+                .map(|s| Shard {
+                    hier: Hierarchy::new(sub),
+                    low: s as u64,
+                    queue: Vec::new(),
+                    out: Vec::new(),
+                    wbs: Vec::new(),
+                    cursor: 0,
+                    wb_cursor: 0,
+                    scratch: Vec::with_capacity(4),
+                })
+                .collect(),
+            contexts: config.contexts,
+            queued: 0,
+        }
+    }
+
+    /// Number of hardware contexts.
+    pub fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Enables provenance-tag tracking on every shard. Idempotent.
+    pub fn enable_tags(&mut self) {
+        for s in &mut self.shards {
+            s.hier.enable_tags();
+        }
+    }
+
+    /// Resets statistics on every shard (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.shards {
+            s.hier.reset_stats();
+        }
+    }
+
+    /// Issues one line access immediately (no batching) — the scalar-shaped
+    /// entry point with [`Hierarchy::access_into`]'s exact contract, used
+    /// for small accesses where pipeline setup isn't worth it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    #[inline]
+    pub fn access_into(
+        &mut self,
+        ctx: usize,
+        line: LineAddr,
+        kind: AccessKind,
+        wtag: u8,
+        writebacks: &mut Vec<(LineAddr, u8)>,
+    ) -> (HitLevel, Option<LineAddr>) {
+        let ns_bits = self.ns_bits;
+        let shard = &mut self.shards[(line.raw() & self.shard_mask) as usize];
+        let shifted = LineAddr::new(line.raw() >> ns_bits);
+        let (level, fill) = shard.hier.access_into(ctx, shifted, kind, wtag, writebacks);
+        for wb in writebacks.iter_mut() {
+            wb.0 = LineAddr::new(wb.0.raw() << ns_bits | shard.low);
+        }
+        (level, fill.map(|_| line))
+    }
+
+    /// Starts a new batch: clears every shard's queue and outcome cursors.
+    pub fn begin_batch(&mut self) {
+        for s in &mut self.shards {
+            s.queue.clear();
+            s.out.clear();
+            s.wbs.clear();
+            s.cursor = 0;
+            s.wb_cursor = 0;
+        }
+        self.queued = 0;
+    }
+
+    /// Queues one line access for the current batch.
+    #[inline]
+    pub fn enqueue(&mut self, ctx: usize, line: LineAddr, kind: AccessKind, wtag: u8) {
+        debug_assert!(ctx < self.contexts);
+        let meta = (ctx as u32) << 16 | (wtag as u32) << 8 | kind.is_write() as u32;
+        self.shards[(line.raw() & self.shard_mask) as usize]
+            .queue
+            .push(QueuedLine {
+                line: line.raw(),
+                meta,
+            });
+        self.queued += 1;
+    }
+
+    /// Lines queued in the current batch.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Resolves every queued access against its shard. With `threads > 1`
+    /// (and a queue large enough to amortize spawning) shards are split
+    /// across a scoped worker pool; each shard is still processed
+    /// sequentially in enqueue order, so the outcome of every access is
+    /// identical at any thread count.
+    pub fn resolve(&mut self, threads: usize) {
+        let ns_bits = self.ns_bits;
+        let threads = threads.clamp(1, self.shards.len());
+        if threads == 1 || self.queued < PARALLEL_MIN_LINES {
+            for s in &mut self.shards {
+                s.run_queue(ns_bits);
+            }
+            return;
+        }
+        let per = self.shards.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for chunk in self.shards.chunks_mut(per) {
+                scope.spawn(move || {
+                    for s in chunk {
+                        s.run_queue(ns_bits);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Pops the outcome of the next queued access to `line`'s shard.
+    ///
+    /// Must be called exactly once per enqueued access, in an order that is
+    /// per-shard FIFO; calling in global enqueue order satisfies that. The
+    /// returned fill is the accessed line itself on a memory-level miss
+    /// (the hierarchy's invariant), and the slice holds this access's
+    /// write-backs with their provenance tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard's queue outcomes are exhausted (i.e. the call
+    /// sequence does not match the enqueue sequence).
+    #[inline]
+    pub fn next_outcome(
+        &mut self,
+        line: LineAddr,
+    ) -> (HitLevel, Option<LineAddr>, &[(LineAddr, u8)]) {
+        let shard = &mut self.shards[(line.raw() & self.shard_mask) as usize];
+        let code = shard.out[shard.cursor];
+        debug_assert_eq!(shard.queue[shard.cursor].line, line.raw());
+        shard.cursor += 1;
+        let n = (code >> 2) as usize;
+        let wbs = &shard.wbs[shard.wb_cursor..shard.wb_cursor + n];
+        shard.wb_cursor += n;
+        let level = code_level(code);
+        let fill = (level == HitLevel::Memory).then_some(line);
+        (level, fill, wbs)
+    }
+
+    /// Consumes every resolved outcome of the current batch shard-major:
+    /// `visit` sees each queued access's context, original (unshifted)
+    /// line, and hit level, in per-shard enqueue order. This is the
+    /// aggregate half of the merge for callers whose per-line bookkeeping
+    /// is order-insensitive (pure counter sums): walking shard-major keeps
+    /// each shard's queue and outcome arrays streaming instead of hopping
+    /// between shards per line, and skips [`ShardedHierarchy::next_outcome`]'s
+    /// cursor machinery entirely. Pair with
+    /// [`ShardedHierarchy::drain_writebacks`]; not mixable with
+    /// `next_outcome` within one batch.
+    pub fn drain_lines<F: FnMut(usize, LineAddr, HitLevel)>(&mut self, mut visit: F) {
+        for s in &mut self.shards {
+            debug_assert_eq!(s.cursor, 0, "drain_lines after next_outcome");
+            for (q, &code) in s.queue.iter().zip(s.out.iter()) {
+                visit(
+                    (q.meta >> 16) as usize,
+                    LineAddr::new(q.line),
+                    code_level(code),
+                );
+            }
+            s.cursor = s.queue.len();
+        }
+    }
+
+    /// Consumes every write-back of the current batch shard-major, with its
+    /// provenance tag; the order-insensitive companion of
+    /// [`ShardedHierarchy::drain_lines`].
+    pub fn drain_writebacks<F: FnMut(LineAddr, u8)>(&mut self, mut visit: F) {
+        for s in &mut self.shards {
+            debug_assert_eq!(s.wb_cursor, 0, "drain_writebacks after next_outcome");
+            for &(wb, tag) in &s.wbs {
+                visit(wb, tag);
+            }
+            s.wb_cursor = s.wbs.len();
+        }
+    }
+
+    /// Flushes every dirty line in every shard to memory, calling `sink`
+    /// once per line with its provenance tag. Shards flush in index order,
+    /// each with [`Hierarchy::flush`]'s own ordering — deterministic, but
+    /// a different (equally valid) order than the monolithic hierarchy;
+    /// only per-line sums are observable in reports.
+    pub fn flush<F: FnMut(LineAddr, u8)>(&mut self, mut sink: F) {
+        let ns_bits = self.ns_bits;
+        for s in &mut self.shards {
+            let low = s.low;
+            s.hier
+                .flush(|line, tag| sink(LineAddr::new(line.raw() << ns_bits | low), tag));
+        }
+    }
+
+    /// Aggregate LLC statistics (field-wise sum over shards).
+    pub fn llc_stats(&self) -> CacheStats {
+        self.shards
+            .iter()
+            .map(|s| *s.hier.llc().stats())
+            .fold(CacheStats::default(), |mut a, b| {
+                a.hits += b.hits;
+                a.misses += b.misses;
+                a.evictions += b.evictions;
+                a.writebacks += b.writebacks;
+                a
+            })
+    }
+
+    /// Aggregate statistics of one context's (sharded) private L2.
+    pub fn l2_stats(&self, ctx: usize) -> CacheStats {
+        self.shards.iter().map(|s| *s.hier.l2(ctx).stats()).fold(
+            CacheStats::default(),
+            |mut a, b| {
+                a.hits += b.hits;
+                a.misses += b.misses;
+                a.evictions += b.evictions;
+                a.writebacks += b.writebacks;
+                a
+            },
+        )
+    }
+
+    /// Whether `line` is resident in the (sharded) LLC — test helper.
+    pub fn llc_contains(&self, line: LineAddr) -> bool {
+        self.shard_cache(line, |h| h.llc())
+            .contains(self.shift(line))
+    }
+
+    /// The LLC dirty bit of `line`, if resident — test helper.
+    pub fn llc_is_dirty(&self, line: LineAddr) -> Option<bool> {
+        self.shard_cache(line, |h| h.llc())
+            .is_dirty(self.shift(line))
+    }
+
+    /// Whether `line` is resident in `ctx`'s (sharded) L2 — test helper.
+    pub fn l2_contains(&self, ctx: usize, line: LineAddr) -> bool {
+        self.shard_cache(line, |h| h.l2(ctx))
+            .contains(self.shift(line))
+    }
+
+    /// The L2 dirty bit of `line` in `ctx`'s cache, if resident — test
+    /// helper.
+    pub fn l2_is_dirty(&self, ctx: usize, line: LineAddr) -> Option<bool> {
+        self.shard_cache(line, |h| h.l2(ctx))
+            .is_dirty(self.shift(line))
+    }
+
+    #[inline]
+    fn shift(&self, line: LineAddr) -> LineAddr {
+        LineAddr::new(line.raw() >> self.ns_bits)
+    }
+
+    #[inline]
+    fn shard_cache<'a, F: FnOnce(&'a Hierarchy) -> &'a Cache>(
+        &'a self,
+        line: LineAddr,
+        pick: F,
+    ) -> &'a Cache {
+        pick(&self.shards[(line.raw() & self.shard_mask) as usize].hier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> HierarchyConfig {
+        // L2: 8 sets x 2 ways; LLC: 16 sets x 4 ways.
+        HierarchyConfig {
+            contexts: 2,
+            l2_size: ByteSize::new(8 * 2 * 64),
+            l2_assoc: 2,
+            llc_size: ByteSize::new(16 * 4 * 64),
+            llc_assoc: 4,
+        }
+    }
+
+    #[test]
+    fn ns_bits_clamps_to_smallest_level() {
+        let s = ShardedHierarchy::new(config(), 10);
+        assert_eq!(s.shard_count(), 8, "clamped to the 8-set L2");
+        let s = ShardedHierarchy::new(config(), 2);
+        assert_eq!(s.shard_count(), 4);
+        let s = ShardedHierarchy::new(config(), 0);
+        assert_eq!(s.shard_count(), 1);
+    }
+
+    #[test]
+    fn scalar_path_matches_monolithic_hierarchy() {
+        let mut mono = Hierarchy::new(config());
+        let mut sharded = ShardedHierarchy::new(config(), 2);
+        let mut wb_a = Vec::new();
+        let mut wb_b = Vec::new();
+        let mut state = 7u64;
+        for i in 0..5000u64 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let line = LineAddr::new((state >> 20) % 256);
+            let kind = if state & 1 == 1 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let ctx = (i % 2) as usize;
+            let a = mono.access_into(ctx, line, kind, 0, &mut wb_a);
+            let b = sharded.access_into(ctx, line, kind, 0, &mut wb_b);
+            assert_eq!(a, b, "op {i}: level/fill diverged");
+            assert_eq!(wb_a, wb_b, "op {i}: write-backs diverged");
+        }
+        assert_eq!(*mono.llc().stats(), sharded.llc_stats());
+    }
+
+    #[test]
+    fn batch_outcomes_match_scalar_path_at_any_thread_count() {
+        for threads in [1, 3] {
+            let mut scalar = ShardedHierarchy::new(config(), 2);
+            let mut batch = ShardedHierarchy::new(config(), 2);
+            let mut stream = Vec::new();
+            let mut state = 99u64;
+            for i in 0..4000u64 {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let kind = if state & 1 == 1 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                stream.push(((i % 2) as usize, LineAddr::new((state >> 20) % 256), kind));
+            }
+            let mut wb = Vec::new();
+            for chunk in stream.chunks(257) {
+                batch.begin_batch();
+                for &(ctx, line, kind) in chunk {
+                    batch.enqueue(ctx, line, kind, 0);
+                }
+                batch.resolve(threads);
+                for &(ctx, line, kind) in chunk {
+                    let (lv_s, fill_s) = scalar.access_into(ctx, line, kind, 0, &mut wb);
+                    let (lv_b, fill_b, wbs_b) = batch.next_outcome(line);
+                    assert_eq!((lv_s, fill_s), (lv_b, fill_b));
+                    assert_eq!(wb.as_slice(), wbs_b);
+                }
+            }
+            assert_eq!(scalar.llc_stats(), batch.llc_stats());
+        }
+    }
+
+    #[test]
+    fn drain_matches_next_outcome_aggregates() {
+        let mut cursor = ShardedHierarchy::new(config(), 2);
+        let mut drain = ShardedHierarchy::new(config(), 2);
+        let mut stream = Vec::new();
+        let mut state = 5u64;
+        for i in 0..4000u64 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let kind = if state & 1 == 1 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            stream.push(((i % 2) as usize, LineAddr::new((state >> 20) % 256), kind));
+        }
+        // Aggregates: per-(ctx, level) counts and per-line write-back sums.
+        let mut levels_a = [[0u64; 3]; 2];
+        let mut levels_b = [[0u64; 3]; 2];
+        let mut wbs_a = std::collections::BTreeMap::new();
+        let mut wbs_b = std::collections::BTreeMap::new();
+        for chunk in stream.chunks(513) {
+            for s in [&mut cursor, &mut drain] {
+                s.begin_batch();
+                for &(ctx, line, kind) in chunk {
+                    s.enqueue(ctx, line, kind, 3);
+                }
+                s.resolve(1);
+            }
+            for &(ctx, line, _) in chunk {
+                let (lv, _, wbs) = cursor.next_outcome(line);
+                levels_a[ctx][level_code(lv) as usize] += 1;
+                for &(wb, tag) in wbs {
+                    *wbs_a.entry((wb.raw(), tag)).or_insert(0u64) += 1;
+                }
+            }
+            drain.drain_lines(|ctx, _, lv| levels_b[ctx][level_code(lv) as usize] += 1);
+            drain.drain_writebacks(|wb, tag| {
+                *wbs_b.entry((wb.raw(), tag)).or_insert(0u64) += 1;
+            });
+        }
+        assert_eq!(levels_a, levels_b);
+        assert_eq!(wbs_a, wbs_b);
+        assert_eq!(cursor.llc_stats(), drain.llc_stats());
+    }
+
+    #[test]
+    fn flush_reaches_every_dirty_line_once() {
+        let mut s = ShardedHierarchy::new(config(), 2);
+        let mut wb = Vec::new();
+        for n in [0u64, 3, 17, 64] {
+            s.access_into(0, LineAddr::new(n), AccessKind::Write, 0, &mut wb);
+        }
+        let mut flushed = Vec::new();
+        s.flush(|line, _| flushed.push(line.raw()));
+        flushed.sort_unstable();
+        assert_eq!(flushed, vec![0, 3, 17, 64]);
+        let mut again = Vec::new();
+        s.flush(|line, _| again.push(line));
+        assert!(again.is_empty());
+    }
+}

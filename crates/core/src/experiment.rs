@@ -10,8 +10,8 @@ use hemu_malloc::{NativeHeap, NativeStats};
 use hemu_obs::{SpanRecord, TraceRecord, Tracer};
 use hemu_os::OsPageManager;
 use hemu_types::{
-    ByteSize, HemuError, OsPagingConfig, Result, SocketId, SpaceTag, WriteCause, CACHE_LINE,
-    PAGE_SIZE,
+    AccessPath, ByteSize, HemuError, OsPagingConfig, Result, SocketId, SpaceTag, WriteCause,
+    CACHE_LINE, PAGE_SIZE,
 };
 use hemu_workloads::{Language, Memory, StepResult, Workload, WorkloadSpec};
 
@@ -58,6 +58,8 @@ pub struct Experiment {
     faults: Option<FaultPlan>,
     endurance: Option<EnduranceConfig>,
     os: Option<OsPagingConfig>,
+    access_path: AccessPath,
+    intra_threads: usize,
 }
 
 impl Experiment {
@@ -79,7 +81,25 @@ impl Experiment {
             faults: None,
             endurance: None,
             os: None,
+            access_path: AccessPath::default(),
+            intra_threads: 1,
         }
+    }
+
+    /// Selects the machine's access-path implementation (scalar reference
+    /// loop vs the batched set-sharded pipeline). Both produce identical
+    /// reports; the default is [`AccessPath::Batched`].
+    pub fn access_path(mut self, path: AccessPath) -> Self {
+        self.access_path = path;
+        self
+    }
+
+    /// Sets the worker-thread count for intra-run batch resolution
+    /// (clamped to at least 1). Purely a wall-clock knob: artifacts are
+    /// byte-identical at any value.
+    pub fn intra_threads(mut self, threads: usize) -> Self {
+        self.intra_threads = threads.max(1);
+        self
     }
 
     /// Enables per-line PCM wear tracking; the report then carries a
@@ -255,6 +275,8 @@ impl Experiment {
         }
 
         let mut machine = Machine::new(self.profile);
+        machine.set_access_path(self.access_path);
+        machine.set_intra_threads(self.intra_threads);
         // The OS page manager installs before anything touches memory, so
         // even heap metadata is placed (and sampled) under its policy.
         let mut os_mgr = self.os.map(|cfg| OsPageManager::install(&mut machine, cfg));

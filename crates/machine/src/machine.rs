@@ -1,19 +1,96 @@
 //! The [`Machine`]: the single object the runtime layers talk to.
 
 use crate::profile::MachineProfile;
-use hemu_cache::{Hierarchy, HitLevel};
+use hemu_cache::{CacheStats, Hierarchy, HitLevel, ShardedHierarchy, DEFAULT_SHARD_BITS};
 use hemu_fault::{EnduranceConfig, FaultInjector, FaultPlan};
 use hemu_numa::{AddressSpace, NumaMemory};
 use hemu_obs::json::{JsonObject, ToJson};
 use hemu_obs::{Counter, Metrics, Obs, SpanRecorder, TraceEvent, Tracer};
 use hemu_types::{
-    AccessKind, Addr, ByteSize, Cycles, HemuError, LineAddr, MemoryAccess, PageNum, Result,
-    SocketId, SpaceTag, VirtualClock, WriteCause, WriteTag, CACHE_LINE, PAGE_SIZE,
+    AccessKind, AccessPath, Addr, ByteSize, Cycles, HemuError, LineAddr, MemoryAccess, PageNum,
+    Result, SocketId, SpaceTag, VirtualClock, WriteCause, WriteTag, CACHE_LINE, PAGE_SIZE,
 };
 
 /// Remote fills are coalesced into one aggregate [`TraceEvent::QpiTransfer`]
 /// per this many lines, so tracing stays cheap on the access fast path.
 const QPI_TRACE_BATCH: u64 = 1024;
+
+/// A single [`Machine::access`] spanning at least this many lines is routed
+/// through the batch pipeline instead of the scalar loop; smaller accesses
+/// don't amortize the per-batch queue reset.
+const PIPELINE_MIN_LINES: u64 = 256;
+
+/// The cache-resolution engine behind the access hot path: either the
+/// monolithic reference [`Hierarchy`] (per-line dispatch) or the set-sharded
+/// batch pipeline. Both produce bit-identical outcomes (see
+/// `crates/cache/tests/reference_model.rs`); the choice only affects
+/// wall-clock throughput.
+#[derive(Debug)]
+enum AccessEngine {
+    Scalar(Hierarchy),
+    Batched(ShardedHierarchy),
+}
+
+impl AccessEngine {
+    fn build(path: AccessPath, config: hemu_cache::HierarchyConfig) -> Self {
+        match path {
+            AccessPath::Scalar => AccessEngine::Scalar(Hierarchy::new(config)),
+            AccessPath::Batched => {
+                AccessEngine::Batched(ShardedHierarchy::new(config, DEFAULT_SHARD_BITS))
+            }
+        }
+    }
+
+    fn path(&self) -> AccessPath {
+        match self {
+            AccessEngine::Scalar(_) => AccessPath::Scalar,
+            AccessEngine::Batched(_) => AccessPath::Batched,
+        }
+    }
+
+    #[inline]
+    fn access_into(
+        &mut self,
+        ctx: usize,
+        line: LineAddr,
+        kind: AccessKind,
+        wtag: u8,
+        writebacks: &mut Vec<(LineAddr, u8)>,
+    ) -> (HitLevel, Option<LineAddr>) {
+        match self {
+            AccessEngine::Scalar(h) => h.access_into(ctx, line, kind, wtag, writebacks),
+            AccessEngine::Batched(s) => s.access_into(ctx, line, kind, wtag, writebacks),
+        }
+    }
+
+    fn enable_tags(&mut self) {
+        match self {
+            AccessEngine::Scalar(h) => h.enable_tags(),
+            AccessEngine::Batched(s) => s.enable_tags(),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        match self {
+            AccessEngine::Scalar(h) => h.reset_stats(),
+            AccessEngine::Batched(s) => s.reset_stats(),
+        }
+    }
+
+    fn flush<F: FnMut(LineAddr, u8)>(&mut self, sink: F) {
+        match self {
+            AccessEngine::Scalar(h) => h.flush(sink),
+            AccessEngine::Batched(s) => s.flush(sink),
+        }
+    }
+
+    fn llc_stats(&self) -> CacheStats {
+        match self {
+            AccessEngine::Scalar(h) => *h.llc().stats(),
+            AccessEngine::Batched(s) => s.llc_stats(),
+        }
+    }
+}
 
 /// Index of a hardware context (logical core) on the local socket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -99,7 +176,7 @@ pub struct MachineStats {
 pub struct Machine {
     profile: MachineProfile,
     mem: NumaMemory,
-    hierarchy: Hierarchy,
+    engine: AccessEngine,
     spaces: Vec<AddressSpace>,
     clocks: Vec<VirtualClock>,
     stats: MachineStats,
@@ -119,6 +196,20 @@ pub struct Machine {
     /// Per-cause / per-space write attribution, present only while
     /// profiling ([`Machine::enable_profiling`]).
     prov: Option<ProvenanceCounters>,
+    /// Worker threads for batch resolution (1 = fully sequential). Results
+    /// are identical at any value; see [`Machine::set_intra_threads`].
+    intra_threads: usize,
+    /// Struct-of-arrays batch staging: the physical line of every staged
+    /// access in submission order, with its issuing context alongside.
+    /// Reused across batches; empty outside a batch.
+    batch_lines: Vec<u64>,
+    batch_ctx: Vec<u8>,
+    /// Whether the current batch may merge aggregate (shard-major, one
+    /// clock advance per context): true when no per-line-order observer is
+    /// active. Decided once per batch in [`Machine::stage_begin`].
+    batch_fast: bool,
+    /// Per-context cycle totals accumulated by the aggregate merge.
+    batch_cycles: Vec<Cycles>,
 }
 
 impl Machine {
@@ -128,7 +219,7 @@ impl Machine {
         let qpi_lines = obs.metrics.counter("qpi.lines");
         Machine {
             mem: NumaMemory::new(profile.numa),
-            hierarchy: Hierarchy::new(profile.hierarchy_config()),
+            engine: AccessEngine::build(AccessPath::default(), profile.hierarchy_config()),
             spaces: Vec::new(),
             clocks: (0..profile.contexts)
                 .map(|_| VirtualClock::new(profile.freq_hz))
@@ -141,8 +232,45 @@ impl Machine {
             wb_scratch: Vec::with_capacity(4),
             write_tag: WriteTag::OTHER.raw(),
             prov: None,
+            intra_threads: 1,
+            batch_lines: Vec::new(),
+            batch_ctx: Vec::new(),
+            batch_fast: false,
+            batch_cycles: Vec::new(),
             profile,
         }
+    }
+
+    /// Selects the access-path implementation. Rebuilds the cache engine
+    /// from the profile, so this must be called before any access is issued
+    /// (the experiment driver does it right after construction); calling it
+    /// with the current path is a no-op.
+    pub fn set_access_path(&mut self, path: AccessPath) {
+        if path == self.engine.path() {
+            return;
+        }
+        self.engine = AccessEngine::build(path, self.profile.hierarchy_config());
+        if self.prov.is_some() {
+            self.engine.enable_tags();
+        }
+    }
+
+    /// The active access-path implementation.
+    pub fn access_path(&self) -> AccessPath {
+        self.engine.path()
+    }
+
+    /// Sets the worker-thread count for batch resolution (clamped to at
+    /// least 1). Purely a wall-clock knob: the set-sharded pipeline produces
+    /// bit-identical outcomes — and therefore byte-identical run artifacts —
+    /// at any value.
+    pub fn set_intra_threads(&mut self, threads: usize) {
+        self.intra_threads = threads.max(1);
+    }
+
+    /// The configured batch-resolution worker count.
+    pub fn intra_threads(&self) -> usize {
+        self.intra_threads
     }
 
     /// Turns on the phase-and-provenance profiler: cache provenance tags,
@@ -154,7 +282,7 @@ impl Machine {
         if self.prov.is_some() {
             return;
         }
-        self.hierarchy.enable_tags();
+        self.engine.enable_tags();
         self.prov = Some(ProvenanceCounters::new(&self.obs.metrics));
         self.obs.spans = SpanRecorder::bounded(PROFILE_SPAN_CAPACITY);
     }
@@ -201,7 +329,7 @@ impl Machine {
     pub fn publish_metrics(&self) {
         let m = &self.obs.metrics;
         m.gauge("llc.hit_rate")
-            .set(self.hierarchy.llc().stats().hit_ratio());
+            .set(self.engine.llc_stats().hit_ratio());
         for (name, socket) in [("dram", SocketId::DRAM), ("pcm", SocketId::PCM)] {
             let c = self.mem.counters(socket);
             m.gauge(&format!("mem.{name}.written_bytes"))
@@ -305,95 +433,21 @@ impl Machine {
     /// Panics if `ctx` or `proc` is out of range.
     pub fn access(&mut self, ctx: CtxId, proc: ProcId, access: MemoryAccess) -> Result<()> {
         if access.size > 0 {
-            let Machine {
-                profile,
-                mem,
-                hierarchy,
-                spaces,
-                clocks,
-                stats,
-                obs,
-                qpi_lines,
-                qpi_pending,
-                wb_scratch,
-                write_tag,
-                prov,
-                ..
-            } = self;
-            let space = &mut spaces[proc.0];
-            let clock = &mut clocks[ctx.0];
-            let lat = &profile.latency;
-            let kind = access.kind;
-
-            const PAGE: u64 = PAGE_SIZE as u64;
-            const LINE: u64 = CACHE_LINE as u64;
-            // Byte addresses of the first and last line touched.
-            let first = access.addr.line().raw();
-            let last = access.addr.offset(access.size as u64 - 1).line().raw();
-
-            let mut v = first;
-            while v <= last {
-                // One page-table walk covers every line up to the page end.
-                let page_end = (v / PAGE + 1) * PAGE;
-                let chunk_last = last.min(page_end - LINE);
-                let frame = space.frame_of(Addr::new(v), mem)?;
-                let chunk_line0 = frame.phys_base().line().raw() + (v % PAGE) / LINE;
-                let nlines = (chunk_last - v) / LINE + 1;
-                stats.line_accesses += nlines;
-
-                for i in 0..nlines {
-                    let line = LineAddr::new(chunk_line0 + i);
-                    let (level, fill) =
-                        hierarchy.access_into(ctx.0, line, kind, *write_tag, wb_scratch);
-
-                    // Timing: the requesting core stalls for the fill path.
-                    let cost = match level {
-                        HitLevel::L2 => lat.l2_hit,
-                        HitLevel::Llc => lat.llc_hit,
-                        HitLevel::Memory => {
-                            let socket = mem.socket_of_line(line);
-                            if socket == SocketId::DRAM {
-                                stats.local_fills += 1;
-                                lat.local_fill
-                            } else {
-                                stats.remote_fills += 1;
-                                qpi_lines.incr();
-                                // Individual remote fills are too frequent to trace;
-                                // emit one aggregate event per batch of lines.
-                                *qpi_pending += 1;
-                                if *qpi_pending >= QPI_TRACE_BATCH {
-                                    obs.tracer.record(
-                                        clock.now(),
-                                        TraceEvent::QpiTransfer {
-                                            lines: *qpi_pending,
-                                        },
-                                    );
-                                    *qpi_pending = 0;
-                                }
-                                // An installed fault injector may stall the link
-                                // (QPI burst injection); 0 cycles otherwise.
-                                let stall = mem.qpi_stall_cycles(1);
-                                lat.local_fill + profile.qpi.transfer_cost(1) + Cycles::new(stall)
-                            }
-                        }
-                    };
-                    clock.advance(cost);
-
-                    // Traffic: fills read from memory; write-backs write to
-                    // memory. Write-backs drain through write buffers and do
-                    // not stall the requesting core, so they cost no time
-                    // here.
-                    if let Some(fill) = fill {
-                        mem.record_line_access(fill, AccessKind::Read);
-                    }
-                    for &(wb, tag) in wb_scratch.iter() {
-                        mem.record_line_access(wb, AccessKind::Write);
-                        if let Some(pc) = prov {
-                            pc.record(mem.socket_of_line(wb), tag);
-                        }
-                    }
-                }
-                v = page_end;
+            let total_lines = (access.addr.offset(access.size as u64 - 1).line().raw()
+                - access.addr.line().raw())
+                / CACHE_LINE as u64
+                + 1;
+            if total_lines >= PIPELINE_MIN_LINES && matches!(self.engine, AccessEngine::Batched(_))
+            {
+                // Large access: run the batch pipeline over its own lines.
+                // Per-line bookkeeping order (cost, fill, write-backs) is
+                // identical to the scalar loop, so every counter, clock,
+                // and trace event comes out the same.
+                self.stage_begin();
+                self.stage_access(ctx, proc, access)?;
+                self.resolve_and_merge();
+            } else {
+                self.access_scalar(ctx, proc, access)?;
             }
         }
         // PCM writes above may have spent a line's endurance budget; retire
@@ -403,6 +457,335 @@ impl Machine {
             self.process_retirements(Some(ctx))?;
         }
         Ok(())
+    }
+
+    /// Issues a whole batch of accesses through the struct-of-arrays
+    /// pipeline: every access is translated against the page tables in
+    /// submission order, the resulting lines are queued per cache-set
+    /// shard, all shards resolve (in parallel when
+    /// [`Machine::set_intra_threads`] allows), and the outcomes are merged
+    /// back in submission order so clocks, counters, traces, and
+    /// provenance are bit-identical to issuing each access individually.
+    ///
+    /// With the scalar engine, or when PCM endurance modeling is on (frame
+    /// retirement must be able to rewrite page tables *between* accesses),
+    /// this degrades to a per-access loop with identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if physical memory is exhausted; the machine must
+    /// be discarded (a mid-batch failure leaves earlier accesses staged but
+    /// unresolved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a context or process index is out of range.
+    pub fn access_batch(&mut self, batch: &[(CtxId, ProcId, MemoryAccess)]) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if !matches!(self.engine, AccessEngine::Batched(_)) || self.mem.endurance_enabled() {
+            for &(ctx, proc, access) in batch {
+                self.access(ctx, proc, access)?;
+            }
+            return Ok(());
+        }
+        self.stage_begin();
+        for &(ctx, proc, access) in batch {
+            self.stage_access(ctx, proc, access)?;
+        }
+        self.resolve_and_merge();
+        Ok(())
+    }
+
+    /// The original per-line loop; the executable specification the batch
+    /// pipeline is verified against, and the path small accesses take.
+    fn access_scalar(&mut self, ctx: CtxId, proc: ProcId, access: MemoryAccess) -> Result<()> {
+        let Machine {
+            profile,
+            mem,
+            engine,
+            spaces,
+            clocks,
+            stats,
+            obs,
+            qpi_lines,
+            qpi_pending,
+            wb_scratch,
+            write_tag,
+            prov,
+            ..
+        } = self;
+        let space = &mut spaces[proc.0];
+        let clock = &mut clocks[ctx.0];
+        let lat = &profile.latency;
+        let kind = access.kind;
+
+        const PAGE: u64 = PAGE_SIZE as u64;
+        const LINE: u64 = CACHE_LINE as u64;
+        // Byte addresses of the first and last line touched.
+        let first = access.addr.line().raw();
+        let last = access.addr.offset(access.size as u64 - 1).line().raw();
+
+        let mut v = first;
+        while v <= last {
+            // One page-table walk covers every line up to the page end.
+            let page_end = (v / PAGE + 1) * PAGE;
+            let chunk_last = last.min(page_end - LINE);
+            let frame = space.frame_of(Addr::new(v), mem)?;
+            let chunk_line0 = frame.phys_base().line().raw() + (v % PAGE) / LINE;
+            let nlines = (chunk_last - v) / LINE + 1;
+            stats.line_accesses += nlines;
+
+            for i in 0..nlines {
+                let line = LineAddr::new(chunk_line0 + i);
+                let (level, fill) = engine.access_into(ctx.0, line, kind, *write_tag, wb_scratch);
+
+                // Timing: the requesting core stalls for the fill path.
+                let cost = match level {
+                    HitLevel::L2 => lat.l2_hit,
+                    HitLevel::Llc => lat.llc_hit,
+                    HitLevel::Memory => {
+                        let socket = mem.socket_of_line(line);
+                        if socket == SocketId::DRAM {
+                            stats.local_fills += 1;
+                            lat.local_fill
+                        } else {
+                            stats.remote_fills += 1;
+                            qpi_lines.incr();
+                            // Individual remote fills are too frequent to trace;
+                            // emit one aggregate event per batch of lines.
+                            *qpi_pending += 1;
+                            if *qpi_pending >= QPI_TRACE_BATCH {
+                                obs.tracer.record(
+                                    clock.now(),
+                                    TraceEvent::QpiTransfer {
+                                        lines: *qpi_pending,
+                                    },
+                                );
+                                *qpi_pending = 0;
+                            }
+                            // An installed fault injector may stall the link
+                            // (QPI burst injection); 0 cycles otherwise.
+                            let stall = mem.qpi_stall_cycles(1);
+                            lat.local_fill + profile.qpi.transfer_cost(1) + Cycles::new(stall)
+                        }
+                    }
+                };
+                clock.advance(cost);
+
+                // Traffic: fills read from memory; write-backs write to
+                // memory. Write-backs drain through write buffers and do
+                // not stall the requesting core, so they cost no time
+                // here.
+                if let Some(fill) = fill {
+                    mem.record_line_access(fill, AccessKind::Read);
+                }
+                for &(wb, tag) in wb_scratch.iter() {
+                    mem.record_line_access(wb, AccessKind::Write);
+                    if let Some(pc) = prov {
+                        pc.record(mem.socket_of_line(wb), tag);
+                    }
+                }
+            }
+            v = page_end;
+        }
+        Ok(())
+    }
+
+    /// Opens a fresh pipeline batch: shard queues and the SoA staging
+    /// arrays are cleared (capacity is retained across batches).
+    fn stage_begin(&mut self) {
+        let AccessEngine::Batched(sh) = &mut self.engine else {
+            unreachable!("the batch pipeline requires the batched engine")
+        };
+        sh.begin_batch();
+        self.batch_lines.clear();
+        self.batch_ctx.clear();
+        // The merge may aggregate (shard-major drain, one clock advance per
+        // context) only while nothing observes per-line order: no trace
+        // ring (QPI batch events carry timestamps), no provenance counters,
+        // no fault injector (QPI stalls are stateful), and no endurance
+        // modeling (frame retirement order must follow submission order).
+        // Every remaining merge effect is then an order-insensitive
+        // counter sum.
+        self.batch_fast = self.prov.is_none()
+            && !self.obs.tracer.enabled()
+            && self.mem.fault_injector().is_none()
+            && !self.mem.endurance_enabled();
+    }
+
+    /// Translates one access and queues its lines: page walks happen here,
+    /// in submission order (so demand faults and injected allocation
+    /// failures fire exactly as in the scalar path), and each physical line
+    /// is pushed both to its cache-set shard and to the flat submission-
+    /// order arrays the merge walks later.
+    fn stage_access(&mut self, ctx: CtxId, proc: ProcId, access: MemoryAccess) -> Result<()> {
+        if access.size == 0 {
+            return Ok(());
+        }
+        let Machine {
+            mem,
+            engine,
+            spaces,
+            stats,
+            batch_lines,
+            batch_ctx,
+            write_tag,
+            batch_fast,
+            ..
+        } = self;
+        let AccessEngine::Batched(sh) = engine else {
+            unreachable!("the batch pipeline requires the batched engine")
+        };
+        let space = &mut spaces[proc.0];
+        let kind = access.kind;
+
+        const PAGE: u64 = PAGE_SIZE as u64;
+        const LINE: u64 = CACHE_LINE as u64;
+        let first = access.addr.line().raw();
+        let last = access.addr.offset(access.size as u64 - 1).line().raw();
+
+        let mut v = first;
+        while v <= last {
+            let page_end = (v / PAGE + 1) * PAGE;
+            let chunk_last = last.min(page_end - LINE);
+            let frame = space.frame_of(Addr::new(v), mem)?;
+            let chunk_line0 = frame.phys_base().line().raw() + (v % PAGE) / LINE;
+            let nlines = (chunk_last - v) / LINE + 1;
+            stats.line_accesses += nlines;
+            if *batch_fast {
+                // The aggregate merge drains outcomes shard-major; the flat
+                // submission-order arrays would never be read.
+                for i in 0..nlines {
+                    sh.enqueue(ctx.0, LineAddr::new(chunk_line0 + i), kind, *write_tag);
+                }
+            } else {
+                for i in 0..nlines {
+                    let raw = chunk_line0 + i;
+                    sh.enqueue(ctx.0, LineAddr::new(raw), kind, *write_tag);
+                    batch_lines.push(raw);
+                    batch_ctx.push(ctx.0 as u8);
+                }
+            }
+            v = page_end;
+        }
+        Ok(())
+    }
+
+    /// Resolves every shard queue, then merges outcomes back in global
+    /// submission order, replaying the scalar path's per-line bookkeeping
+    /// exactly: stall cost and clock advance, QPI accounting and aggregate
+    /// trace events, fill reads, then write-back writes with provenance.
+    fn resolve_and_merge(&mut self) {
+        let Machine {
+            profile,
+            mem,
+            engine,
+            clocks,
+            stats,
+            obs,
+            qpi_lines,
+            qpi_pending,
+            batch_lines,
+            batch_ctx,
+            prov,
+            intra_threads,
+            batch_fast,
+            batch_cycles,
+            ..
+        } = self;
+        let AccessEngine::Batched(sh) = engine else {
+            unreachable!("the batch pipeline requires the batched engine")
+        };
+        sh.resolve(*intra_threads);
+        let lat = &profile.latency;
+        if *batch_fast {
+            // Aggregate merge. With no tracer, provenance, injector, or
+            // endurance (checked in `stage_begin`), every per-line merge
+            // effect is an order-insensitive counter sum, so outcomes are
+            // consumed shard-major (each shard's arrays stream through the
+            // host cache once) and each context's clock advances once by
+            // its accumulated total — bit-identical end state to the
+            // submission-order walk below.
+            batch_cycles.clear();
+            batch_cycles.resize(clocks.len(), Cycles::ZERO);
+            let remote_cost = lat.local_fill + profile.qpi.transfer_cost(1);
+            sh.drain_lines(|ctx, line, level| {
+                batch_cycles[ctx] += match level {
+                    HitLevel::L2 => lat.l2_hit,
+                    HitLevel::Llc => lat.llc_hit,
+                    HitLevel::Memory => {
+                        mem.record_line_access(line, AccessKind::Read);
+                        if mem.socket_of_line(line) == SocketId::DRAM {
+                            stats.local_fills += 1;
+                            lat.local_fill
+                        } else {
+                            stats.remote_fills += 1;
+                            qpi_lines.incr();
+                            // Keep the aggregate-trace countdown in the
+                            // same state the scalar path would leave it
+                            // (the tracer itself is off).
+                            *qpi_pending += 1;
+                            if *qpi_pending >= QPI_TRACE_BATCH {
+                                *qpi_pending = 0;
+                            }
+                            remote_cost
+                        }
+                    }
+                };
+            });
+            sh.drain_writebacks(|wb, _| {
+                mem.record_line_access(wb, AccessKind::Write);
+            });
+            for (clock, total) in clocks.iter_mut().zip(batch_cycles.iter()) {
+                clock.advance(*total);
+            }
+            return;
+        }
+        for (&raw, &ctx) in batch_lines.iter().zip(batch_ctx.iter()) {
+            let line = LineAddr::new(raw);
+            let clock = &mut clocks[ctx as usize];
+            let (level, fill, wbs) = sh.next_outcome(line);
+            let cost = match level {
+                HitLevel::L2 => lat.l2_hit,
+                HitLevel::Llc => lat.llc_hit,
+                HitLevel::Memory => {
+                    let socket = mem.socket_of_line(line);
+                    if socket == SocketId::DRAM {
+                        stats.local_fills += 1;
+                        lat.local_fill
+                    } else {
+                        stats.remote_fills += 1;
+                        qpi_lines.incr();
+                        *qpi_pending += 1;
+                        if *qpi_pending >= QPI_TRACE_BATCH {
+                            obs.tracer.record(
+                                clock.now(),
+                                TraceEvent::QpiTransfer {
+                                    lines: *qpi_pending,
+                                },
+                            );
+                            *qpi_pending = 0;
+                        }
+                        let stall = mem.qpi_stall_cycles(1);
+                        lat.local_fill + profile.qpi.transfer_cost(1) + Cycles::new(stall)
+                    }
+                }
+            };
+            clock.advance(cost);
+            if let Some(fill) = fill {
+                mem.record_line_access(fill, AccessKind::Read);
+            }
+            for &(wb, tag) in wbs {
+                mem.record_line_access(wb, AccessKind::Write);
+                if let Some(pc) = prov {
+                    pc.record(mem.socket_of_line(wb), tag);
+                }
+            }
+        }
+        batch_lines.clear();
+        batch_ctx.clear();
     }
 
     /// Drains the retirement queue: every worn-out frame gets a healthy
@@ -618,12 +1001,9 @@ impl Machine {
     pub fn flush_caches(&mut self) -> Result<()> {
         {
             let Machine {
-                mem,
-                hierarchy,
-                prov,
-                ..
+                mem, engine, prov, ..
             } = self;
-            hierarchy.flush(|line, tag| {
+            engine.flush(|line, tag| {
                 mem.record_line_access(line, AccessKind::Write);
                 if let Some(pc) = prov {
                     pc.record(mem.socket_of_line(line), tag);
@@ -699,9 +1079,10 @@ impl Machine {
         self.pages_remapped
     }
 
-    /// The cache hierarchy (for inspection).
-    pub fn hierarchy(&self) -> &Hierarchy {
-        &self.hierarchy
+    /// Aggregate shared-LLC statistics of the active engine (for
+    /// inspection; identical under either access path).
+    pub fn llc_stats(&self) -> CacheStats {
+        self.engine.llc_stats()
     }
 
     /// Resets measurement state — controller counters, cache stats, machine
@@ -711,7 +1092,7 @@ impl Machine {
     /// iteration, reset, then measure the steady-state iteration.
     pub fn start_measured_iteration(&mut self) {
         self.mem.reset_counters();
-        self.hierarchy.reset_stats();
+        self.engine.reset_stats();
         self.stats = MachineStats::default();
         self.qpi_pending = 0;
         self.obs.metrics.reset();

@@ -186,6 +186,10 @@ pub struct NumaMemory {
     config: NumaConfig,
     sockets: Vec<SocketMemory>,
     frames_per_socket: u64,
+    /// `log2(frames_per_socket)` when it is a power of two (the common
+    /// case: capacities are powers of two), letting the per-line address
+    /// decode shift instead of divide. `None` falls back to division.
+    frames_shift: Option<u32>,
     /// Opt-in per-line wear tracking on the PCM socket.
     wear: Option<WearTracker>,
     /// Opt-in per-page read/write sampling (OS hot-page migration input).
@@ -218,6 +222,8 @@ impl NumaMemory {
             config,
             sockets,
             frames_per_socket,
+            frames_shift: (frames_per_socket.is_power_of_two())
+                .then(|| frames_per_socket.trailing_zeros()),
             wear: None,
             heat: None,
             endurance: None,
@@ -387,11 +393,16 @@ impl NumaMemory {
     }
 
     /// Which socket owns the given physical frame.
+    #[inline]
     pub fn socket_of_frame(&self, frame: PageNum) -> SocketId {
-        SocketId::new((frame.raw() / self.frames_per_socket) as u8)
+        match self.frames_shift {
+            Some(s) => SocketId::new((frame.raw() >> s) as u8),
+            None => SocketId::new((frame.raw() / self.frames_per_socket) as u8),
+        }
     }
 
     /// Which socket owns the given physical line.
+    #[inline]
     pub fn socket_of_line(&self, line: LineAddr) -> SocketId {
         self.socket_of_frame(line.frame())
     }

@@ -33,7 +33,7 @@ struct PolicyRange {
 /// assert_eq!(mem.socket_of_frame(pa.frame()), SocketId::PCM);
 /// # Ok::<(), hemu_types::HemuError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct AddressSpace {
     table: HashMap<u64, PageNum>,
     policy: BTreeMap<u64, PolicyRange>,
@@ -43,9 +43,35 @@ pub struct AddressSpace {
     /// the `mbind` policy map entirely (the runtime's hints are advisory
     /// under an OS-managed memory configuration).
     os_placement: Option<(SocketId, Option<SocketId>)>,
+    /// Direct-mapped translation cache in front of `table`: slot
+    /// `vpage % TLB_SLOTS` holds `(vpage + 1, frame)`, with key 0 meaning
+    /// empty. A hit can only exist for a mapped page, so it never changes
+    /// fault behavior; the whole array is dropped whenever a mapping is
+    /// rewritten or removed (`remap_frame` / `unmap`).
+    tlb: Vec<(u64, PageNum)>,
     faults: u64,
     unmapped_pages: u64,
     remapped_pages: u64,
+}
+
+/// Slots in the per-space translation cache. 8192 spans 32 MiB of virtual
+/// address space when densely used — larger than any single space's hot
+/// region in the sweeps — and costs 128 KiB per process.
+const TLB_SLOTS: usize = 8192;
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        AddressSpace {
+            table: HashMap::new(),
+            policy: BTreeMap::new(),
+            default_socket: SocketId::default(),
+            os_placement: None,
+            tlb: vec![(0, PageNum::new(0)); TLB_SLOTS],
+            faults: 0,
+            unmapped_pages: 0,
+            remapped_pages: 0,
+        }
+    }
 }
 
 impl AddressSpace {
@@ -159,8 +185,13 @@ impl AddressSpace {
     #[inline]
     pub fn frame_of(&mut self, addr: Addr, mem: &mut NumaMemory) -> Result<PageNum> {
         let vpage = addr.page().raw();
-        match self.table.get(&vpage) {
-            Some(f) => Ok(*f),
+        let slot = vpage as usize & (TLB_SLOTS - 1);
+        // Keys are stored as `vpage + 1`, so the zeroed array never hits.
+        if self.tlb[slot].0 == vpage + 1 {
+            return Ok(self.tlb[slot].1);
+        }
+        let f = match self.table.get(&vpage) {
+            Some(f) => *f,
             None => {
                 let f = match self.os_placement {
                     // OS-managed: first touch on the primary socket, spill
@@ -177,9 +208,11 @@ impl AddressSpace {
                 };
                 self.table.insert(vpage, f);
                 self.faults += 1;
-                Ok(f)
+                f
             }
-        }
+        };
+        self.tlb[slot] = (vpage + 1, f);
+        Ok(f)
     }
 
     /// Translates without faulting; `None` if the page is not mapped.
@@ -206,11 +239,16 @@ impl AddressSpace {
         }
         let p0 = start.page().raw();
         let p1 = start.offset(len.bytes() - 1).page().raw() + 1;
+        let mut removed = false;
         for vpage in p0..p1 {
             if let Some(frame) = self.table.remove(&vpage) {
                 mem.free_frame(frame)?;
                 self.unmapped_pages += 1;
+                removed = true;
             }
+        }
+        if removed {
+            self.flush_tlb();
         }
         Ok(())
     }
@@ -230,8 +268,17 @@ impl AddressSpace {
                 changed += 1;
             }
         }
+        if changed > 0 {
+            self.flush_tlb();
+        }
         self.remapped_pages += changed;
         changed
+    }
+
+    /// Drops every cached translation; the page table remains the source
+    /// of truth.
+    fn flush_tlb(&mut self) {
+        self.tlb.fill((0, PageNum::new(0)));
     }
 
     /// Number of pages currently mapped.

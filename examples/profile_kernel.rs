@@ -1,0 +1,259 @@
+//! Scratch component profile of the access kernel (not shipped in CI).
+use hemu::machine::{CtxId, Machine, MachineProfile};
+use hemu_cache::{Hierarchy, HierarchyConfig, ShardedHierarchy, DEFAULT_SHARD_BITS};
+use hemu_types::{AccessKind, Addr, LineAddr, MemoryAccess, SocketId};
+use std::time::Instant;
+
+const OPS: u64 = 1_000_000;
+const REGION: u64 = 32 << 20;
+const BATCH: usize = 4096;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407);
+    *state
+}
+
+fn main() {
+    // 1. full machine access_batch (the real kernel)
+    let mut m = Machine::new(MachineProfile::emulation());
+    let p = m.add_process(SocketId::DRAM);
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut batch = Vec::with_capacity(BATCH);
+    let t0 = Instant::now();
+    let mut i = 0u64;
+    while i < OPS {
+        batch.clear();
+        while i < OPS && batch.len() < BATCH {
+            let s = lcg(&mut state);
+            let addr = Addr::new((s >> 16) % (REGION - 256));
+            let access = if i % 4 == 0 {
+                MemoryAccess::write(addr, 256)
+            } else {
+                MemoryAccess::read(addr, 256)
+            };
+            batch.push((CtxId((i % 4) as usize), p, access));
+            i += 1;
+        }
+        m.access_batch(&batch).unwrap();
+    }
+    let lines = m.stats().line_accesses;
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "machine.access_batch: {:>8.1} ms   ({:.2} M lines/s, {} lines)",
+        secs * 1e3,
+        lines as f64 / secs / 1e6,
+        lines
+    );
+
+    // 2. sharded hierarchy alone, batch API, pre-expanded lines
+    let mut sh = ShardedHierarchy::new(HierarchyConfig::e5_2650l(8), DEFAULT_SHARD_BITS);
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut stream: Vec<(usize, u64, AccessKind)> = Vec::new();
+    for i in 0..OPS {
+        let s = lcg(&mut state);
+        let base = (s >> 16) % (REGION - 256);
+        let kind = if i % 4 == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        for l in base / 64..=(base + 255) / 64 {
+            stream.push(((i % 4) as usize, l, kind));
+        }
+    }
+    let mut t_enq = 0.0f64;
+    let mut t_res = 0.0f64;
+    let mut t_mrg = 0.0f64;
+    let mut fills = 0u64;
+    let mut wbs = 0u64;
+    let mut levels = [0u64; 3];
+    for chunk in stream.chunks(BATCH * 4) {
+        let t = Instant::now();
+        sh.begin_batch();
+        for &(ctx, l, kind) in chunk {
+            sh.enqueue(ctx, LineAddr::new(l), kind, 0);
+        }
+        t_enq += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        sh.resolve(1);
+        t_res += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        for &(_, l, _) in chunk {
+            let (lv, fill, wb) = sh.next_outcome(LineAddr::new(l));
+            levels[lv as usize] += 1;
+            fills += fill.is_some() as u64;
+            wbs += wb.len() as u64;
+        }
+        t_mrg += t.elapsed().as_secs_f64();
+    }
+    println!(
+        "sharded enqueue:      {:>8.1} ms\nsharded resolve:      {:>8.1} ms   ({:.2} M lines/s)\nsharded drain:        {:>8.1} ms   (fills={fills} wbs={wbs})\nlevels: L2={} LLC={} MEM={}",
+        t_enq * 1e3,
+        t_res * 1e3,
+        stream.len() as f64 / t_res / 1e6,
+        t_mrg * 1e3,
+        levels[0],
+        levels[1],
+        levels[2]
+    );
+
+    // 2c. bare cache stage costs: L2-alone and LLC-alone over the stream.
+    {
+        use hemu_cache::{Cache, CacheConfig};
+        use hemu_types::ByteSize;
+        let mut l2 = Cache::new(CacheConfig::new("L2", ByteSize::from_kib(256), 8));
+        let t0 = Instant::now();
+        let mut h = 0u64;
+        for &(_, l, kind) in &stream {
+            h += l2.access(LineAddr::new(l), kind).hit as u64;
+        }
+        println!(
+            "bare L2 alone:        {:>8.1} ms   ({:.2} M lines/s, hits={h})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            stream.len() as f64 / t0.elapsed().as_secs_f64() / 1e6
+        );
+        let mut llc = Cache::new(CacheConfig::new("LLC", ByteSize::from_mib(20), 20));
+        let t0 = Instant::now();
+        let mut h = 0u64;
+        for &(_, l, kind) in &stream {
+            h += llc.access(LineAddr::new(l), kind).hit as u64;
+        }
+        println!(
+            "bare LLC alone:       {:>8.1} ms   ({:.2} M lines/s, hits={h})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            stream.len() as f64 / t0.elapsed().as_secs_f64() / 1e6
+        );
+        let mut llc = Cache::new(CacheConfig::new("LLC", ByteSize::from_mib(20), 20));
+        let t0 = Instant::now();
+        let mut h = 0u64;
+        for (i, &(_, l, kind)) in stream.iter().enumerate() {
+            if let Some(&(_, nl, _)) = stream.get(i + 12) {
+                llc.prefetch_set(LineAddr::new(nl));
+            }
+            h += llc.access(LineAddr::new(l), kind).hit as u64;
+        }
+        println!(
+            "bare LLC prefetched:  {:>8.1} ms   ({:.2} M lines/s, hits={h})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            stream.len() as f64 / t0.elapsed().as_secs_f64() / 1e6
+        );
+    }
+
+    // 2d. shard-major floor with the real Cache type: per shard, 4 sub-L2s
+    // + 1 sub-LLC accessed per line with zero hierarchy glue.
+    {
+        use hemu_cache::{Cache, CacheConfig};
+        use hemu_types::ByteSize;
+        const NSH: usize = 64;
+        struct Sub {
+            l2s: Vec<Cache>,
+            llc: Cache,
+        }
+        let mut subs: Vec<Sub> = (0..NSH)
+            .map(|_| Sub {
+                l2s: (0..4)
+                    .map(|_| Cache::new(CacheConfig::new("L2", ByteSize::new(256 << 10 >> 6), 8)))
+                    .collect(),
+                llc: Cache::new(CacheConfig::new("LLC", ByteSize::new(20 << 20 >> 6), 20)),
+            })
+            .collect();
+        let mut queues: Vec<Vec<(u32, u64, bool)>> = vec![Vec::new(); NSH];
+        let mut acc = 0u64;
+        let t0 = Instant::now();
+        for chunk in stream.chunks(BATCH * 4) {
+            for q in &mut queues {
+                q.clear();
+            }
+            for &(ctx, l, kind) in chunk {
+                queues[(l & 63) as usize].push((ctx as u32, l >> 6, kind == AccessKind::Write));
+            }
+            for (s, q) in queues.iter().enumerate() {
+                let sub = &mut subs[s];
+                for &(ctx, l, w) in q {
+                    let kind = if w {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    let r = sub.l2s[ctx as usize].access(LineAddr::new(l), kind);
+                    if !r.hit {
+                        acc += sub.llc.access(LineAddr::new(l), AccessKind::Read).hit as u64;
+                    }
+                }
+            }
+        }
+        println!(
+            "shard-major floor:    {:>8.1} ms   ({:.2} M lines/s, llc_hits={acc})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            stream.len() as f64 / t0.elapsed().as_secs_f64() / 1e6
+        );
+    }
+
+    // 2b. synthetic floor: same shard-major access pattern over LLC-shaped
+    // tag+lru arrays, no cache logic — measures pure data-structure cost.
+    {
+        const NSH: usize = 64;
+        const SETS: usize = 256;
+        const ASSOC: usize = 20;
+        let mut tags: Vec<Vec<u64>> = (0..NSH).map(|_| vec![1u64; SETS * ASSOC]).collect();
+        let mut lru: Vec<Vec<u64>> = (0..NSH).map(|_| vec![0u64; SETS * ASSOC]).collect();
+        // Pre-split the stream into per-shard set sequences per chunk.
+        let mut acc = 0u64;
+        let t0 = Instant::now();
+        let mut tick = 0u64;
+        for chunk in stream.chunks(BATCH * 4) {
+            let mut queues: Vec<Vec<u32>> = vec![Vec::new(); NSH];
+            for &(_, l, _) in chunk {
+                queues[(l & 63) as usize].push(((l >> 6) & (SETS as u64 - 1)) as u32);
+            }
+            for s in 0..NSH {
+                let tg = &mut tags[s];
+                let lr = &mut lru[s];
+                for &set in &queues[s] {
+                    let base = set as usize * ASSOC;
+                    tick += 1;
+                    // probe scan
+                    let mut m = 0u32;
+                    for w in 0..ASSOC {
+                        m |= u32::from(tg[base + w] == 7) << w;
+                    }
+                    acc += m as u64;
+                    // victim scan + stamp write
+                    let mut vw = 0;
+                    let mut vs = u64::MAX;
+                    for w in 0..ASSOC {
+                        if lr[base + w] < vs {
+                            vs = lr[base + w];
+                            vw = w;
+                        }
+                    }
+                    lr[base + vw] = tick;
+                    tg[base + vw] = tick;
+                }
+            }
+        }
+        println!(
+            "synthetic floor:      {:>8.1} ms   ({:.2} M lines/s, acc={acc})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            stream.len() as f64 / t0.elapsed().as_secs_f64() / 1e6
+        );
+    }
+
+    // 3. monolithic hierarchy, same stream
+    let mut h = Hierarchy::new(HierarchyConfig::e5_2650l(8));
+    let mut wb = Vec::with_capacity(4);
+    let t0 = Instant::now();
+    let mut fills = 0u64;
+    for &(ctx, l, kind) in &stream {
+        let (_lv, fill) = h.access_into(ctx, LineAddr::new(l), kind, 0, &mut wb);
+        fills += fill.is_some() as u64;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "monolithic hierarchy: {:>8.1} ms   ({:.2} M lines/s, fills={fills})",
+        secs * 1e3,
+        stream.len() as f64 / secs / 1e6
+    );
+}

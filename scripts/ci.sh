@@ -53,13 +53,26 @@ grep -q '"name":"os_epoch"' "$smoke_dir/timeline.json"
 head -1 "$smoke_dir/heatmap.csv" | grep -q '^key,frame,writes,lines_touched,max_line_writes$'
 grep -q '"provenance":{"pcm":{"by_cause":{"mutator":' "$smoke_dir/prof/runs.json"
 
-echo "== parallel smoke: --jobs 4 artifacts match --jobs 1 byte-for-byte =="
-./target/release/repro fig3 --scale quick --jobs 1 --json-out "$smoke_dir/j1" \
-  --trace-out "$smoke_dir/j1-trace.jsonl"
-./target/release/repro fig3 --scale quick --jobs 4 --json-out "$smoke_dir/j4" \
-  --trace-out "$smoke_dir/j4-trace.jsonl"
-diff -r "$smoke_dir/j1" "$smoke_dir/j4"
-diff "$smoke_dir/j1-trace.jsonl" "$smoke_dir/j4-trace.jsonl"
+echo "== access-path smoke: batched pipeline artifacts match the scalar engine =="
+./target/release/repro fig3 --scale quick --access-path scalar \
+  --json-out "$smoke_dir/ap-scalar"
+./target/release/repro fig3 --scale quick --access-path batched \
+  --json-out "$smoke_dir/ap-batched"
+diff -r "$smoke_dir/ap-scalar" "$smoke_dir/ap-batched"
+
+echo "== parallel smoke: intra-threads {1,2,4} x --jobs {1,4} artifacts are byte-identical =="
+./target/release/repro fig3 --scale quick --jobs 1 --intra-threads 1 \
+  --json-out "$smoke_dir/j1-t1" --trace-out "$smoke_dir/j1-t1-trace.jsonl"
+for jobs in 1 4; do
+  for intra in 1 2 4; do
+    [ "$jobs$intra" = "11" ] && continue
+    ./target/release/repro fig3 --scale quick --jobs "$jobs" --intra-threads "$intra" \
+      --json-out "$smoke_dir/j$jobs-t$intra" \
+      --trace-out "$smoke_dir/j$jobs-t$intra-trace.jsonl"
+    diff -r "$smoke_dir/j1-t1" "$smoke_dir/j$jobs-t$intra"
+    diff "$smoke_dir/j1-t1-trace.jsonl" "$smoke_dir/j$jobs-t$intra-trace.jsonl"
+  done
+done
 
 echo "== perf gate: access kernel within 20% of the checked-in baseline =="
 ./target/release/repro --bench --jobs 4 --bench-out "$smoke_dir/bench.json" \
