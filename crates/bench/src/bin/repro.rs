@@ -7,12 +7,23 @@
 //! ```
 //!
 //! Targets: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 table3 os
-//! write_breakdown all`.
+//! write_breakdown all` (plus `smoke`, a tiny 6-run sanity sweep used by
+//! the CI crash-safety smoke).
 //! `--quick` (or `--scale quick`) restricts DaCapo to the seven-benchmark
 //! §V subset.
 //! `--json-out <dir>` writes one `<run>.json` per executed experiment plus
 //! the combined `runs.json` and `samples.csv`; `--trace-out <file>` appends
 //! every executed run's measured-iteration event trace as JSON Lines.
+//!
+//! Crash safety (see `docs/fault-injection.md`): `--json-out` sweeps keep
+//! a write-ahead `journal.jsonl` in the output directory, fsynced as each
+//! run commits, and every artifact is written atomically
+//! (temp-file + rename). `--resume <dir>` replays a killed sweep's
+//! journaled results and re-executes only what is missing or failed — the
+//! resumed directory ends byte-identical to an uninterrupted sweep's at
+//! any `--jobs`. `--chaos-kill-after <n>` hard-exits the process (as if
+//! SIGKILLed) after the Nth run commit; CI uses it to prove the
+//! run→kill→resume→identical-bytes loop.
 //!
 //! Profiler flags (see `docs/observability.md`): `--profile` runs every
 //! harness experiment under the phase-and-provenance profiler (reports gain
@@ -97,6 +108,8 @@ fn main() {
     let epoch_flag = take_value_flag(&mut args, "--epoch");
     let budget_flag = take_value_flag(&mut args, "--migration-budget");
     let os_dram_flag = take_value_flag(&mut args, "--os-dram");
+    let resume = take_value_flag(&mut args, "--resume");
+    let chaos_kill_after = take_value_flag(&mut args, "--chaos-kill-after");
     let bench_out = take_value_flag(&mut args, "--bench-out");
     let bench_baseline = take_value_flag(&mut args, "--bench-baseline");
     let bench = take_bool_flag(&mut args, "--bench");
@@ -238,6 +251,10 @@ fn main() {
 
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let mut h = Harness::new(scale);
+    if resume.is_some() && json_out.is_some() {
+        eprintln!("--resume DIR implies --json-out DIR; pass only --resume");
+        std::process::exit(2);
+    }
     if let Some(dir) = &json_out {
         if let Err(e) = h.set_json_dir(dir) {
             eprintln!("--json-out: {e}");
@@ -297,6 +314,24 @@ fn main() {
     h.set_access_path(access_path);
     h.set_intra_threads(intra_threads);
     h.set_os_tuning(os_tuning);
+    // Resume must come after every plan-affecting flag above: the journal
+    // header's plan hash covers scale, faults, endurance, policy and OS
+    // tuning, and a mismatch refuses the stale journal.
+    if let Some(dir) = &resume {
+        if let Err(e) = h.resume_from(dir) {
+            eprintln!("--resume: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(n) = &chaos_kill_after {
+        match n.parse::<u64>() {
+            Ok(n) => h.set_chaos_kill_after(n),
+            _ => {
+                eprintln!("--chaos-kill-after: expected a number of run commits, got `{n}`");
+                std::process::exit(2);
+            }
+        }
+    }
     let t0 = Instant::now();
     let mut target_failures = 0usize;
 
@@ -309,6 +344,7 @@ fn main() {
         // planning pass over them would just repeat their work.
         let result = match target {
             "table1" => Ok(experiments::table1()),
+            "smoke" => h.run_planned(experiments::smoke),
             "table2" => h.run_planned(experiments::table2),
             "fig3" => h.run_planned(experiments::fig3),
             "fig4" => h.run_planned(experiments::fig4),
@@ -349,7 +385,7 @@ fn main() {
         eprintln!("export failed: {e}");
         std::process::exit(1);
     }
-    if let Some(dir) = &json_out {
+    if let Some(dir) = json_out.as_ref().or(resume.as_ref()) {
         println!("[JSON reports written to {dir}]");
     }
     if let Some(path) = &trace_out {

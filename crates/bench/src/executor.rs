@@ -32,8 +32,9 @@ use hemu_core::{Experiment, RunArtifacts};
 use hemu_fault::{EnduranceConfig, FaultPlan};
 use hemu_obs::{Reporter, Tracer};
 use hemu_types::{AccessPath, HemuError, OsPagingConfig};
+use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::thread;
@@ -161,14 +162,13 @@ fn run_guarded(
         experiment.run_traced(tracer)
     };
     match policy.deadline {
-        None => {
-            panic::catch_unwind(AssertUnwindSafe(body)).unwrap_or_else(|p| Err(panic_error(&p)))
-        }
+        None => panic::catch_unwind(AssertUnwindSafe(body))
+            .unwrap_or_else(|p| Err(panic_error(p.as_ref()))),
         Some(deadline) => {
             let (tx, rx) = mpsc::channel();
             thread::spawn(move || {
                 let result = panic::catch_unwind(AssertUnwindSafe(body))
-                    .unwrap_or_else(|p| Err(panic_error(&p)));
+                    .unwrap_or_else(|p| Err(panic_error(p.as_ref())));
                 // The receiver may have given up already; that's fine.
                 let _ = tx.send(result);
             });
@@ -187,9 +187,22 @@ fn run_guarded(
 /// are retried with capped linear backoff. Backoff sleeps park only the
 /// calling worker; other workers keep draining the queue.
 pub fn run_job(job: &JobSpec, ctx: &ExecCtx) -> StagedRun {
+    run_job_inner(job, ctx, true)
+}
+
+/// [`run_job`] with explicit progress semantics: `announce = true` opens
+/// the job's display with a `running` line; `false` marks a supervised
+/// requeue with a `retried` line instead, so a job that crashed its worker
+/// never emits a duplicate `begin` and progress output stays parseable as
+/// one `running`/`retried*`/final-line sequence per key.
+pub(crate) fn run_job_inner(job: &JobSpec, ctx: &ExecCtx, announce: bool) -> StagedRun {
     // begin/finish bracket the run so a failed or retried run always
     // finalizes its display line — `running ...` is never a key's last word.
-    ctx.reporter.begin(&job.key);
+    if announce {
+        ctx.reporter.begin(&job.key);
+    } else {
+        ctx.reporter.retried(&job.key);
+    }
     let t0 = Instant::now();
     let mut attempt = 1u32;
     loop {
@@ -238,29 +251,124 @@ pub fn run_job(job: &JobSpec, ctx: &ExecCtx) -> StagedRun {
 /// keyed by queue position, and commitment order is decided later by the
 /// demand sequence, so scheduling noise cannot reach any artifact.
 pub fn execute_wave(jobs: &[JobSpec], workers: usize, ctx: &ExecCtx) -> Vec<StagedRun> {
+    execute_wave_with(jobs, workers, ctx, run_job_inner)
+}
+
+/// [`execute_wave`] generic over the per-job runner, so the supervision
+/// machinery (requeue, bounded retries, `retried` progress lines) can be
+/// unit-tested with a runner that misbehaves on demand.
+///
+/// # Worker supervision
+///
+/// `run_job_inner` already catches experiment panics, so a panic that
+/// *escapes* the runner means the worker machinery itself crashed mid-job.
+/// Rather than abort the sweep (or silently lose the job), the pool
+/// supervises itself:
+///
+/// - the panic is caught at the worker loop, so the worker thread survives
+///   and keeps draining the queue — the pool never shrinks;
+/// - the crashed job is requeued and re-announced with a `retried`
+///   progress line (never a duplicate `begin`);
+/// - requeues are bounded by the [`RunPolicy`] retry budget; a job that
+///   keeps killing workers is staged as [`HemuError::Panicked`] and the
+///   sweep carries on.
+///
+/// Requeued jobs re-execute from scratch; determinism makes the retry
+/// invisible in every artifact.
+pub(crate) fn execute_wave_with<R>(
+    jobs: &[JobSpec],
+    workers: usize,
+    ctx: &ExecCtx,
+    runner: R,
+) -> Vec<StagedRun>
+where
+    R: Fn(&JobSpec, &ExecCtx, bool) -> StagedRun + Sync,
+{
     let workers = workers.clamp(1, jobs.len().max(1));
     let slots: Vec<Mutex<Option<StagedRun>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let crashes: Vec<AtomicU32> = jobs.iter().map(|_| AtomicU32::new(0)).collect();
+    let requeue: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::new());
+    let cursor = AtomicUsize::new(0);
+    let worker_loop = || loop {
+        // Requeued (supervised-crash) jobs take priority over fresh ones so
+        // a crash surfaces its retry budget quickly instead of starving
+        // behind the tail of the queue.
+        let requeued = requeue.lock().map_or(None, |mut q| q.pop_front());
+        let i = match requeued {
+            Some(i) => i,
+            None => {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                i
+            }
+        };
+        let job = &jobs[i];
+        let first = crashes[i].load(Ordering::Relaxed) == 0;
+        match panic::catch_unwind(AssertUnwindSafe(|| runner(job, ctx, first))) {
+            Ok(staged) => {
+                if let Ok(mut s) = slots[i].lock() {
+                    *s = Some(staged);
+                }
+            }
+            Err(payload) => {
+                let err = panic_error(payload.as_ref());
+                let crash_count = crashes[i].fetch_add(1, Ordering::Relaxed) + 1;
+                if crash_count < ctx.policy.max_attempts {
+                    ctx.reporter.line(&format!(
+                        "  supervisor: worker crashed on {} ({err}); requeueing (crash {crash_count})",
+                        job.key
+                    ));
+                    if let Ok(mut q) = requeue.lock() {
+                        q.push_back(i);
+                    }
+                } else {
+                    ctx.reporter.finish(
+                        &job.key,
+                        &format!(
+                            "FAILED {} after {crash_count} worker crash(es): {err}",
+                            job.key
+                        ),
+                    );
+                    if let Ok(mut s) = slots[i].lock() {
+                        *s = Some(StagedRun {
+                            attempts: crash_count,
+                            wall_seconds: 0.0,
+                            outcome: Err(err),
+                        });
+                    }
+                }
+            }
+        }
+    };
     if workers == 1 {
-        for (job, slot) in jobs.iter().zip(&slots) {
-            let staged = run_job(job, ctx);
+        worker_loop();
+    } else {
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(worker_loop);
+            }
+        });
+    }
+    // Replenishment fallback: if every worker somehow died with jobs still
+    // queued or requeued (catch_unwind above makes this unreachable in
+    // practice), finish the stragglers inline rather than losing them.
+    for (i, slot) in slots.iter().enumerate() {
+        let empty = slot.lock().map_or(false, |s| s.is_none());
+        if empty {
+            let staged = panic::catch_unwind(AssertUnwindSafe(|| {
+                runner(&jobs[i], ctx, crashes[i].load(Ordering::Relaxed) == 0)
+            }))
+            .unwrap_or_else(|payload| StagedRun {
+                attempts: 1,
+                wall_seconds: 0.0,
+                outcome: Err(panic_error(payload.as_ref())),
+            });
             if let Ok(mut s) = slot.lock() {
                 *s = Some(staged);
             }
         }
-    } else {
-        let cursor = AtomicUsize::new(0);
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    let staged = run_job(job, ctx);
-                    if let Ok(mut s) = slots[i].lock() {
-                        *s = Some(staged);
-                    }
-                });
-            }
-        });
     }
     slots
         .into_iter()
@@ -274,4 +382,139 @@ pub fn execute_wave(jobs: &[JobSpec], workers: usize, ctx: &ExecCtx) -> Vec<Stag
                 })
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::sync::Arc;
+
+    /// A writer appending into a shared buffer, for asserting on progress
+    /// output.
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if let Ok(mut b) = self.0.lock() {
+                b.extend_from_slice(buf);
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn test_ctx(buf: &Arc<Mutex<Vec<u8>>>) -> ExecCtx {
+        ExecCtx {
+            fault_plan: None,
+            endurance: None,
+            policy: RunPolicy::default(),
+            os_tuning: OsPagingConfig::default(),
+            want_trace: false,
+            want_profile: false,
+            access_path: AccessPath::default(),
+            intra_threads: 1,
+            reporter: Reporter::to_writer(Box::new(SharedBuf(Arc::clone(buf)))),
+        }
+    }
+
+    fn test_jobs(keys: &[&str]) -> Vec<JobSpec> {
+        let spec = hemu_workloads::WorkloadSpec::by_name("avrora").expect("known workload");
+        keys.iter()
+            .map(|k| JobSpec {
+                key: (*k).to_string(),
+                spec,
+                manager: Manager::Gc(hemu_heap::CollectorKind::PcmOnly),
+                instances: 1,
+                profile: Profile::Emulation,
+            })
+            .collect()
+    }
+
+    /// A stub staged result that identifies which job produced it without
+    /// having to construct real run artifacts.
+    fn stub_result(job: &JobSpec) -> StagedRun {
+        StagedRun {
+            attempts: 1,
+            wall_seconds: 0.0,
+            outcome: Err(HemuError::InvalidConfig(format!("stub:{}", job.key))),
+        }
+    }
+
+    fn drained(buf: &Arc<Mutex<Vec<u8>>>) -> String {
+        String::from_utf8(buf.lock().expect("buffer lock").clone()).expect("utf8 progress")
+    }
+
+    #[test]
+    fn a_worker_crash_requeues_the_job_without_a_duplicate_begin() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let ctx = test_ctx(&buf);
+        let jobs = test_jobs(&["crashy", "steady"]);
+        // Record every (key, announce) call; panic exactly once, on the
+        // first delivery of `crashy`.
+        let calls: Mutex<Vec<(String, bool)>> = Mutex::new(Vec::new());
+        let results = execute_wave_with(&jobs, 2, &ctx, |job, _ctx, announce| {
+            let first_crashy = {
+                let mut c = calls.lock().expect("calls lock");
+                c.push((job.key.clone(), announce));
+                job.key == "crashy" && c.iter().filter(|(k, _)| k == "crashy").count() == 1
+            };
+            if first_crashy {
+                panic!("simulated worker crash");
+            }
+            stub_result(job)
+        });
+        // Both slots hold the stub result, in job order, despite the crash.
+        assert_eq!(results.len(), 2);
+        for (job, staged) in jobs.iter().zip(&results) {
+            match &staged.outcome {
+                Err(HemuError::InvalidConfig(msg)) => assert_eq!(msg, &format!("stub:{}", job.key)),
+                other => panic!("job {} staged {other:?}", job.key),
+            }
+        }
+        // The requeued delivery was announced as a retry, not a fresh begin.
+        let calls = calls.into_inner().expect("calls lock");
+        let crashy: Vec<bool> = calls
+            .iter()
+            .filter(|(k, _)| k == "crashy")
+            .map(|(_, announce)| *announce)
+            .collect();
+        assert_eq!(crashy, [true, false], "requeue must re-announce as retried");
+        let text = drained(&buf);
+        assert!(
+            text.contains("supervisor: worker crashed on crashy"),
+            "supervisor line missing from:\n{text}"
+        );
+    }
+
+    #[test]
+    fn repeated_crashes_exhaust_the_retry_budget() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let ctx = test_ctx(&buf);
+        let jobs = test_jobs(&["doomed"]);
+        let results = execute_wave_with(&jobs, 1, &ctx, |_job, _ctx, _announce| {
+            panic!("crashes every time");
+        });
+        assert_eq!(results.len(), 1);
+        match &results[0].outcome {
+            Err(HemuError::Panicked(msg)) => {
+                assert!(
+                    msg.contains("crashes every time"),
+                    "unexpected panic message: {msg}"
+                )
+            }
+            other => panic!("expected a panic error, got {other:?}"),
+        }
+        assert_eq!(
+            results[0].attempts, ctx.policy.max_attempts,
+            "the whole retry budget must be consumed before giving up"
+        );
+        let text = drained(&buf);
+        assert!(
+            text.contains("FAILED doomed") && text.contains("worker crash"),
+            "final FAILED line missing from:\n{text}"
+        );
+    }
 }

@@ -848,6 +848,49 @@ pub fn write_breakdown(os_tuning: OsPagingConfig, policies: &[OsPolicy]) -> Resu
     ))
 }
 
+/// `smoke`: a deliberately tiny sweep — three small DaCapo benchmarks
+/// crossed with PCM-Only and KG-N on the emulation profile (6 runs) — used
+/// by the crash-safety CI smoke (`--chaos-kill-after` + `--resume`) and as
+/// a fast end-to-end sanity target. Runs through the harness, so it
+/// exercises the full plan/execute/commit/journal/export machinery at a
+/// cost of seconds rather than minutes.
+///
+/// # Errors
+///
+/// Propagates workload registry lookup failures; individual run failures
+/// render as `FAIL` cells instead.
+pub fn smoke(h: &mut Harness) -> Result<String> {
+    let apps = ["avrora", "fop", "luindex"];
+    let mut rows = vec![vec![
+        "Benchmark".to_string(),
+        "PCM-Only writes".to_string(),
+        "KG-N writes".to_string(),
+        "KG-N reduction".to_string(),
+    ]];
+    for name in apps {
+        let spec = WorkloadSpec::by_name(name).ok_or_else(|| {
+            hemu_types::HemuError::InvalidConfig(format!(
+                "smoke workload `{name}` missing from registry"
+            ))
+        })?;
+        let base = h.run_opt(spec, CollectorKind::PcmOnly, 1, Profile::Emulation);
+        let kgn = h.run_opt(spec, CollectorKind::KgN, 1, Profile::Emulation);
+        let cell = |r: &Option<hemu_core::RunReport>| {
+            r.as_ref()
+                .map_or_else(|| "FAIL".to_string(), |r| r.pcm_writes.to_string())
+        };
+        let reduction = match (&base, &kgn) {
+            (Some(b), Some(k)) => format!("{:.0}%", k.pcm_write_reduction_vs(b)),
+            _ => "FAIL".to_string(),
+        };
+        rows.push(vec![name.to_string(), cell(&base), cell(&kgn), reduction]);
+    }
+    Ok(format!(
+        "Smoke sweep: PCM writes, PCM-Only vs KG-N (tiny CI/crash-safety target)\n\n{}",
+        table(&rows)
+    ))
+}
+
 fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;

@@ -1,12 +1,13 @@
 //! The caching, fault-tolerant experiment harness.
 
 use crate::executor::{self, ExecCtx, JobSpec, StagedRun};
-use hemu_core::{PageWear, RunReport};
-use hemu_fault::{EnduranceConfig, FaultPlan};
+use hemu_core::{restore_run_report, PageWear, RunReport};
+use hemu_fault::{ChaosKill, EnduranceConfig, FaultPlan, CHAOS_EXIT_CODE};
 use hemu_heap::CollectorKind;
 use hemu_machine::MachineProfile;
+use hemu_obs::journal::{read_journal, JournalReadError, JournalRecord, JournalWriter};
 use hemu_obs::json::{JsonObject, ToJson};
-use hemu_obs::{to_json_lines, Csv, Reporter, Timeline};
+use hemu_obs::{fnv1a64, hash_hex, to_json_lines, write_atomic_str, Csv, Reporter, Timeline};
 use hemu_types::{AccessPath, HemuError, OsPagingConfig, OsPolicy, Result};
 use hemu_workloads::{spec, DatasetSize, Language, WorkloadSpec};
 use std::collections::{HashMap, HashSet};
@@ -226,6 +227,29 @@ pub struct Harness {
     staged: HashMap<String, StagedRun>,
     /// Serialized progress sink shared with pool workers.
     reporter: Reporter,
+    /// Journaled results loaded by [`Harness::resume_from`], replayed into
+    /// the memo table (and re-journaled) at first real demand instead of
+    /// re-executing. Like `staged`, entries the sweep never demands are
+    /// invisible in every export.
+    restored: HashMap<String, RestoredRun>,
+    /// Runs replayed from a resume journal instead of executed — visible
+    /// like [`Harness::runs_executed`] so a reader can see how much work a
+    /// resume saved.
+    pub runs_restored: usize,
+    /// Write-ahead journal of committed runs, created lazily in the
+    /// [`Harness::set_json_dir`] directory at first commit (or eagerly by
+    /// [`Harness::resume_from`]).
+    journal: Option<JournalWriter>,
+    /// Abrupt-exit hook for crash-safety self-tests, armed by
+    /// [`Harness::set_chaos_kill_after`].
+    chaos: ChaosKill,
+}
+
+/// One run replayed from a resume journal: the restored report plus the
+/// journal metadata needed to re-journal it identically on commit.
+struct RestoredRun {
+    report: RunReport,
+    attempts: u32,
 }
 
 fn io_err(context: &str, path: &Path, e: &std::io::Error) -> HemuError {
@@ -362,7 +386,7 @@ impl Harness {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             fs::create_dir_all(parent).map_err(|e| io_err("creating", parent, &e))?;
         }
-        fs::write(&path, "").map_err(|e| io_err("truncating", &path, &e))?;
+        write_atomic_str(&path, "").map_err(|e| io_err("truncating", &path, &e))?;
         self.trace_out = Some(path);
         Ok(())
     }
@@ -457,9 +481,12 @@ impl Harness {
             return Err(e.clone());
         }
         if self.planning {
-            // Peek a staged result so the planning pass follows the same
-            // branches the real pass will — but do NOT commit it; commit
-            // order must be demand order of the real pass.
+            // Peek a restored or staged result so the planning pass follows
+            // the same branches the real pass will — but do NOT commit it;
+            // commit order must be demand order of the real pass.
+            if let Some(rr) = self.restored.get(&key) {
+                return Ok(rr.report.clone());
+            }
             if let Some(sr) = self.staged.get(&key) {
                 return match &sr.outcome {
                     Ok(arts) => Ok(arts.report.clone()),
@@ -476,6 +503,9 @@ impl Harness {
                 });
             }
             return Err(HemuError::Deferred { key });
+        }
+        if let Some(rr) = self.restored.remove(&key) {
+            return self.commit_restored(key, rr);
         }
         if let Some(sr) = self.staged.remove(&key) {
             return self.commit(key, sr);
@@ -556,7 +586,8 @@ impl Harness {
     }
 
     /// Commits one executed run: exports its artifacts, memoizes the
-    /// outcome, and appends the run record. Called in demand order only.
+    /// outcome, appends the run record, and journals the commit. Called in
+    /// demand order only.
     fn commit(&mut self, key: String, sr: StagedRun) -> Result<RunReport> {
         match sr.outcome {
             Ok(arts) => {
@@ -564,9 +595,11 @@ impl Harness {
                 if self.trace_out.is_some() {
                     self.append_trace(&key, &arts.trace)?;
                 }
-                if self.json_dir.is_some() {
-                    self.write_run_json(&key, &report)?;
-                }
+                let content_hash = if self.json_dir.is_some() {
+                    Some(self.write_run_json(&key, &report)?)
+                } else {
+                    None
+                };
                 if self.profiling() {
                     // Demand order decides track layout and row order, so
                     // the exported documents are byte-identical at any
@@ -576,6 +609,7 @@ impl Harness {
                     self.heatmap_rows.push((key.clone(), arts.heatmap));
                 }
                 self.cache.insert(key.clone(), report.clone());
+                self.journal_append(&key, RunStatus::Ok, sr.attempts, None, content_hash)?;
                 self.records.push(RunRecord {
                     key,
                     status: RunStatus::Ok,
@@ -584,6 +618,7 @@ impl Harness {
                     wall_seconds: sr.wall_seconds,
                 });
                 self.runs_executed += 1;
+                self.chaos_checkpoint();
                 Ok(report)
             }
             Err(e) => {
@@ -592,6 +627,7 @@ impl Harness {
                 } else {
                     RunStatus::Failed
                 };
+                self.journal_append(&key, status, sr.attempts, Some(e.to_string()), None)?;
                 self.records.push(RunRecord {
                     key: key.clone(),
                     status,
@@ -601,8 +637,85 @@ impl Harness {
                 });
                 self.failed.insert(key, e.clone());
                 self.runs_executed += 1;
+                self.chaos_checkpoint();
                 Err(e)
             }
+        }
+    }
+
+    /// Commits one run replayed from a resume journal: rewrites its per-run
+    /// artifact (byte-identical, via the atomic helper), memoizes it, and
+    /// re-journals it so the resumed journal ends byte-identical to an
+    /// uninterrupted run's. Called in demand order only, interleaved with
+    /// executed commits exactly where the uninterrupted sweep would have
+    /// committed this run.
+    fn commit_restored(&mut self, key: String, rr: RestoredRun) -> Result<RunReport> {
+        let report = rr.report;
+        let content_hash = Some(self.write_run_json(&key, &report)?);
+        self.cache.insert(key.clone(), report.clone());
+        self.journal_append(&key, RunStatus::Ok, rr.attempts, None, content_hash)?;
+        self.records.push(RunRecord {
+            key,
+            status: RunStatus::Ok,
+            attempts: rr.attempts,
+            error: None,
+            wall_seconds: 0.0,
+        });
+        self.runs_restored += 1;
+        self.chaos_checkpoint();
+        Ok(report)
+    }
+
+    /// Appends one commit to the write-ahead journal (creating the journal
+    /// on first use), recording the attempt count, the effective fault seed
+    /// of the final attempt, and the per-run artifact's content hash. The
+    /// append is fsync'd: once this returns, a kill at any later instant
+    /// leaves a journal from which this run resumes.
+    fn journal_append(
+        &mut self,
+        key: &str,
+        status: RunStatus,
+        attempts: u32,
+        error: Option<String>,
+        hash: Option<String>,
+    ) -> Result<()> {
+        let Some(dir) = self.json_dir.as_ref() else {
+            return Ok(());
+        };
+        if self.journal.is_none() {
+            let w = JournalWriter::create(dir, &self.plan_hash())
+                .map_err(|e| io_err("creating journal in", dir, &e))?;
+            self.journal = Some(w);
+        }
+        let seed = self
+            .fault_plan
+            .as_ref()
+            .filter(|p| p.applies_to(key))
+            .map(|p| p.for_attempt(attempts).seed);
+        let record = JournalRecord {
+            key: key.to_string(),
+            status: status.as_str().to_string(),
+            attempts,
+            seed,
+            error,
+            hash,
+        };
+        let path = dir.clone();
+        self.journal
+            .as_mut()
+            .expect("journal created above")
+            .append(&record)
+            .map_err(|e| io_err("appending journal in", &path, &e))
+    }
+
+    /// Counts one commit against the chaos-kill budget and, when it fires,
+    /// terminates the process abruptly — no export finalization, no
+    /// destructors — emulating a SIGKILL for the crash-safety self-test.
+    fn chaos_checkpoint(&mut self) {
+        if self.chaos.on_commit() {
+            self.reporter
+                .line("  chaos: killing the process after this commit");
+            std::process::exit(CHAOS_EXIT_CODE);
         }
     }
 
@@ -616,15 +729,137 @@ impl Harness {
         text.push_str("}\n");
         text.push_str(&to_json_lines(trace));
         let existing = fs::read_to_string(path).map_err(|e| io_err("reading", path, &e))?;
-        fs::write(path, existing + &text).map_err(|e| io_err("writing", path, &e))
+        write_atomic_str(path, &(existing + &text)).map_err(|e| io_err("writing", path, &e))
     }
 
-    fn write_run_json(&self, key: &str, report: &RunReport) -> Result<()> {
+    /// Writes the per-run JSON artifact atomically and returns its content
+    /// hash (hex), which the journal records so resume can verify the file
+    /// on disk is the one that was committed.
+    fn write_run_json(&self, key: &str, report: &RunReport) -> Result<String> {
         let dir = self.json_dir.as_ref().expect("json_dir checked by caller");
         let path = dir.join(format!("{}.json", slug(key)));
         let mut text = report.to_json();
         text.push('\n');
-        fs::write(&path, text).map_err(|e| io_err("writing", &path, &e))
+        write_atomic_str(&path, &text).map_err(|e| io_err("writing", &path, &e))?;
+        Ok(hash_hex(fnv1a64(text.as_bytes())))
+    }
+
+    /// Fingerprint of everything that decides what a sweep's runs compute:
+    /// the crate version plus every configuration knob that changes run
+    /// *results*. Deliberately excludes pure execution-shape knobs
+    /// (`--jobs`, `--intra-threads`, the access path) and export toggles —
+    /// artifacts are byte-identical across those, so a journal written at
+    /// one setting resumes cleanly at another.
+    fn plan_hash(&self) -> String {
+        let fingerprint = format!(
+            "hemu-bench={}|scale={:?}|faults={:?}|endurance={:?}|policy={:?}|os={:?}",
+            env!("CARGO_PKG_VERSION"),
+            self.scale,
+            self.fault_plan,
+            self.endurance,
+            self.policy,
+            self.os_tuning,
+        );
+        hash_hex(fnv1a64(fingerprint.as_bytes()))
+    }
+
+    /// Arms the kill-chaos self-test: the process exits abruptly (exit code
+    /// [`CHAOS_EXIT_CODE`], like a SIGKILL) right after the `n`-th commit.
+    pub fn set_chaos_kill_after(&mut self, n: u64) {
+        self.chaos = ChaosKill::after(n);
+    }
+
+    /// Resumes an interrupted sweep from the journal in `dir`: journaled
+    /// successful runs are loaded into a replay table and committed — with
+    /// byte-identical artifacts and journal records — at the exact point
+    /// the sweep demands them; everything else (failed, missing, torn, or
+    /// unverifiable records) is re-executed. Because runs are
+    /// deterministic, the resumed sweep's artifacts are byte-identical to
+    /// an uninterrupted run's at any `--jobs`/`--intra-threads`.
+    ///
+    /// Call after all other configuration (scale, faults, endurance,
+    /// policy, OS tuning): the journal header is validated against a
+    /// fingerprint of that configuration, and a journal written by a
+    /// different plan or binary version is refused. Also sets `dir` as the
+    /// JSON export directory and recreates the journal, so the resumed
+    /// journal ends byte-identical to a clean run's.
+    ///
+    /// Replay is skipped (everything re-executes) when event tracing or
+    /// profiling is enabled — those artifacts are rebuilt run by run and
+    /// cannot be recovered from per-run JSON alone.
+    ///
+    /// # Errors
+    ///
+    /// - [`HemuError::JournalMismatch`] when the journal belongs to a
+    ///   different sweep plan;
+    /// - [`HemuError::InvalidConfig`] when the journal header is malformed;
+    /// - [`HemuError::Io`] when `dir` has no readable journal.
+    pub fn resume_from(&mut self, dir: impl Into<PathBuf>) -> Result<()> {
+        let dir = dir.into();
+        let plan_hash = self.plan_hash();
+        let contents = read_journal(&dir, &plan_hash).map_err(|e| match e {
+            JournalReadError::PlanMismatch { expected, found } => {
+                HemuError::JournalMismatch { expected, found }
+            }
+            JournalReadError::BadHeader(why) => {
+                HemuError::InvalidConfig(format!("resume journal in {}: {why}", dir.display()))
+            }
+            JournalReadError::Io(err) => io_err("reading journal in", &dir, &err),
+        })?;
+        if contents.dropped_lines > 0 {
+            self.reporter.line(&format!(
+                "  resume: dropped {} torn trailing journal line(s)",
+                contents.dropped_lines
+            ));
+        }
+        // Tracing and profiling rebuild per-run side artifacts (trace
+        // JSONL, timeline tracks, heatmap rows) that the journal does not
+        // capture; re-execute everything to regenerate them. Determinism
+        // makes that a pure wall-clock cost.
+        let replayable = self.trace_out.is_none() && !self.profiling();
+        let mut replayed = 0usize;
+        let mut requeued = 0usize;
+        if replayable {
+            for rec in &contents.records {
+                let (Some(expected_hash), "ok") = (&rec.hash, rec.status.as_str()) else {
+                    requeued += 1;
+                    continue;
+                };
+                let path = dir.join(format!("{}.json", slug(&rec.key)));
+                let Ok(text) = fs::read_to_string(&path) else {
+                    requeued += 1;
+                    continue;
+                };
+                if &hash_hex(fnv1a64(text.as_bytes())) != expected_hash {
+                    requeued += 1;
+                    continue;
+                }
+                // The round-trip gate inside `restore_run_report` refuses
+                // anything this binary would not re-export byte-identically.
+                let Some(report) = restore_run_report(&text) else {
+                    requeued += 1;
+                    continue;
+                };
+                self.restored.insert(
+                    rec.key.clone(),
+                    RestoredRun {
+                        report,
+                        attempts: rec.attempts,
+                    },
+                );
+                replayed += 1;
+            }
+        } else {
+            requeued = contents.records.len();
+        }
+        self.reporter.line(&format!(
+            "  resume: replaying {replayed} journaled run(s), re-executing {requeued}"
+        ));
+        self.set_json_dir(&dir)?;
+        let w = JournalWriter::create(&dir, &plan_hash)
+            .map_err(|e| io_err("recreating journal in", &dir, &e))?;
+        self.journal = Some(w);
+        Ok(())
     }
 
     /// Writes the combined export artifacts: `runs.json` (array of
@@ -643,7 +878,7 @@ impl Harness {
         if let Some(path) = self.timeline_out.as_ref() {
             let mut doc = self.timeline.render();
             doc.push('\n');
-            fs::write(path, doc).map_err(|e| io_err("writing", path, &e))?;
+            write_atomic_str(path, &doc).map_err(|e| io_err("writing", path, &e))?;
         }
         if let Some(path) = self.heatmap_out.as_ref() {
             let mut csv = Csv::new(&["key", "frame", "writes", "lines_touched", "max_line_writes"]);
@@ -658,7 +893,7 @@ impl Harness {
                     ]);
                 }
             }
-            fs::write(path, csv.finish()).map_err(|e| io_err("writing", path, &e))?;
+            write_atomic_str(path, &csv.finish()).map_err(|e| io_err("writing", path, &e))?;
         }
         let Some(dir) = self.json_dir.as_ref() else {
             return Ok(());
@@ -678,7 +913,7 @@ impl Harness {
         }
         combined.push_str("]\n");
         let path = dir.join("runs.json");
-        fs::write(&path, combined).map_err(|e| io_err("writing", &path, &e))?;
+        write_atomic_str(&path, &combined).map_err(|e| io_err("writing", &path, &e))?;
 
         let mut csv = Csv::new(&["key", "t_seconds", "pcm_write_mbs", "dram_write_mbs"]);
         for rec in &self.records {
@@ -695,7 +930,7 @@ impl Harness {
             }
         }
         let path = dir.join("samples.csv");
-        fs::write(&path, csv.finish()).map_err(|e| io_err("writing", &path, &e))
+        write_atomic_str(&path, &csv.finish()).map_err(|e| io_err("writing", &path, &e))
     }
 
     /// Convenience: single instance on the emulation profile.

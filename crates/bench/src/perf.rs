@@ -23,6 +23,7 @@ use crate::harness::{Harness, Profile, RunStatus, Scale};
 use hemu_heap::CollectorKind;
 use hemu_machine::{CtxId, Machine, MachineProfile, ProcId};
 use hemu_obs::json::{JsonObject, ToJson};
+use hemu_obs::write_atomic_str;
 use hemu_types::{Addr, HemuError, MemoryAccess, Result, SocketId};
 use hemu_workloads::WorkloadSpec;
 use std::fs;
@@ -271,7 +272,7 @@ pub fn run_bench(
         .field("wall_seconds", &wall_seconds);
     obj.finish();
     text.push('\n');
-    fs::write(out_path, &text)
+    write_atomic_str(out_path, &text)
         .map_err(|e| HemuError::Io(format!("writing {}: {e}", out_path.display())))?;
 
     let mut regression = None;

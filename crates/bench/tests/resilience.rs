@@ -149,3 +149,30 @@ fn faulted_sweeps_always_emit_complete_records() {
         assert!(runs.starts_with('[') && runs.trim_end().ends_with(']'));
     }
 }
+
+/// The retry backoff is linear in the attempt number but saturates at
+/// `max_backoff` — including for attempt numbers far beyond any plausible
+/// retry budget, where the multiplication itself would overflow.
+#[test]
+fn backoff_saturates_at_max_backoff() {
+    let policy = RunPolicy::default();
+    assert_eq!(policy.backoff_for(1), policy.backoff);
+    assert_eq!(policy.backoff_for(2), policy.backoff * 2);
+    // 25ms * 40 = 1s: the cap is reached exactly at attempt 40 ...
+    assert_eq!(policy.backoff_for(40), policy.max_backoff);
+    // ... and nothing past it exceeds the cap, even where the
+    // multiplication saturates.
+    for attempt in [41, 1_000, u32::MAX - 1, u32::MAX] {
+        assert_eq!(
+            policy.backoff_for(attempt),
+            policy.max_backoff,
+            "attempt {attempt} exceeded max_backoff"
+        );
+    }
+    // A zero max_backoff disables sleeping entirely.
+    let eager = RunPolicy {
+        max_backoff: Duration::ZERO,
+        ..RunPolicy::default()
+    };
+    assert_eq!(eager.backoff_for(3), Duration::ZERO);
+}

@@ -35,8 +35,10 @@ pub mod experiment;
 pub mod lifetime;
 pub mod monitor;
 pub mod report;
+pub mod restore;
 
 pub use experiment::{Experiment, RunArtifacts};
 pub use lifetime::{lifetime_years, LifetimeModel};
 pub use monitor::{RateSample, WriteRateMonitor};
 pub use report::{EnduranceSummary, PageWear, ProvenanceSummary, RunReport, WearSummary};
+pub use restore::restore_run_report;

@@ -8,7 +8,7 @@
 //! run is exactly as reproducible as a healthy one: same config, same seed,
 //! same faults, same result.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! - [`FaultPlan`] — a parseable description of *which* faults to inject:
 //!   transient physical-frame allocation failures, a forced out-of-memory
@@ -20,6 +20,10 @@
 //!   budget for the PCM socket with deterministic cell-to-cell variability.
 //!   When a line exceeds its budget the NUMA layer retires the containing
 //!   frame and remaps the page transparently (see `hemu-numa`).
+//! - [`ChaosKill`] — a commit-counting hook for the one failure no
+//!   in-process injector can model: the process being killed. The bench
+//!   harness uses it (`repro --chaos-kill-after`) to self-test crash-safe
+//!   resume end-to-end.
 //!
 //! # Examples
 //!
@@ -36,10 +40,12 @@
 
 #![warn(missing_docs)]
 
+mod chaos;
 mod endurance;
 mod inject;
 mod plan;
 
+pub use chaos::{ChaosKill, CHAOS_EXIT_CODE};
 pub use endurance::{EnduranceConfig, EnduranceModel};
 pub use inject::FaultInjector;
 pub use plan::{FaultPlan, QpiBurst};

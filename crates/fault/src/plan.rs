@@ -232,4 +232,39 @@ mod tests {
         assert_ne!(second.seed, base.seed);
         assert_eq!(second.frame_alloc_p, base.frame_alloc_p);
     }
+
+    #[test]
+    fn attempt_reseeding_never_reuses_the_original_seed() {
+        // The mix constant is odd, so (attempt-1) * C is never 0 mod 2^64
+        // for attempt > 1 below the full 2^64 cycle; spot-check a broad
+        // range of attempt numbers, including the extremes the retry
+        // budget could conceivably reach.
+        for seed in [0u64, 1, 0xFA17, u64::MAX] {
+            let base = FaultPlan {
+                seed,
+                ..FaultPlan::none()
+            };
+            for attempt in (2u32..=64).chain([1000, u32::MAX - 1, u32::MAX]) {
+                let derived = base.for_attempt(attempt);
+                assert_ne!(
+                    derived.seed, base.seed,
+                    "attempt {attempt} reused the base seed {seed:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_reseeding_is_unique_per_attempt() {
+        // Distinct attempts get distinct fault streams: a retried run
+        // never re-rolls an earlier attempt's exact failures.
+        let base = FaultPlan::parse("alloc_p=0.5,seed=3").unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for attempt in 1u32..=256 {
+            assert!(
+                seen.insert(base.for_attempt(attempt).seed),
+                "attempt {attempt} collided with an earlier attempt's seed"
+            );
+        }
+    }
 }

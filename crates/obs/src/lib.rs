@@ -29,21 +29,27 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod csv;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod progress;
 pub mod span;
 pub mod timeline;
 pub mod trace;
+pub mod value;
 
+pub use artifact::{fnv1a64, hash_hex, write_atomic, write_atomic_str};
 pub use csv::Csv;
+pub use journal::{read_journal, JournalContents, JournalReadError, JournalRecord, JournalWriter};
 pub use json::{to_json_lines, ToJson};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use progress::Reporter;
 pub use span::{SpanRecord, SpanRecorder};
 pub use timeline::Timeline;
 pub use trace::{GcKind, TraceEvent, TraceRecord, Tracer};
+pub use value::{JsonParseError, JsonValue};
 
 /// The observability bundle a machine carries: one event tracer plus one
 /// metrics registry.

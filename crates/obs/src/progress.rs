@@ -75,6 +75,18 @@ impl Reporter {
         self.line(&format!("  running {label} ..."));
     }
 
+    /// Announces that `label` was requeued after a supervised failure
+    /// (`  retried <label> ...`). Unlike [`Reporter::begin`] this never
+    /// inserts a duplicate in-progress mark — the label is already open
+    /// from its original `begin`, so progress output stays parseable as
+    /// one `running`/`retried*`/final-line sequence per label.
+    pub fn retried(&self, label: &str) {
+        if let Ok(mut open) = self.open.lock() {
+            open.insert(label.to_string());
+        }
+        self.line(&format!("  retried {label} ..."));
+    }
+
     /// Finalizes `label`'s display with `msg` (emitted two-space indented,
     /// like [`Reporter::begin`]) and clears its in-progress mark. Safe to
     /// call for a label that was never begun — the message still lands.
@@ -190,6 +202,25 @@ mod tests {
             .next_back()
             .expect("b lines");
         assert!(last_b.contains("FAILED"), "stale in-progress display");
+    }
+
+    #[test]
+    fn retried_emits_one_line_without_duplicate_begin() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let r = Reporter::to_writer(Box::new(SharedBuf(Arc::clone(&buf))));
+        r.begin("a|KG-N|1|None");
+        r.retried("a|KG-N|1|None");
+        assert_eq!(r.open_labels(), vec!["a|KG-N|1|None".to_string()]);
+        r.finish("a|KG-N|1|None", "done a|KG-N|1|None");
+        assert!(r.open_labels().is_empty());
+        let text = String::from_utf8(buf.lock().expect("lock").clone()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("  running "));
+        assert!(lines[1].starts_with("  retried "));
+        assert!(lines[2].starts_with("  done "));
+        // Exactly one `running` line even though the job ran twice.
+        assert_eq!(text.matches("running").count(), 1);
     }
 
     #[test]

@@ -63,6 +63,15 @@ pub enum HemuError {
     /// An experiment panicked; the panic was caught at the harness boundary
     /// and converted into an error so the rest of a sweep can proceed.
     Panicked(String),
+    /// A resume journal belongs to a different sweep plan (or binary
+    /// version) than the one being resumed; replaying it would silently
+    /// mix experiment configurations, so the harness refuses.
+    JournalMismatch {
+        /// Plan hash of the sweep being resumed.
+        expected: String,
+        /// Plan hash recorded in the journal on disk.
+        found: String,
+    },
     /// A run was deferred to a batch executor instead of running inline.
     ///
     /// Produced only while a sweep harness is *planning* (collecting the
@@ -116,6 +125,13 @@ impl fmt::Display for HemuError {
                 write!(
                     f,
                     "socket {socket} worn out ({retired_pages} pages retired, no healthy frame left)"
+                )
+            }
+            HemuError::JournalMismatch { expected, found } => {
+                write!(
+                    f,
+                    "resume journal plan hash {found} does not match this sweep plan {expected} \
+                     (different flags, targets, or binary version)"
                 )
             }
             HemuError::Panicked(msg) => write!(f, "experiment panicked: {msg}"),
@@ -174,6 +190,17 @@ mod tests {
         let msg = format!("{w}");
         assert!(msg.contains("worn out"));
         assert!(msg.contains("12"));
+    }
+
+    #[test]
+    fn journal_mismatch_displays_both_hashes() {
+        let e = HemuError::JournalMismatch {
+            expected: "aaaa0000aaaa0000".to_string(),
+            found: "bbbb1111bbbb1111".to_string(),
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("aaaa0000aaaa0000"));
+        assert!(msg.contains("bbbb1111bbbb1111"));
     }
 
     #[test]

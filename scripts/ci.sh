@@ -74,6 +74,34 @@ for jobs in 1 4; do
   done
 done
 
+echo "== chaos smoke: killed sweep resumes byte-identical (jobs 1 and 4) =="
+./target/release/repro smoke --scale quick --jobs 2 --json-out "$smoke_dir/chaos-ref"
+grep -q '"journal":"hemu-sweep-journal/1"' "$smoke_dir/chaos-ref/journal.jsonl"
+for jobs in 1 4; do
+  if ./target/release/repro smoke --scale quick --jobs "$jobs" \
+    --chaos-kill-after 2 --json-out "$smoke_dir/chaos-j$jobs"; then
+    echo "chaos-killed sweep should have exited non-zero" >&2
+    exit 1
+  fi
+  test ! -e "$smoke_dir/chaos-j$jobs/runs.json"  # killed before finalization
+  ./target/release/repro smoke --scale quick --jobs "$jobs" \
+    --resume "$smoke_dir/chaos-j$jobs"
+  diff -r "$smoke_dir/chaos-ref" "$smoke_dir/chaos-j$jobs"
+done
+
+echo "== torn-write gate: export code writes final artifacts only atomically =="
+# Final artifacts must go through hemu_obs::write_atomic; a direct
+# fs::write/File::create in export code is a torn-write hazard. Test
+# modules (after #[cfg(test)], always last in these files) are exempt.
+for f in crates/bench/src/harness.rs crates/bench/src/perf.rs \
+         crates/bench/src/bin/repro.rs crates/bench/src/executor.rs \
+         crates/obs/src/journal.rs crates/obs/src/artifact.rs; do
+  if ! awk '/#\[cfg\(test\)\]/{exit} /fs::write\(|File::create\(/{bad=1; print FILENAME": "$0} END{exit bad}' "$f"; then
+    echo "direct file write in export code ($f); use hemu_obs::write_atomic" >&2
+    exit 1
+  fi
+done
+
 echo "== perf gate: access kernel within 20% of the checked-in baseline =="
 ./target/release/repro --bench --jobs 4 --bench-out "$smoke_dir/bench.json" \
   --bench-baseline BENCH_results.json
