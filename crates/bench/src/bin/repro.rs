@@ -61,11 +61,13 @@
 //! artifacts) and `--intra-threads N` sets the batch-resolution worker
 //! count inside each run (default: the machine's available parallelism;
 //! any value is byte-identical, and the value used is recorded in the
-//! bench results schema).
+//! bench results schema). `--submit deferred|scalar` selects the runtime
+//! layers' submission mode (default: deferred; byte-identical artifacts,
+//! scalar keeps the per-call reference behavior for verification).
 
 use hemu_bench::{experiments, perf, Harness, RunPolicy, Scale};
 use hemu_fault::{EnduranceConfig, FaultPlan};
-use hemu_types::{AccessPath, ByteSize, OsPagingConfig, OsPolicy};
+use hemu_types::{AccessPath, ByteSize, OsPagingConfig, OsPolicy, SubmitMode};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -125,6 +127,17 @@ fn main() {
             }
         },
     };
+    let submit_flag = take_value_flag(&mut args, "--submit");
+    let submit_mode = match submit_flag.as_deref() {
+        None => SubmitMode::default(),
+        Some(s) => match SubmitMode::parse(s) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("--submit: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
     // Safe to default wide: shard resolution is deterministic at any
     // worker count (crates/bench/tests/determinism.rs), and the count used
     // is recorded in the bench schema for reproducibility.
@@ -154,6 +167,7 @@ fn main() {
         match perf::run_bench(
             jobs,
             intra_threads,
+            submit_mode,
             Path::new(&out),
             bench_baseline.as_deref().map(Path::new),
         ) {
@@ -312,6 +326,7 @@ fn main() {
     }
     h.set_jobs(jobs);
     h.set_access_path(access_path);
+    h.set_submit_mode(submit_mode);
     h.set_intra_threads(intra_threads);
     h.set_os_tuning(os_tuning);
     // Resume must come after every plan-affecting flag above: the journal

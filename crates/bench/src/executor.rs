@@ -31,7 +31,7 @@ use crate::harness::{Manager, Profile, RunPolicy};
 use hemu_core::{Experiment, RunArtifacts};
 use hemu_fault::{EnduranceConfig, FaultPlan};
 use hemu_obs::{Reporter, Tracer};
-use hemu_types::{AccessPath, HemuError, OsPagingConfig};
+use hemu_types::{AccessPath, HemuError, OsPagingConfig, SubmitMode};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
@@ -97,6 +97,10 @@ pub struct ExecCtx {
     /// Batch-resolution worker threads inside each run (results are
     /// identical at any value).
     pub intra_threads: usize,
+    /// How runtime layers hand traffic to the machine (deferred buffered
+    /// submission vs immediate per-call resolution; artifacts are
+    /// byte-identical either way).
+    pub submit_mode: SubmitMode,
     /// Serialized progress sink shared by all workers.
     pub reporter: Reporter,
 }
@@ -119,7 +123,8 @@ fn configure(ctx: &ExecCtx, job: &JobSpec, attempt: u32) -> Experiment {
         .instances(job.instances)
         .profile(job.profile.machine())
         .access_path(ctx.access_path)
-        .intra_threads(ctx.intra_threads);
+        .intra_threads(ctx.intra_threads)
+        .submit_mode(ctx.submit_mode);
     if ctx.want_profile {
         e = e.profiling();
     }
@@ -416,6 +421,7 @@ mod tests {
             want_profile: false,
             access_path: AccessPath::default(),
             intra_threads: 1,
+            submit_mode: SubmitMode::default(),
             reporter: Reporter::to_writer(Box::new(SharedBuf(Arc::clone(buf)))),
         }
     }

@@ -8,7 +8,7 @@ use hemu_machine::MachineProfile;
 use hemu_obs::journal::{read_journal, JournalReadError, JournalRecord, JournalWriter};
 use hemu_obs::json::{JsonObject, ToJson};
 use hemu_obs::{fnv1a64, hash_hex, to_json_lines, write_atomic_str, Csv, Reporter, Timeline};
-use hemu_types::{AccessPath, HemuError, OsPagingConfig, OsPolicy, Result};
+use hemu_types::{AccessPath, HemuError, OsPagingConfig, OsPolicy, Result, SubmitMode};
 use hemu_workloads::{spec, DatasetSize, Language, WorkloadSpec};
 use std::collections::{HashMap, HashSet};
 use std::fs;
@@ -211,6 +211,8 @@ pub struct Harness {
     jobs: usize,
     /// Access-path implementation for every run's machine.
     access_path: AccessPath,
+    /// Submission mode for every run's machine (deferred vs scalar).
+    submit_mode: SubmitMode,
     /// Intra-run batch-resolution threads; 0 and 1 both mean sequential.
     intra_threads: usize,
     /// When true, [`Harness::run`] defers execution: unknown runs are
@@ -326,6 +328,20 @@ impl Harness {
     /// Selects the access-path implementation for every subsequent run.
     pub fn set_access_path(&mut self, path: AccessPath) {
         self.access_path = path;
+    }
+
+    /// Selects the submission mode for every subsequent run. Artifacts
+    /// are byte-identical in either mode; `scalar` keeps the reference
+    /// per-call behavior for verification, `deferred` is the fast
+    /// default. Excluded from the sweep's plan fingerprint, like the
+    /// other pure-wall-clock knobs, so a journal resumes in any mode.
+    pub fn set_submit_mode(&mut self, mode: SubmitMode) {
+        self.submit_mode = mode;
+    }
+
+    /// The submission mode runs execute with.
+    pub fn submit_mode(&self) -> SubmitMode {
+        self.submit_mode
     }
 
     /// The access path runs execute with.
@@ -581,6 +597,7 @@ impl Harness {
             want_profile: self.profiling(),
             access_path: self.access_path,
             intra_threads: self.intra_threads(),
+            submit_mode: self.submit_mode,
             reporter: self.reporter.clone(),
         }
     }

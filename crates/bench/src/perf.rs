@@ -16,15 +16,15 @@
 //!
 //! Results are written as `BENCH_results.json`; a checked-in copy of that
 //! file serves as the CI regression baseline (`--bench-baseline`), which
-//! fails the run when access-kernel throughput drops below 80% of the
-//! baseline.
+//! fails the run when access-kernel line throughput or end-to-end sweep
+//! run throughput drops below 80% of the baseline.
 
 use crate::harness::{Harness, Profile, RunStatus, Scale};
 use hemu_heap::CollectorKind;
 use hemu_machine::{CtxId, Machine, MachineProfile, ProcId};
 use hemu_obs::json::{JsonObject, ToJson};
 use hemu_obs::write_atomic_str;
-use hemu_types::{Addr, HemuError, MemoryAccess, Result, SocketId};
+use hemu_types::{Addr, HemuError, MemoryAccess, Result, SocketId, SubmitMode};
 use hemu_workloads::WorkloadSpec;
 use std::fs;
 use std::path::Path;
@@ -80,6 +80,8 @@ impl ToJson for KernelResult {
 /// Quick-sweep measurement.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepResult {
+    /// Submission mode (deferred vs scalar) each run used.
+    pub submit_mode: SubmitMode,
     /// Experiments executed.
     pub runs: usize,
     /// Wall-clock seconds for the whole sweep.
@@ -102,7 +104,8 @@ impl ToJson for SweepResult {
             .field("runs_per_sec", &self.runs_per_sec)
             .field("run_p50_seconds", &self.run_p50_seconds)
             .field("run_p95_seconds", &self.run_p95_seconds)
-            .field("intra_threads", &self.intra_threads);
+            .field("intra_threads", &self.intra_threads)
+            .field("submit_mode", self.submit_mode.name());
         obj.finish();
     }
 }
@@ -184,10 +187,15 @@ pub fn bench_kernel(intra_threads: usize) -> Result<KernelResult> {
 ///
 /// Propagates harness failures (workload registry lookups and any run
 /// that terminally fails).
-pub fn bench_sweep(jobs: usize, intra_threads: usize) -> Result<SweepResult> {
+pub fn bench_sweep(
+    jobs: usize,
+    intra_threads: usize,
+    submit_mode: SubmitMode,
+) -> Result<SweepResult> {
     let mut h = Harness::new(Scale::Quick);
     h.set_jobs(jobs);
     h.set_intra_threads(intra_threads);
+    h.set_submit_mode(submit_mode);
     let t0 = Instant::now();
     // run_opt (not `?`) so a planning pass discovers all six jobs at once
     // instead of aborting at the first deferred run.
@@ -217,6 +225,7 @@ pub fn bench_sweep(jobs: usize, intra_threads: usize) -> Result<SweepResult> {
         .map(|r| r.wall_seconds)
         .collect();
     Ok(SweepResult {
+        submit_mode,
         runs,
         seconds,
         runs_per_sec: runs as f64 / seconds.max(1e-9),
@@ -251,21 +260,23 @@ fn json_number_field(text: &str, name: &str) -> Option<f64> {
 pub fn run_bench(
     jobs: usize,
     intra_threads: usize,
+    submit_mode: SubmitMode,
     out_path: &Path,
     baseline: Option<&Path>,
 ) -> Result<BenchOutcome> {
     let t0 = Instant::now();
     let kernel = bench_kernel(intra_threads)?;
-    let sweep = bench_sweep(jobs, intra_threads)?;
+    let sweep = bench_sweep(jobs, intra_threads, submit_mode)?;
     let wall_seconds = t0.elapsed().as_secs_f64();
 
-    // Schema 2 adds kernel.batch_size, kernel/sweep intra_threads, and the
-    // sweep's per-run p50/p95. The regression gate below reads only the
-    // first `accesses_per_sec` occurrence, so a schema-1 baseline keeps
-    // gating a schema-2 results file (and vice versa) during transitions.
+    // Schema 3 adds sweep.submit_mode and extends the regression gate to
+    // the sweep's run throughput. The gate reads the first occurrence of
+    // each field name, so older baselines keep gating newer results files
+    // (a baseline without `runs_per_sec` simply skips that gate) during
+    // transitions.
     let mut text = String::new();
     let mut obj = JsonObject::new(&mut text);
-    obj.field("schema", "hemu-bench-results/2")
+    obj.field("schema", "hemu-bench-results/3")
         .field("jobs", &jobs)
         .field("kernel", &kernel)
         .field("sweep", &sweep)
@@ -293,11 +304,26 @@ pub fn run_bench(
                 100.0 * (1.0 - kernel.accesses_per_sec / base)
             ));
         }
+        // Sweep run-throughput gate: a run-level regression used to sail
+        // through CI because only the kernel was gated. Skipped (not an
+        // error) for schema-1 baselines that predate `runs_per_sec`.
+        if regression.is_none() {
+            if let Some(base_rps) = json_number_field(&base_text, "runs_per_sec") {
+                if base_rps > 0.0 && sweep.runs_per_sec < 0.8 * base_rps {
+                    regression = Some(format!(
+                        "sweep run throughput regressed: {:.3} runs/s vs baseline {:.3} (-{:.0}%)",
+                        sweep.runs_per_sec,
+                        base_rps,
+                        100.0 * (1.0 - sweep.runs_per_sec / base_rps)
+                    ));
+                }
+            }
+        }
     }
 
     let summary = format!(
         "access kernel: {} line accesses in {:.2}s ({:.2} M/s, batch {}, intra-threads {})\n\
-         quick sweep:   {} runs in {:.2}s at --jobs {} ({:.2} runs/s, p50 {:.2}s, p95 {:.2}s)\n\
+         quick sweep:   {} runs in {:.2}s at --jobs {} ({:.2} runs/s, {} submission, p50 {:.2}s, p95 {:.2}s)\n\
          results written to {}",
         kernel.line_accesses,
         kernel.seconds,
@@ -308,6 +334,7 @@ pub fn run_bench(
         sweep.seconds,
         jobs,
         sweep.runs_per_sec,
+        sweep.submit_mode,
         sweep.run_p50_seconds,
         sweep.run_p95_seconds,
         out_path.display()

@@ -11,7 +11,7 @@ use hemu_bench::{Harness, Profile, RunPolicy, Scale};
 use hemu_fault::FaultPlan;
 use hemu_heap::CollectorKind;
 use hemu_obs::Reporter;
-use hemu_types::{ByteSize, OsPagingConfig, OsPolicy, Result};
+use hemu_types::{ByteSize, OsPagingConfig, OsPolicy, Result, SubmitMode};
 use hemu_workloads::WorkloadSpec;
 use std::collections::BTreeMap;
 use std::fs;
@@ -71,9 +71,22 @@ fn artifacts_intra(
     intra: usize,
     faults: Option<FaultPlan>,
 ) -> (String, BTreeMap<String, String>) {
+    artifacts_submit(dir, jobs, intra, faults, SubmitMode::default())
+}
+
+/// [`artifacts_intra`] with an explicit submission mode (deferred vs
+/// per-call scalar).
+fn artifacts_submit(
+    dir: &Path,
+    jobs: usize,
+    intra: usize,
+    faults: Option<FaultPlan>,
+    submit: SubmitMode,
+) -> (String, BTreeMap<String, String>) {
     let mut h = Harness::new(Scale::Quick);
     h.set_jobs(jobs);
     h.set_intra_threads(intra);
+    h.set_submit_mode(submit);
     h.set_reporter(Reporter::to_writer(Box::new(std::io::sink())));
     h.set_json_dir(dir).expect("create json dir");
     h.set_trace_out(dir.join("trace.jsonl")).expect("trace out");
@@ -170,8 +183,18 @@ fn os_sweep(h: &mut Harness) -> Result<String> {
 /// Runs the OS-policy sweep at the given jobs width (shares the artifact
 /// collection of [`artifacts`], but with migrator tuning installed).
 fn os_artifacts(dir: &Path, jobs: usize) -> (String, BTreeMap<String, String>) {
+    os_artifacts_submit(dir, jobs, SubmitMode::default())
+}
+
+/// [`os_artifacts`] with an explicit submission mode.
+fn os_artifacts_submit(
+    dir: &Path,
+    jobs: usize,
+    submit: SubmitMode,
+) -> (String, BTreeMap<String, String>) {
     let mut h = Harness::new(Scale::Quick);
     h.set_jobs(jobs);
+    h.set_submit_mode(submit);
     h.set_reporter(Reporter::to_writer(Box::new(std::io::sink())));
     h.set_json_dir(dir).expect("create json dir");
     h.set_trace_out(dir.join("trace.jsonl")).expect("trace out");
@@ -306,6 +329,69 @@ fn faulted_intra_thread_matrix_is_byte_identical() {
             assert_identical(&base, &got);
         }
     }
+}
+
+/// The submission-mode axis: deferred submission (mutator/GC traffic
+/// buffered and flushed through the batch pipeline at semantic
+/// boundaries) produces byte-identical artifacts to per-call scalar
+/// submission, across `--jobs` {1, 4} × `--intra-threads` {1, 4}. This is
+/// the deferral tentpole's end-to-end invariant — the machine-level
+/// equivalence test lives in `hemu-machine`, this one locks every
+/// exported artifact.
+#[test]
+fn deferred_submission_matrix_is_byte_identical_to_scalar() {
+    let base = artifacts_submit(&tmp_dir("det-sub-base"), 1, 1, None, SubmitMode::Scalar);
+    for jobs in [1, 4] {
+        for intra in [1, 4] {
+            let name = format!("det-sub-j{jobs}-t{intra}");
+            let got = artifacts_submit(&tmp_dir(&name), jobs, intra, None, SubmitMode::Deferred);
+            assert_identical(&base, &got);
+        }
+    }
+}
+
+/// The same deferred-vs-scalar guarantee under an active fault plan: the
+/// machine gates deferral off when a fault injector observes per-line
+/// order, so failed runs, attempt counts, and partial tables must match
+/// the scalar reference exactly.
+#[test]
+fn faulted_deferred_submission_is_byte_identical_to_scalar() {
+    let plan = FaultPlan {
+        seed: 3,
+        frame_alloc_p: 0.5,
+        only: Some("avrora".into()),
+        ..FaultPlan::none()
+    };
+    let base = artifacts_submit(
+        &tmp_dir("det-fsub-base"),
+        1,
+        1,
+        Some(plan.clone()),
+        SubmitMode::Scalar,
+    );
+    for jobs in [1, 4] {
+        for intra in [1, 4] {
+            let name = format!("det-fsub-j{jobs}-t{intra}");
+            let got = artifacts_submit(
+                &tmp_dir(&name),
+                jobs,
+                intra,
+                Some(plan.clone()),
+                SubmitMode::Deferred,
+            );
+            assert_identical(&base, &got);
+        }
+    }
+}
+
+/// Deferred vs scalar across OS paging policies: the hot/cold migrator's
+/// heat sampling, migrations, and TLB flushes see identical traffic in
+/// either mode.
+#[test]
+fn os_policy_sweep_deferred_matches_scalar() {
+    let scalar = os_artifacts_submit(&tmp_dir("det-os-sub-s"), 1, SubmitMode::Scalar);
+    let deferred = os_artifacts_submit(&tmp_dir("det-os-sub-d"), 4, SubmitMode::Deferred);
+    assert_identical(&scalar, &deferred);
 }
 
 /// Widths beyond the job count (and odd widths) change nothing either.

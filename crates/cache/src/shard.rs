@@ -75,6 +75,12 @@ struct Shard {
     out: Vec<u8>,
     /// Unshifted write-backs of the whole queue, in access order.
     wbs: Vec<(LineAddr, u8)>,
+    /// Aggregate-mode per-context hit counts, `contexts * 3` wide,
+    /// indexed `ctx * 3 + level_code`.
+    counts: Vec<u64>,
+    /// Aggregate-mode memory fills `(ctx, unshifted line)`, in access
+    /// order.
+    fills: Vec<(u32, u64)>,
     /// Merge cursors: next outcome / next write-back to hand out.
     cursor: usize,
     wb_cursor: usize,
@@ -115,6 +121,56 @@ impl Shard {
             let (level, _fill) = hier.access_into(ctx, shifted, kind, wtag, scratch);
             debug_assert!(scratch.len() <= 2, "at most an LLC and an L2 victim");
             out.push(level_code(level) | (scratch.len() as u8) << 2);
+            wbs.extend(
+                scratch
+                    .iter()
+                    .map(|&(l, t)| (LineAddr::new(l.raw() << ns_bits | *low), t)),
+            );
+        }
+    }
+
+    /// [`Shard::run_queue`] for order-insensitive callers: resolves the
+    /// whole queue in one pass, accumulating per-context hit counts and a
+    /// memory-fill list instead of the per-access outcome codes, so the
+    /// merge never has to re-walk the queue. Every cache-state mutation is
+    /// identical to `run_queue` (same accesses, same order); only how the
+    /// outcomes are reported differs.
+    fn run_queue_aggregate(&mut self, ns_bits: u32) {
+        let Shard {
+            hier,
+            queue,
+            wbs,
+            counts,
+            fills,
+            scratch,
+            low,
+            ..
+        } = self;
+        wbs.clear();
+        fills.clear();
+        counts.clear();
+        counts.resize(hier.contexts() * 3, 0);
+        for (i, q) in queue.iter().enumerate() {
+            if let Some(next) = queue.get(i + PREFETCH_AHEAD) {
+                hier.prefetch(
+                    (next.meta >> 16) as usize,
+                    LineAddr::new(next.line >> ns_bits),
+                );
+            }
+            let ctx = (q.meta >> 16) as usize;
+            let wtag = (q.meta >> 8) as u8;
+            let kind = if q.meta & 1 == 1 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let shifted = LineAddr::new(q.line >> ns_bits);
+            let (level, _fill) = hier.access_into(ctx, shifted, kind, wtag, scratch);
+            debug_assert!(scratch.len() <= 2, "at most an LLC and an L2 victim");
+            counts[ctx * 3 + level_code(level) as usize] += 1;
+            if level == HitLevel::Memory {
+                fills.push((ctx as u32, q.line));
+            }
             wbs.extend(
                 scratch
                     .iter()
@@ -189,6 +245,8 @@ impl ShardedHierarchy {
                     queue: Vec::new(),
                     out: Vec::new(),
                     wbs: Vec::new(),
+                    counts: Vec::new(),
+                    fills: Vec::new(),
                     cursor: 0,
                     wb_cursor: 0,
                     scratch: Vec::with_capacity(4),
@@ -255,6 +313,8 @@ impl ShardedHierarchy {
             s.queue.clear();
             s.out.clear();
             s.wbs.clear();
+            s.counts.clear();
+            s.fills.clear();
             s.cursor = 0;
             s.wb_cursor = 0;
         }
@@ -304,6 +364,63 @@ impl ShardedHierarchy {
                 });
             }
         });
+    }
+
+    /// [`ShardedHierarchy::resolve`] for order-insensitive callers: each
+    /// shard resolves its queue in a single pass that directly accumulates
+    /// per-context hit counts, the memory-fill list, and the write-backs,
+    /// so the merge reads aggregates instead of re-walking every queued
+    /// access. Cache state after this call is bit-identical to `resolve`'s.
+    /// Consume with [`ShardedHierarchy::drain_counts`] /
+    /// [`ShardedHierarchy::drain_fills`] /
+    /// [`ShardedHierarchy::drain_writebacks`]; not mixable with
+    /// [`ShardedHierarchy::next_outcome`] or
+    /// [`ShardedHierarchy::drain_lines`] within one batch.
+    pub fn resolve_aggregate(&mut self, threads: usize) {
+        let ns_bits = self.ns_bits;
+        let threads = threads.clamp(1, self.shards.len());
+        if threads == 1 || self.queued < PARALLEL_MIN_LINES {
+            for s in &mut self.shards {
+                s.run_queue_aggregate(ns_bits);
+            }
+            return;
+        }
+        let per = self.shards.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for chunk in self.shards.chunks_mut(per) {
+                scope.spawn(move || {
+                    for s in chunk {
+                        s.run_queue_aggregate(ns_bits);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Consumes the per-context hit-level counts of an aggregate-resolved
+    /// batch: `visit(ctx, level, n)` once per (context, level) pair with a
+    /// non-zero count, shard-major. The companion of
+    /// [`ShardedHierarchy::resolve_aggregate`].
+    pub fn drain_counts<F: FnMut(usize, HitLevel, u64)>(&mut self, mut visit: F) {
+        for s in &mut self.shards {
+            for (i, &n) in s.counts.iter().enumerate() {
+                if n != 0 {
+                    visit(i / 3, code_level((i % 3) as u8), n);
+                }
+            }
+            s.cursor = s.queue.len();
+        }
+    }
+
+    /// Consumes the memory fills of an aggregate-resolved batch:
+    /// `visit(ctx, line)` per fill, shard-major in per-shard access order —
+    /// the same order [`ShardedHierarchy::drain_lines`] would surface them.
+    pub fn drain_fills<F: FnMut(usize, LineAddr)>(&mut self, mut visit: F) {
+        for s in &mut self.shards {
+            for &(ctx, line) in &s.fills {
+                visit(ctx as usize, LineAddr::new(line));
+            }
+        }
     }
 
     /// Pops the outcome of the next queued access to `line`'s shard.
@@ -586,6 +703,63 @@ mod tests {
         assert_eq!(levels_a, levels_b);
         assert_eq!(wbs_a, wbs_b);
         assert_eq!(cursor.llc_stats(), drain.llc_stats());
+    }
+
+    #[test]
+    fn aggregate_resolve_matches_cursor_merge() {
+        let mut cursor = ShardedHierarchy::new(config(), 2);
+        let mut agg = ShardedHierarchy::new(config(), 2);
+        let mut stream = Vec::new();
+        let mut state = 11u64;
+        for i in 0..4000u64 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let kind = if state & 1 == 1 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            stream.push(((i % 2) as usize, LineAddr::new((state >> 20) % 256), kind));
+        }
+        let mut levels_a = [[0u64; 3]; 2];
+        let mut levels_b = [[0u64; 3]; 2];
+        let mut fills_a = std::collections::BTreeMap::new();
+        let mut fills_b = std::collections::BTreeMap::new();
+        let mut wbs_a = std::collections::BTreeMap::new();
+        let mut wbs_b = std::collections::BTreeMap::new();
+        for chunk in stream.chunks(513) {
+            for s in [&mut cursor, &mut agg] {
+                s.begin_batch();
+                for &(ctx, line, kind) in chunk {
+                    s.enqueue(ctx, line, kind, 3);
+                }
+            }
+            cursor.resolve(1);
+            agg.resolve_aggregate(1);
+            for &(ctx, line, _) in chunk {
+                let (lv, fill, wbs) = cursor.next_outcome(line);
+                levels_a[ctx][level_code(lv) as usize] += 1;
+                if let Some(f) = fill {
+                    *fills_a.entry((ctx, f.raw())).or_insert(0u64) += 1;
+                }
+                for &(wb, tag) in wbs {
+                    *wbs_a.entry((wb.raw(), tag)).or_insert(0u64) += 1;
+                }
+            }
+            agg.drain_counts(|ctx, lv, n| levels_b[ctx][level_code(lv) as usize] += n);
+            agg.drain_fills(|ctx, f| {
+                *fills_b.entry((ctx, f.raw())).or_insert(0u64) += 1;
+            });
+            agg.drain_writebacks(|wb, tag| {
+                *wbs_b.entry((wb.raw(), tag)).or_insert(0u64) += 1;
+            });
+        }
+        assert_eq!(levels_a, levels_b);
+        assert_eq!(fills_a, fills_b);
+        assert_eq!(wbs_a, wbs_b);
+        assert_eq!(cursor.llc_stats(), agg.llc_stats());
+        assert_eq!(cursor.l2_stats(0), agg.l2_stats(0));
     }
 
     #[test]

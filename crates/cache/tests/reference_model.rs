@@ -263,3 +263,99 @@ fn batch_pipeline_matches_scalar_single_shard() {
     // pipeline mechanics (queueing, outcome cursors) must still be exact.
     compare_scalar_vs_batch(77, 0, 2);
 }
+
+/// Runs `stream` through a fresh sharded pipeline, split into batches by
+/// the cycle of `chunks`, and returns every per-access outcome plus the
+/// final aggregate observables. Used by the flush-boundary invariance
+/// property below.
+fn run_partitioned(
+    stream: &[(usize, LineAddr, AccessKind, u8)],
+    chunks: &[usize],
+) -> (Vec<(HitLevel, bool, usize)>, Vec<u64>) {
+    let config = HierarchyConfig {
+        contexts: 3,
+        l2_size: ByteSize::new(32 * 2 * 64),
+        l2_assoc: 2,
+        llc_size: ByteSize::new(64 * 4 * 64),
+        llc_assoc: 4,
+    };
+    let mut h = ShardedHierarchy::new(config, 3);
+    h.enable_tags();
+    let mut outcomes = Vec::with_capacity(stream.len());
+    let mut pos = 0usize;
+    let mut which = 0usize;
+    while pos < stream.len() {
+        let take = chunks[which % chunks.len()].min(stream.len() - pos);
+        which += 1;
+        let chunk = &stream[pos..pos + take];
+        pos += take;
+        h.begin_batch();
+        for &(ctx, line, kind, tag) in chunk {
+            h.enqueue(ctx, line, kind, tag);
+        }
+        h.resolve(2);
+        for &(_, line, _, _) in chunk {
+            let (lv, fill, wbs) = h.next_outcome(line);
+            outcomes.push((lv, fill.is_some(), wbs.len()));
+        }
+    }
+    let mut state = Vec::new();
+    let stats = h.llc_stats();
+    state.extend([stats.hits, stats.misses, stats.evictions, stats.writebacks]);
+    for ctx in 0..3 {
+        let s = h.l2_stats(ctx);
+        state.extend([s.hits, s.misses, s.evictions, s.writebacks]);
+    }
+    for raw in 0..1024u64 {
+        let line = LineAddr::new(raw);
+        // Dirty queries return Option<bool> (None = not resident); fold
+        // the tri-state into 2 bits so the whole line is one word.
+        let dirty = |d: Option<bool>| d.map_or(0u64, |b| 1 + b as u64);
+        let mut bits = (h.llc_contains(line) as u64) | dirty(h.llc_is_dirty(line)) << 1;
+        for ctx in 0..3 {
+            bits |= (h.l2_contains(ctx, line) as u64) << (3 + 3 * ctx);
+            bits |= dirty(h.l2_is_dirty(ctx, line)) << (4 + 3 * ctx);
+        }
+        state.push(bits);
+    }
+    (outcomes, state)
+}
+
+/// Flush-boundary invariance: where a stream is cut into batches is
+/// invisible — per-access outcomes (hit level, fill, write-back count),
+/// aggregate statistics, and the final valid/dirty state of every line
+/// are identical whether the stream arrives as one giant batch, as
+/// single-access batches, or cut at arbitrary seeded boundaries. This is
+/// the cache-layer half of the deferred-submission guarantee: the
+/// machine's submission buffer may flush at any semantic boundary without
+/// perturbing a single observable.
+#[test]
+fn batch_boundaries_are_invisible() {
+    let mut state = 0xFEED_F00Du64;
+    let mut stream: Vec<(usize, LineAddr, AccessKind, u8)> = Vec::new();
+    for i in 0..30_000u64 {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let line = LineAddr::new((state >> 24) % 1024);
+        let kind = if state & 1 == 1 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        stream.push(((i % 3) as usize, line, kind, (state >> 8) as u8));
+    }
+
+    let whole = run_partitioned(&stream, &[stream.len()]);
+    let singles = run_partitioned(&stream, &[1]);
+    assert_eq!(whole.0, singles.0, "outcomes diverged at batch size 1");
+    assert_eq!(whole.1, singles.1, "final state diverged at batch size 1");
+    // Irregular seeded boundaries, including primes around the shard
+    // queue/prefetch depths.
+    let ragged = run_partitioned(&stream, &[1, 13, 4096, 257, 2, 8191, 31]);
+    assert_eq!(whole.0, ragged.0, "outcomes diverged at ragged boundaries");
+    assert_eq!(
+        whole.1, ragged.1,
+        "final state diverged at ragged boundaries"
+    );
+}

@@ -10,8 +10,8 @@ use hemu_malloc::{NativeHeap, NativeStats};
 use hemu_obs::{SpanRecord, TraceRecord, Tracer};
 use hemu_os::OsPageManager;
 use hemu_types::{
-    AccessPath, ByteSize, HemuError, OsPagingConfig, Result, SocketId, SpaceTag, WriteCause,
-    CACHE_LINE, PAGE_SIZE,
+    AccessPath, ByteSize, HemuError, OsPagingConfig, Result, SocketId, SpaceTag, SubmitMode,
+    WriteCause, CACHE_LINE, PAGE_SIZE,
 };
 use hemu_workloads::{Language, Memory, StepResult, Workload, WorkloadSpec};
 
@@ -60,6 +60,7 @@ pub struct Experiment {
     os: Option<OsPagingConfig>,
     access_path: AccessPath,
     intra_threads: usize,
+    submit_mode: SubmitMode,
 }
 
 impl Experiment {
@@ -83,6 +84,7 @@ impl Experiment {
             os: None,
             access_path: AccessPath::default(),
             intra_threads: 1,
+            submit_mode: SubmitMode::default(),
         }
     }
 
@@ -99,6 +101,16 @@ impl Experiment {
     /// byte-identical at any value.
     pub fn intra_threads(mut self, threads: usize) -> Self {
         self.intra_threads = threads.max(1);
+        self
+    }
+
+    /// Selects how runtime layers hand traffic to the machine: buffered
+    /// deferred submission (the fast default) or immediate per-call
+    /// resolution. Both produce byte-identical reports and artifacts; the
+    /// scalar mode is the executable specification deferral is verified
+    /// against.
+    pub fn submit_mode(mut self, mode: SubmitMode) -> Self {
+        self.submit_mode = mode;
         self
     }
 
@@ -277,6 +289,7 @@ impl Experiment {
         let mut machine = Machine::new(self.profile);
         machine.set_access_path(self.access_path);
         machine.set_intra_threads(self.intra_threads);
+        machine.set_submit_mode(self.submit_mode);
         // The OS page manager installs before anything touches memory, so
         // even heap metadata is placed (and sampled) under its policy.
         let mut os_mgr = self.os.map(|cfg| OsPageManager::install(&mut machine, cfg));
@@ -339,6 +352,7 @@ impl Experiment {
         // Snapshot per-instance stats, then measure the steady iteration.
         // The tracer goes in only now, so the trace covers exactly the
         // measured iteration (metrics are reset at the same point).
+        machine.sync_submissions()?;
         machine.set_tracer(tracer);
         machine.start_measured_iteration();
         let gc_before: Vec<Option<GcStats>> = instances
@@ -516,6 +530,11 @@ fn run_iteration(
                 ));
             }
         }
+        // A scheduler round edge is a safe point: deferred submissions
+        // flush before anything samples clocks or counters, so the
+        // monitor and the OS migrator observe exactly the state the
+        // scalar submission path would show them.
+        machine.sync_submissions()?;
         if let Some(mon) = monitor.as_deref_mut() {
             mon.poll(machine);
         }

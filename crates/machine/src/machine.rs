@@ -8,7 +8,8 @@ use hemu_obs::json::{JsonObject, ToJson};
 use hemu_obs::{Counter, Metrics, Obs, SpanRecorder, TraceEvent, Tracer};
 use hemu_types::{
     AccessKind, AccessPath, Addr, ByteSize, Cycles, HemuError, LineAddr, MemoryAccess, PageNum,
-    Result, SocketId, SpaceTag, VirtualClock, WriteCause, WriteTag, CACHE_LINE, PAGE_SIZE,
+    Result, SocketId, SpaceTag, SubmitMode, VirtualClock, WriteCause, WriteTag, CACHE_LINE,
+    PAGE_SIZE,
 };
 
 /// Remote fills are coalesced into one aggregate [`TraceEvent::QpiTransfer`]
@@ -19,6 +20,17 @@ const QPI_TRACE_BATCH: u64 = 1024;
 /// through the batch pipeline instead of the scalar loop; smaller accesses
 /// don't amortize the per-batch queue reset.
 const PIPELINE_MIN_LINES: u64 = 256;
+
+/// Deferred submissions ([`Machine::submit`]) auto-flush once the buffer
+/// holds roughly this many lines, so a flush batch is large enough for the
+/// aggregate shard-major merge to pay off even between semantic sync
+/// points.
+const SUBMIT_FLUSH_LINES: u64 = 8192;
+
+/// Slots in the machine-level translation mini-TLB (direct-mapped,
+/// keyed by process and virtual page). Covers 16 MiB of working set per
+/// way-less set; misses fall through to the page table.
+const TLB_SLOTS: usize = 4096;
 
 /// The cache-resolution engine behind the access hot path: either the
 /// monolithic reference [`Hierarchy`] (per-line dispatch) or the set-sharded
@@ -210,6 +222,32 @@ pub struct Machine {
     batch_fast: bool,
     /// Per-context cycle totals accumulated by the aggregate merge.
     batch_cycles: Vec<Cycles>,
+    /// The configured submission mode ([`Machine::set_submit_mode`]).
+    submit_mode: SubmitMode,
+    /// Whether [`Machine::submit`] actually defers right now: requires
+    /// `Deferred` mode, the batched engine, and no order-sensitive
+    /// observer (tracer, provenance, fault injector, endurance) — the same
+    /// gate as the aggregate merge. Recomputed whenever any of those
+    /// toggles flips.
+    defer_active: bool,
+    /// Deferred-submission buffer, struct-of-arrays: start address, byte
+    /// size, and packed metadata (ctx | proc<<8 | write-tag<<16 |
+    /// is-write<<24) per entry, in submission order.
+    sub_addr: Vec<u64>,
+    sub_size: Vec<u32>,
+    sub_meta: Vec<u32>,
+    /// Estimated line count of the buffered entries (auto-flush trigger).
+    sub_lines: u64,
+    /// Machine-level translation mini-TLB: direct-mapped (proc, vpage) →
+    /// first physical line of the frame, probed identically by the scalar
+    /// loop and the batch stager in front of the page-table walk, so
+    /// `tlb.*` counts are the same on every path. Flushed whenever an
+    /// existing mapping can change (unmap, migration, wear remap).
+    tlb_keys: Vec<u64>,
+    tlb_frames: Vec<u64>,
+    tlb_hits: Counter,
+    tlb_misses: Counter,
+    tlb_flushes: Counter,
 }
 
 impl Machine {
@@ -217,6 +255,9 @@ impl Machine {
     pub fn new(profile: MachineProfile) -> Self {
         let obs = Obs::new();
         let qpi_lines = obs.metrics.counter("qpi.lines");
+        let tlb_hits = obs.metrics.counter("tlb.hits");
+        let tlb_misses = obs.metrics.counter("tlb.misses");
+        let tlb_flushes = obs.metrics.counter("tlb.flushes");
         Machine {
             mem: NumaMemory::new(profile.numa),
             engine: AccessEngine::build(AccessPath::default(), profile.hierarchy_config()),
@@ -237,6 +278,17 @@ impl Machine {
             batch_ctx: Vec::new(),
             batch_fast: false,
             batch_cycles: Vec::new(),
+            submit_mode: SubmitMode::Scalar,
+            defer_active: false,
+            sub_addr: Vec::new(),
+            sub_size: Vec::new(),
+            sub_meta: Vec::new(),
+            sub_lines: 0,
+            tlb_keys: vec![0; TLB_SLOTS],
+            tlb_frames: vec![0; TLB_SLOTS],
+            tlb_hits,
+            tlb_misses,
+            tlb_flushes,
             profile,
         }
     }
@@ -249,10 +301,15 @@ impl Machine {
         if path == self.engine.path() {
             return;
         }
+        debug_assert!(
+            self.sub_addr.is_empty(),
+            "sync_submissions before switching the access path"
+        );
         self.engine = AccessEngine::build(path, self.profile.hierarchy_config());
         if self.prov.is_some() {
             self.engine.enable_tags();
         }
+        self.recompute_defer();
     }
 
     /// The active access-path implementation.
@@ -282,9 +339,14 @@ impl Machine {
         if self.prov.is_some() {
             return;
         }
+        debug_assert!(
+            self.sub_addr.is_empty(),
+            "sync_submissions before enabling profiling"
+        );
         self.engine.enable_tags();
         self.prov = Some(ProvenanceCounters::new(&self.obs.metrics));
         self.obs.spans = SpanRecorder::bounded(PROFILE_SPAN_CAPACITY);
+        self.recompute_defer();
     }
 
     /// Whether [`Machine::enable_profiling`] has been called. Runtime
@@ -318,9 +380,16 @@ impl Machine {
     }
 
     /// Installs an event tracer (replacing the current one, which is
-    /// disabled by default). Metrics handles are unaffected.
+    /// disabled by default). Metrics handles are unaffected. Callers must
+    /// [`Machine::sync_submissions`] first when switching mid-run, so an
+    /// enabled tracer never observes traffic submitted before it existed.
     pub fn set_tracer(&mut self, tracer: Tracer) {
+        debug_assert!(
+            self.sub_addr.is_empty(),
+            "sync_submissions before replacing the tracer"
+        );
         self.obs.tracer = tracer;
+        self.recompute_defer();
     }
 
     /// Publishes derived machine-level metrics — cache hit rates and
@@ -343,6 +412,10 @@ impl Machine {
             .set(self.stats.local_fills as f64);
         m.gauge("machine.remote_fills")
             .set(self.stats.remote_fills as f64);
+        let (th, tm) = (self.tlb_hits.get(), self.tlb_misses.get());
+        if th + tm > 0 {
+            m.gauge("tlb.hit_rate").set(th as f64 / (th + tm) as f64);
+        }
         // Wear/endurance gauges only exist when the model is on, so the
         // exported metric set of a healthy run is unchanged.
         if self.mem.endurance_enabled() {
@@ -400,6 +473,10 @@ impl Machine {
     /// Returns an error if a mapped frame violates physical-memory
     /// invariants.
     pub fn unmap(&mut self, proc: ProcId, start: Addr, len: ByteSize) -> Result<()> {
+        // Buffered accesses may target the range being unmapped; resolve
+        // them while the mapping still exists, as the scalar path would.
+        self.sync_submissions()?;
+        self.tlb_flush();
         let Machine { spaces, mem, .. } = self;
         spaces[proc.0].unmap(start, len, mem)
     }
@@ -432,6 +509,11 @@ impl Machine {
     ///
     /// Panics if `ctx` or `proc` is out of range.
     pub fn access(&mut self, ctx: CtxId, proc: ProcId, access: MemoryAccess) -> Result<()> {
+        // An immediate access must observe all deferred traffic first, so
+        // mixing `submit` and `access` keeps submission order intact.
+        if !self.sub_addr.is_empty() {
+            self.flush_submissions()?;
+        }
         if access.size > 0 {
             let total_lines = (access.addr.offset(access.size as u64 - 1).line().raw()
                 - access.addr.line().raw())
@@ -484,6 +566,9 @@ impl Machine {
         if batch.is_empty() {
             return Ok(());
         }
+        if !self.sub_addr.is_empty() {
+            self.flush_submissions()?;
+        }
         if !matches!(self.engine, AccessEngine::Batched(_)) || self.mem.endurance_enabled() {
             for &(ctx, proc, access) in batch {
                 self.access(ctx, proc, access)?;
@@ -496,6 +581,163 @@ impl Machine {
         }
         self.resolve_and_merge();
         Ok(())
+    }
+
+    /// Selects the submission mode for [`Machine::submit`]. The machine
+    /// starts in `Scalar` (submit == access, the reference behavior); the
+    /// experiment driver switches production runs to `Deferred`. Call
+    /// before issuing traffic, or after a [`Machine::sync_submissions`].
+    pub fn set_submit_mode(&mut self, mode: SubmitMode) {
+        debug_assert!(
+            self.sub_addr.is_empty(),
+            "sync_submissions before switching the submit mode"
+        );
+        self.submit_mode = mode;
+        self.recompute_defer();
+    }
+
+    /// The configured submission mode.
+    pub fn submit_mode(&self) -> SubmitMode {
+        self.submit_mode
+    }
+
+    /// Whether [`Machine::submit`] is currently buffering (deferred mode,
+    /// batched engine, and no order-sensitive observer active).
+    pub fn submit_deferred(&self) -> bool {
+        self.defer_active
+    }
+
+    /// Re-evaluates whether submissions may defer. Deferral needs the batch
+    /// pipeline, and flushes ride the aggregate shard-major merge, so the
+    /// gate is exactly [`Machine::stage_begin`]'s `batch_fast` condition:
+    /// any observer of per-line order (tracer, provenance counters, fault
+    /// injector, endurance modeling) forces submissions back to the
+    /// immediate path.
+    fn recompute_defer(&mut self) {
+        self.defer_active = self.submit_mode == SubmitMode::Deferred
+            && matches!(self.engine, AccessEngine::Batched(_))
+            && self.prov.is_none()
+            && !self.obs.tracer.enabled()
+            && self.mem.fault_injector().is_none()
+            && !self.mem.endurance_enabled();
+    }
+
+    /// Submits a memory access: the deferred counterpart of
+    /// [`Machine::access`], used by the runtime layers (heap allocator,
+    /// write barrier, GC tracer/evacuator, native malloc) for their
+    /// word-sized traffic.
+    ///
+    /// While deferral is active the access is appended to the submission
+    /// buffer — capturing the current write tag — and resolved later, in
+    /// submission order, when the buffer reaches [`SUBMIT_FLUSH_LINES`] or
+    /// a semantic boundary calls [`Machine::sync_submissions`] (emulated
+    /// reads return no data, so deferring a read never changes what the
+    /// caller observes). Otherwise this is exactly `access`. Both paths
+    /// leave bit-identical machine state at every sync point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if physical memory is exhausted; with deferral
+    /// active the error surfaces at the flush that performs the
+    /// translation, and the machine must then be discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` or `proc` is out of range (for deferred
+    /// submissions, at flush time).
+    #[inline]
+    pub fn submit(&mut self, ctx: CtxId, proc: ProcId, access: MemoryAccess) -> Result<()> {
+        if !self.defer_active || ctx.0 >= 256 || proc.0 >= 256 {
+            return self.access(ctx, proc, access);
+        }
+        if access.size == 0 {
+            return Ok(());
+        }
+        self.sub_addr.push(access.addr.raw());
+        self.sub_size.push(access.size);
+        let meta = ctx.0 as u32
+            | (proc.0 as u32) << 8
+            | (self.write_tag as u32) << 16
+            | (access.kind.is_write() as u32) << 24;
+        self.sub_meta.push(meta);
+        self.sub_lines += access.size as u64 / CACHE_LINE as u64 + 1;
+        if self.sub_lines >= SUBMIT_FLUSH_LINES {
+            self.flush_submissions()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes any buffered submissions, bringing clocks, caches, and
+    /// counters to exactly the state the scalar submission path would be
+    /// in. Call at semantic boundaries: before reading machine state
+    /// (clocks, controller counters, stats), at GC pause edges, and before
+    /// structural operations. A no-op when nothing is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if physical memory is exhausted while translating
+    /// a buffered access; the machine must then be discarded.
+    #[inline]
+    pub fn sync_submissions(&mut self) -> Result<()> {
+        if self.sub_addr.is_empty() {
+            return Ok(());
+        }
+        self.flush_submissions()
+    }
+
+    /// Drains the submission buffer through the batch pipeline: one
+    /// `stage_access` per entry in submission order (restoring each
+    /// entry's captured write tag), then a single resolve-and-merge.
+    /// Deferral is only active when `stage_begin`'s fast gate holds, so
+    /// the merge is always the aggregate shard-major drain.
+    fn flush_submissions(&mut self) -> Result<()> {
+        let saved_tag = self.write_tag;
+        self.stage_begin();
+        let n = self.sub_addr.len();
+        let mut failed = None;
+        for i in 0..n {
+            let meta = self.sub_meta[i];
+            let kind = if meta >> 24 != 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            self.write_tag = (meta >> 16) as u8;
+            let access = MemoryAccess {
+                addr: Addr::new(self.sub_addr[i]),
+                size: self.sub_size[i],
+                kind,
+            };
+            if let Err(e) = self.stage_access(
+                CtxId((meta & 0xff) as usize),
+                ProcId((meta >> 8 & 0xff) as usize),
+                access,
+            ) {
+                failed = Some(e);
+                break;
+            }
+        }
+        self.write_tag = saved_tag;
+        self.sub_addr.clear();
+        self.sub_size.clear();
+        self.sub_meta.clear();
+        self.sub_lines = 0;
+        if let Some(e) = failed {
+            // Earlier entries are staged but unresolved: the machine is
+            // only good for error reporting now, like a failed batch.
+            return Err(e);
+        }
+        self.resolve_and_merge();
+        Ok(())
+    }
+
+    /// Invalidates the whole translation mini-TLB. Called whenever an
+    /// existing mapping can change — unmap, OS page migration, wear
+    /// remapping — all rare; the page table stays the source of truth and
+    /// the next access per page re-fills its slot.
+    fn tlb_flush(&mut self) {
+        self.tlb_keys.iter_mut().for_each(|k| *k = 0);
+        self.tlb_flushes.incr();
     }
 
     /// The original per-line loop; the executable specification the batch
@@ -514,12 +756,17 @@ impl Machine {
             wb_scratch,
             write_tag,
             prov,
+            tlb_keys,
+            tlb_frames,
+            tlb_hits,
+            tlb_misses,
             ..
         } = self;
         let space = &mut spaces[proc.0];
         let clock = &mut clocks[ctx.0];
         let lat = &profile.latency;
         let kind = access.kind;
+        debug_assert!(proc.0 < 0xffff, "proc index exceeds the mini-TLB key");
 
         const PAGE: u64 = PAGE_SIZE as u64;
         const LINE: u64 = CACHE_LINE as u64;
@@ -529,11 +776,24 @@ impl Machine {
 
         let mut v = first;
         while v <= last {
-            // One page-table walk covers every line up to the page end.
+            // One page walk covers every line up to the page end; the
+            // mini-TLB short-circuits the walk for recently used pages.
             let page_end = (v / PAGE + 1) * PAGE;
             let chunk_last = last.min(page_end - LINE);
-            let frame = space.frame_of(Addr::new(v), mem)?;
-            let chunk_line0 = frame.phys_base().line().raw() + (v % PAGE) / LINE;
+            let vpage = v / PAGE;
+            let slot = (vpage as usize ^ (proc.0 << 4)) & (TLB_SLOTS - 1);
+            let key = (vpage << 16) | (proc.0 as u64 + 1);
+            let frame_line0 = if tlb_keys[slot] == key {
+                tlb_hits.incr();
+                tlb_frames[slot]
+            } else {
+                tlb_misses.incr();
+                let f0 = space.frame_of(Addr::new(v), mem)?.phys_base().line().raw();
+                tlb_keys[slot] = key;
+                tlb_frames[slot] = f0;
+                f0
+            };
+            let chunk_line0 = frame_line0 + (v % PAGE) / LINE;
             let nlines = (chunk_last - v) / LINE + 1;
             stats.line_accesses += nlines;
 
@@ -633,6 +893,10 @@ impl Machine {
             batch_ctx,
             write_tag,
             batch_fast,
+            tlb_keys,
+            tlb_frames,
+            tlb_hits,
+            tlb_misses,
             ..
         } = self;
         let AccessEngine::Batched(sh) = engine else {
@@ -640,6 +904,7 @@ impl Machine {
         };
         let space = &mut spaces[proc.0];
         let kind = access.kind;
+        debug_assert!(proc.0 < 0xffff, "proc index exceeds the mini-TLB key");
 
         const PAGE: u64 = PAGE_SIZE as u64;
         const LINE: u64 = CACHE_LINE as u64;
@@ -650,8 +915,22 @@ impl Machine {
         while v <= last {
             let page_end = (v / PAGE + 1) * PAGE;
             let chunk_last = last.min(page_end - LINE);
-            let frame = space.frame_of(Addr::new(v), mem)?;
-            let chunk_line0 = frame.phys_base().line().raw() + (v % PAGE) / LINE;
+            // Identical mini-TLB probe to the scalar loop, so `tlb.*`
+            // counts do not depend on the access path or submit mode.
+            let vpage = v / PAGE;
+            let slot = (vpage as usize ^ (proc.0 << 4)) & (TLB_SLOTS - 1);
+            let key = (vpage << 16) | (proc.0 as u64 + 1);
+            let frame_line0 = if tlb_keys[slot] == key {
+                tlb_hits.incr();
+                tlb_frames[slot]
+            } else {
+                tlb_misses.incr();
+                let f0 = space.frame_of(Addr::new(v), mem)?.phys_base().line().raw();
+                tlb_keys[slot] = key;
+                tlb_frames[slot] = f0;
+                f0
+            };
+            let chunk_line0 = frame_line0 + (v % PAGE) / LINE;
             let nlines = (chunk_last - v) / LINE + 1;
             stats.line_accesses += nlines;
             if *batch_fast {
@@ -698,42 +977,46 @@ impl Machine {
         let AccessEngine::Batched(sh) = engine else {
             unreachable!("the batch pipeline requires the batched engine")
         };
-        sh.resolve(*intra_threads);
         let lat = &profile.latency;
         if *batch_fast {
             // Aggregate merge. With no tracer, provenance, injector, or
             // endurance (checked in `stage_begin`), every per-line merge
-            // effect is an order-insensitive counter sum, so outcomes are
-            // consumed shard-major (each shard's arrays stream through the
-            // host cache once) and each context's clock advances once by
-            // its accumulated total — bit-identical end state to the
-            // submission-order walk below.
+            // effect is an order-insensitive counter sum, so shards resolve
+            // straight into per-context hit counts plus a memory-fill list
+            // (one pass over each queue instead of resolve-then-re-walk)
+            // and each context's clock advances once by its accumulated
+            // total — bit-identical end state to the submission-order walk
+            // below.
+            sh.resolve_aggregate(*intra_threads);
             batch_cycles.clear();
             batch_cycles.resize(clocks.len(), Cycles::ZERO);
             let remote_cost = lat.local_fill + profile.qpi.transfer_cost(1);
-            sh.drain_lines(|ctx, line, level| {
-                batch_cycles[ctx] += match level {
+            sh.drain_fills(|ctx, line| {
+                mem.record_line_access(line, AccessKind::Read);
+                batch_cycles[ctx] += if mem.socket_of_line(line) == SocketId::DRAM {
+                    stats.local_fills += 1;
+                    lat.local_fill
+                } else {
+                    stats.remote_fills += 1;
+                    qpi_lines.incr();
+                    // Keep the aggregate-trace countdown in the same state
+                    // the scalar path would leave it (the tracer itself is
+                    // off).
+                    *qpi_pending += 1;
+                    if *qpi_pending >= QPI_TRACE_BATCH {
+                        *qpi_pending = 0;
+                    }
+                    remote_cost
+                };
+            });
+            sh.drain_counts(|ctx, level, n| {
+                // Memory-level lines were already costed per fill above.
+                let per = match level {
                     HitLevel::L2 => lat.l2_hit,
                     HitLevel::Llc => lat.llc_hit,
-                    HitLevel::Memory => {
-                        mem.record_line_access(line, AccessKind::Read);
-                        if mem.socket_of_line(line) == SocketId::DRAM {
-                            stats.local_fills += 1;
-                            lat.local_fill
-                        } else {
-                            stats.remote_fills += 1;
-                            qpi_lines.incr();
-                            // Keep the aggregate-trace countdown in the
-                            // same state the scalar path would leave it
-                            // (the tracer itself is off).
-                            *qpi_pending += 1;
-                            if *qpi_pending >= QPI_TRACE_BATCH {
-                                *qpi_pending = 0;
-                            }
-                            remote_cost
-                        }
-                    }
+                    HitLevel::Memory => Cycles::ZERO,
                 };
+                batch_cycles[ctx] += Cycles::new(per.raw() * n);
             });
             sh.drain_writebacks(|wb, _| {
                 mem.record_line_access(wb, AccessKind::Write);
@@ -743,6 +1026,7 @@ impl Machine {
             }
             return;
         }
+        sh.resolve(*intra_threads);
         for (&raw, &ctx) in batch_lines.iter().zip(batch_ctx.iter()) {
             let line = LineAddr::new(raw);
             let clock = &mut clocks[ctx as usize];
@@ -828,6 +1112,7 @@ impl Machine {
                     self.mem.free_frame(new)?;
                     continue;
                 }
+                self.tlb_flush();
                 self.pages_remapped += remapped;
                 self.mem.heat_on_remap(old, new);
                 let old_line0 = old.phys_base().line().raw();
@@ -872,6 +1157,8 @@ impl Machine {
     /// has no free frame (the caller may demote something first and
     /// retry), and propagates internal invariant violations.
     pub fn migrate_frame(&mut self, old: PageNum, to: SocketId) -> Result<Option<PageNum>> {
+        // Pending traffic must hit the page at its current frame.
+        self.sync_submissions()?;
         let from = self.mem.socket_of_frame(old);
         if from == to {
             return Ok(None);
@@ -889,6 +1176,7 @@ impl Machine {
             self.mem.free_frame(new)?;
             return Ok(None);
         }
+        self.tlb_flush();
         let lines_per_page = (PAGE_SIZE / CACHE_LINE) as u64;
         let old_line0 = old.phys_base().line().raw();
         let new_line0 = new.phys_base().line().raw();
@@ -944,6 +1232,10 @@ impl Machine {
 
     /// Closes the heat-sampling epoch (per-page deltas restart at zero).
     pub fn reset_page_heat_epoch(&mut self) {
+        debug_assert!(
+            self.sub_addr.is_empty(),
+            "sync_submissions before closing a heat epoch"
+        );
         self.mem.reset_page_heat_epoch();
     }
 
@@ -985,6 +1277,10 @@ impl Machine {
     /// Synchronizes all context clocks to the latest one (the barrier that
     /// multiprogrammed instances hit before the measured iteration).
     pub fn barrier(&mut self) {
+        debug_assert!(
+            self.sub_addr.is_empty(),
+            "sync_submissions before a clock barrier"
+        );
         let latest = self.elapsed();
         for c in &mut self.clocks {
             c.sync_to(latest);
@@ -999,6 +1295,7 @@ impl Machine {
     /// Returns [`HemuError::WornOut`] if the write-backs wear out a PCM
     /// line and no healthy frame is left to remap the page to.
     pub fn flush_caches(&mut self) -> Result<()> {
+        self.sync_submissions()?;
         {
             let Machine {
                 mem, engine, prov, ..
@@ -1051,12 +1348,22 @@ impl Machine {
     /// Enables PCM endurance modeling: per-line write budgets, frame
     /// retirement, and transparent page remapping. Implies wear tracking.
     pub fn enable_endurance(&mut self, cfg: EnduranceConfig) {
+        debug_assert!(
+            self.sub_addr.is_empty(),
+            "sync_submissions before enabling endurance"
+        );
         self.mem.enable_endurance(cfg);
+        self.recompute_defer();
     }
 
     /// Installs a deterministic fault injector executing `plan`.
     pub fn install_faults(&mut self, plan: FaultPlan) {
+        debug_assert!(
+            self.sub_addr.is_empty(),
+            "sync_submissions before installing faults"
+        );
         self.mem.set_fault_injector(FaultInjector::new(plan));
+        self.recompute_defer();
     }
 
     /// The installed fault injector, if any (for inspection).
@@ -1091,6 +1398,10 @@ impl Machine {
     /// This is the replay-compilation measurement protocol: run the warm-up
     /// iteration, reset, then measure the steady-state iteration.
     pub fn start_measured_iteration(&mut self) {
+        debug_assert!(
+            self.sub_addr.is_empty(),
+            "sync_submissions before resetting measurement state"
+        );
         self.mem.reset_counters();
         self.engine.reset_stats();
         self.stats = MachineStats::default();
@@ -1408,6 +1719,128 @@ mod tests {
                 .counter_value("writes.by_cause.os_migration"),
             per_page
         );
+    }
+
+    /// Drives an identical interleaved stream of small reads, writes, and
+    /// computes through `submit` on a machine in the given mode.
+    fn drive_submissions(m: &mut Machine, p: ProcId) {
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for i in 0..40_000u64 {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let addr = Addr::new((x >> 16) % (8 << 20));
+            let ctx = CtxId((i % 3) as usize);
+            let acc = if x & 1 == 0 {
+                MemoryAccess::write(addr, 8)
+            } else {
+                MemoryAccess::read(addr, 8)
+            };
+            m.submit(ctx, p, acc).unwrap();
+            if i % 64 == 0 {
+                m.compute(ctx, Cycles::new(100));
+            }
+            if i % 9_000 == 0 {
+                // A direct access mid-stream must observe prior submits.
+                m.access(ctx, p, MemoryAccess::write(Addr::new(64), 256))
+                    .unwrap();
+            }
+        }
+        m.sync_submissions().unwrap();
+    }
+
+    /// The tentpole invariant at machine level: a deferred submission
+    /// stream leaves bit-identical clocks, stats, controller counters,
+    /// cache state, and TLB counts to the scalar submission path.
+    #[test]
+    fn deferred_submission_matches_scalar_submission() {
+        let mut run = |mode: SubmitMode| {
+            let mut m = machine();
+            m.set_submit_mode(mode);
+            let p = m.add_process(SocketId::PCM);
+            drive_submissions(&mut m, p);
+            m.flush_caches().unwrap();
+            (
+                (0..3).map(|c| m.clock(CtxId(c)).now()).collect::<Vec<_>>(),
+                *m.stats(),
+                m.pcm_writes(),
+                m.socket_reads(SocketId::PCM),
+                m.llc_stats(),
+                m.obs().metrics.counter_value("qpi.lines"),
+                m.obs().metrics.counter_value("tlb.hits"),
+                m.obs().metrics.counter_value("tlb.misses"),
+            )
+        };
+        let deferred = run(SubmitMode::Deferred);
+        let scalar = run(SubmitMode::Scalar);
+        assert_eq!(deferred, scalar);
+        assert!(deferred.6 > 0, "the stream re-uses pages: TLB hits exist");
+    }
+
+    /// Deferral auto-disables while an order-sensitive observer is active
+    /// and re-enables when it goes away.
+    #[test]
+    fn deferral_gates_on_order_observers() {
+        let mut m = machine();
+        m.set_submit_mode(SubmitMode::Deferred);
+        assert!(m.submit_deferred());
+        m.enable_profiling();
+        assert!(!m.submit_deferred(), "provenance observes per-line order");
+        let mut m2 = machine();
+        m2.set_submit_mode(SubmitMode::Deferred);
+        m2.set_access_path(AccessPath::Scalar);
+        assert!(!m2.submit_deferred(), "deferral needs the batch pipeline");
+        let mut m3 = machine();
+        m3.set_submit_mode(SubmitMode::Deferred);
+        m3.enable_endurance(EnduranceConfig::default());
+        assert!(!m3.submit_deferred(), "endurance observes ordering");
+        // Scalar-mode submit is exactly access.
+        let mut m4 = machine();
+        assert_eq!(m4.submit_mode(), SubmitMode::Scalar);
+        let p = m4.add_process(SocketId::DRAM);
+        m4.submit(CtxId(0), p, MemoryAccess::read(Addr::new(0), 64))
+            .unwrap();
+        assert_eq!(m4.stats().line_accesses, 1, "resolved immediately");
+    }
+
+    /// The buffer flushes on its own once it holds enough lines, without
+    /// waiting for a semantic sync point.
+    #[test]
+    fn submissions_auto_flush_at_the_line_threshold() {
+        let mut m = machine();
+        m.set_submit_mode(SubmitMode::Deferred);
+        let p = m.add_process(SocketId::DRAM);
+        for i in 0..SUBMIT_FLUSH_LINES {
+            m.submit(CtxId(0), p, MemoryAccess::write(Addr::new(i * 64), 8))
+                .unwrap();
+        }
+        assert!(
+            m.stats().line_accesses > 0,
+            "the threshold flush resolved the buffer"
+        );
+    }
+
+    /// Page migration invalidates the mini-TLB, so later accesses observe
+    /// the new frame (and the flush is counted).
+    #[test]
+    fn migration_flushes_the_mini_tlb() {
+        let mut m = machine();
+        let p = m.add_process(SocketId::PCM);
+        m.access(CtxId(0), p, MemoryAccess::write(Addr::new(0x7000), 64))
+            .unwrap();
+        let old = m
+            .address_space(p)
+            .translate_existing(Addr::new(0x7000))
+            .unwrap()
+            .frame();
+        m.migrate_frame(old, SocketId::DRAM).unwrap().unwrap();
+        assert!(m.obs().metrics.counter_value("tlb.flushes") > 0);
+        // Post-migration traffic lands on DRAM: the stale PCM translation
+        // is gone.
+        let before = m.stats().local_fills;
+        m.access(CtxId(0), p, MemoryAccess::read(Addr::new(0x7040), 64))
+            .unwrap();
+        assert_eq!(m.stats().local_fills, before + 1);
     }
 
     #[test]

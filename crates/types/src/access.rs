@@ -53,6 +53,57 @@ impl fmt::Display for AccessPath {
     }
 }
 
+/// How the runtime layers hand their memory traffic to the machine.
+///
+/// Under `Deferred`, word-sized operations append to the machine's
+/// submission buffer and flush through the batch pipeline at semantic
+/// boundaries; under `Scalar`, every `Machine::submit` resolves
+/// immediately, exactly like a direct `Machine::access` call. Both modes
+/// produce byte-identical run artifacts (the deferred flush is only taken
+/// when no order-sensitive observer is active); the choice only affects
+/// wall-clock throughput, `Scalar` being kept as the executable
+/// specification deferral is verified against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SubmitMode {
+    /// Buffer submissions and flush them in batches (the fast default).
+    #[default]
+    Deferred,
+    /// Resolve every submission immediately (the reference behavior).
+    Scalar,
+}
+
+impl SubmitMode {
+    /// Stable lower-case name used in flags and bench results.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SubmitMode::Deferred => "deferred",
+            SubmitMode::Scalar => "scalar",
+        }
+    }
+
+    /// Parses a `--submit` flag value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HemuError::InvalidConfig`] for anything but `deferred` or
+    /// `scalar`.
+    pub fn parse(s: &str) -> Result<SubmitMode> {
+        match s.trim() {
+            "deferred" => Ok(SubmitMode::Deferred),
+            "scalar" => Ok(SubmitMode::Scalar),
+            other => Err(HemuError::InvalidConfig(format!(
+                "unknown submit mode `{other}` (expected deferred or scalar)"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for SubmitMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Whether an access reads or writes memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {

@@ -256,4 +256,89 @@ fn main() {
         secs * 1e3,
         stream.len() as f64 / secs / 1e6
     );
+
+    // 4. full-run stage breakdown: one real experiment end to end, wall
+    // time attributed to workload generation, mutator/heap, GC, and
+    // report export, so the next Amdahl bottleneck is visible at run
+    // (not kernel) granularity. GC vs mutator shares come from the span
+    // recorder's host wall durations (never exported into artifacts —
+    // this is exactly the ad-hoc host profiling they exist for).
+    {
+        use hemu::core::Experiment;
+        use hemu::heap::CollectorKind;
+        use hemu::workloads::WorkloadSpec;
+        use hemu_obs::json::ToJson;
+        use hemu_types::SubmitMode;
+
+        let spec = WorkloadSpec::by_name("fop").expect("registry");
+
+        // Workload generation alone: dataset + object-graph construction.
+        let t0 = Instant::now();
+        let _workload = spec.instantiate(42);
+        let gen_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Full run, both submission modes: the deferred-vs-scalar delta is
+        // the submission layer's contribution.
+        let t0 = Instant::now();
+        let report = Experiment::new(spec)
+            .collector(CollectorKind::KgN)
+            .submit_mode(SubmitMode::Deferred)
+            .run()
+            .expect("deferred run");
+        let deferred_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        Experiment::new(spec)
+            .collector(CollectorKind::KgN)
+            .submit_mode(SubmitMode::Scalar)
+            .run()
+            .expect("scalar run");
+        let scalar_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Report export (serialization) cost, amortized over repeats.
+        let t0 = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..100 {
+            let mut s = String::new();
+            report.write_json(&mut s);
+            sink += s.len();
+        }
+        let export_ms = t0.elapsed().as_secs_f64() * 1e3 / 100.0;
+
+        // Profiled run: span wall durations split the measured iteration
+        // into GC and mutator/heap time. Profiling activates provenance,
+        // which gates deferral off, so the split describes the scalar
+        // path; shares still locate the bottleneck.
+        let arts = Experiment::new(spec)
+            .collector(CollectorKind::KgN)
+            .profiling()
+            .run_full()
+            .expect("profiled run");
+        let iter_ns: u64 = arts
+            .spans
+            .iter()
+            .filter(|s| s.name == "iteration")
+            .map(|s| s.wall_nanos)
+            .sum();
+        let gc_ns: u64 = arts
+            .spans
+            .iter()
+            .filter(|s| matches!(s.name, "minor" | "minor_observer" | "full"))
+            .map(|s| s.wall_nanos)
+            .sum();
+        let gc_share = gc_ns as f64 / iter_ns.max(1) as f64;
+
+        println!("\nfull run ({} / KG-N):", spec.name);
+        println!("  workload gen:       {gen_ms:>8.1} ms");
+        println!("  run (deferred):     {deferred_ms:>8.1} ms");
+        println!(
+            "  run (scalar):       {scalar_ms:>8.1} ms   (submission layer saves {:.1}%)",
+            100.0 * (1.0 - deferred_ms / scalar_ms.max(1e-9))
+        );
+        println!(
+            "  gc share:           {:>8.1} %    (of measured iteration, profiled run; mutator/heap+cache = {:.1}%)",
+            gc_share * 100.0,
+            (1.0 - gc_share) * 100.0
+        );
+        println!("  report export:      {export_ms:>8.2} ms   ({sink} B over 100 reps)");
+    }
 }

@@ -102,8 +102,25 @@ for f in crates/bench/src/harness.rs crates/bench/src/perf.rs \
   fi
 done
 
-echo "== perf gate: access kernel within 20% of the checked-in baseline =="
+echo "== submission smoke: deferred and scalar artifacts are byte-identical =="
+for jobs in 1 4; do
+  ./target/release/repro smoke --scale quick --jobs "$jobs" --submit scalar \
+    --json-out "$smoke_dir/sub-scalar-j$jobs"
+  ./target/release/repro smoke --scale quick --jobs "$jobs" --submit deferred \
+    --json-out "$smoke_dir/sub-deferred-j$jobs"
+  diff -r "$smoke_dir/sub-scalar-j$jobs" "$smoke_dir/sub-deferred-j$jobs"
+done
+# Deferral must also fall back cleanly when a fault plan is active.
+./target/release/repro fig3 --scale quick --faults smoke --submit scalar \
+  --run-deadline 300 --json-out "$smoke_dir/sub-scalar-faulted"
+./target/release/repro fig3 --scale quick --faults smoke --submit deferred \
+  --run-deadline 300 --json-out "$smoke_dir/sub-deferred-faulted"
+diff -r "$smoke_dir/sub-scalar-faulted" "$smoke_dir/sub-deferred-faulted"
+
+echo "== perf gate: kernel + smoke-sweep throughput within 20% of the checked-in baseline =="
 ./target/release/repro --bench --jobs 4 --bench-out "$smoke_dir/bench.json" \
   --bench-baseline BENCH_results.json
+grep -q '"schema":"hemu-bench-results/3"' "$smoke_dir/bench.json"
+grep -q '"runs_per_sec"' "$smoke_dir/bench.json"
 
 echo "CI OK"
