@@ -7,8 +7,8 @@
 //! ```
 //!
 //! Targets: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 table3 os
-//! write_breakdown all` (plus `smoke`, a tiny 6-run sanity sweep used by
-//! the CI crash-safety smoke).
+//! consolidate write_breakdown all` (plus `smoke`, a tiny 6-run sanity
+//! sweep used by the CI crash-safety smoke).
 //! `--quick` (or `--scale quick`) restricts DaCapo to the seven-benchmark
 //! §V subset.
 //! `--json-out <dir>` writes one `<run>.json` per executed experiment plus
@@ -39,6 +39,14 @@
 //! Failed runs are recorded in `runs.json` with their status and cause
 //! while the sweep completes; the exit code is non-zero iff any run
 //! ultimately failed.
+//!
+//! Consolidation flags (the `consolidate` target; see `EXPERIMENTS.md`):
+//! `--tenants N` sets the sweep's maximum tenant density (default: 8 at
+//! quick scale, 64 at full scale); `--mix dacapo|pjbb|graphchi|mixed`
+//! picks the workload roster tenants round-robin over (default: mixed);
+//! `--slice N` sets the scheduler's virtual-time slice in workload steps
+//! per tenant turn (default: 64). Per-tenant write attribution lands in
+//! each report's `consolidation` block and `*.tenant.<id>.*` metrics.
 //!
 //! OS-baseline flags (the `os` target; see `docs/observability.md` and
 //! `EXPERIMENTS.md`): `--os-policy dram-first,pcm-first,hot-cold` selects
@@ -115,6 +123,9 @@ fn main() {
     let bench_out = take_value_flag(&mut args, "--bench-out");
     let bench_baseline = take_value_flag(&mut args, "--bench-baseline");
     let bench = take_bool_flag(&mut args, "--bench");
+    let tenants_flag = take_value_flag(&mut args, "--tenants");
+    let mix_flag = take_value_flag(&mut args, "--mix");
+    let slice_flag = take_value_flag(&mut args, "--slice");
     let access_path_flag = take_value_flag(&mut args, "--access-path");
     let intra_threads_flag = take_value_flag(&mut args, "--intra-threads");
     let access_path = match access_path_flag.as_deref() {
@@ -194,6 +205,44 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let mix = match mix_flag.as_deref() {
+        None => hemu_tenant::Mix::Mixed,
+        Some(s) => match hemu_tenant::Mix::parse(s) {
+            Some(m) => m,
+            None => {
+                eprintln!("--mix: expected dacapo|pjbb|graphchi|mixed, got `{s}`");
+                std::process::exit(2);
+            }
+        },
+    };
+    // Full-scale sweeps go past LLC saturation (the interesting knee);
+    // quick keeps CI cheap while still showing the contention trend.
+    let max_tenants = match tenants_flag.as_deref() {
+        None => {
+            if quick {
+                8
+            } else {
+                64
+            }
+        }
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if (1..=255).contains(&n) => n,
+            _ => {
+                eprintln!("--tenants: expected a tenant count in 1..=255, got `{s}`");
+                std::process::exit(2);
+            }
+        },
+    };
+    let slice = match slice_flag.as_deref() {
+        None => 64,
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--slice: expected a positive number of steps, got `{s}`");
+                std::process::exit(2);
+            }
+        },
+    };
     let mut targets: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -211,6 +260,7 @@ fn main() {
             "table3",
             "fig8",
             "os",
+            "consolidate",
             "ablations",
             "write_breakdown",
         ];
@@ -369,6 +419,9 @@ fn main() {
             "fig8" => h.run_planned(experiments::fig8),
             "table3" => h.run_planned(experiments::table3),
             "os" => h.run_planned(|h| experiments::os_baseline(h, &os_policies)),
+            "consolidate" => {
+                h.run_planned(|h| experiments::consolidation(h, mix, slice, max_tenants))
+            }
             "ablations" => experiments::ablations(),
             "write_breakdown" => experiments::write_breakdown(h.os_tuning(), &os_policies),
             s if s.starts_with("series:") => {

@@ -891,6 +891,92 @@ pub fn smoke(h: &mut Harness) -> Result<String> {
     ))
 }
 
+/// Consolidation density sweep: N tenants from `mix` co-scheduled onto the
+/// shared emulated machine, N doubling from 1 (the normalization baseline)
+/// up to `max_tenants`. The figure plots normalized PCM writes *per
+/// tenant* against density: flat while the tenants' combined hot sets fit
+/// the shared LLC, then super-linear once the LLC saturates and every
+/// tenant's evictions start landing on the PCM controller.
+///
+/// # Errors
+///
+/// Propagates experiment failures only when *every* density fails; a
+/// partially failed sweep renders `FAIL` rows.
+pub fn consolidation(
+    h: &mut Harness,
+    mix: hemu_tenant::Mix,
+    slice: u64,
+    max_tenants: usize,
+) -> Result<String> {
+    let mut densities = Vec::new();
+    let mut n = 1usize;
+    while n < max_tenants {
+        densities.push(n);
+        n *= 2;
+    }
+    densities.push(max_tenants.max(1));
+    densities.dedup();
+
+    let mut rows = vec![vec![
+        "Tenants".to_string(),
+        "PCM writes".to_string(),
+        "PCM lines/tenant".to_string(),
+        "x 1 tenant".to_string(),
+        "Unattributed".to_string(),
+    ]];
+    let mut baseline: Option<f64> = None;
+    let mut any_ok = false;
+    for &tenants in &densities {
+        let report = h.run_consolidated_opt(
+            mix,
+            tenants,
+            slice,
+            CollectorKind::PcmOnly,
+            Profile::Emulation,
+        );
+        match report.as_ref().and_then(|r| r.consolidation.as_ref()) {
+            Some(c) => {
+                any_ok = true;
+                let per_tenant = c.pcm_lines_per_tenant();
+                if baseline.is_none() && per_tenant > 0.0 {
+                    baseline = Some(per_tenant);
+                }
+                let norm = baseline
+                    .map(|b| ratio(per_tenant / b))
+                    .unwrap_or_else(|| "-".into());
+                rows.push(vec![
+                    tenants.to_string(),
+                    report
+                        .as_ref()
+                        .map(|r| r.pcm_writes.to_string())
+                        .unwrap_or_default(),
+                    format!("{per_tenant:.0}"),
+                    norm,
+                    (c.unattributed_pcm_lines + c.unattributed_dram_lines).to_string(),
+                ]);
+            }
+            None => rows.push(vec![
+                tenants.to_string(),
+                "FAIL".into(),
+                "FAIL".into(),
+                "FAIL".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    if !any_ok {
+        return Err(hemu_types::HemuError::InvalidConfig(format!(
+            "every density of the {mix} consolidation sweep failed"
+        )));
+    }
+    Ok(format!(
+        "Consolidation: normalized PCM writes per tenant vs density ({mix} mix,\n\
+         slice {slice}, PCM-Only; expect ~flat while the combined hot set fits the\n\
+         shared LLC, then super-linear growth once it saturates)\n\n{}",
+        table(&rows)
+    ))
+}
+
 fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;

@@ -516,6 +516,7 @@ impl Harness {
                     manager,
                     instances,
                     profile,
+                    consolidation: None,
                 });
             }
             return Err(HemuError::Deferred { key });
@@ -535,9 +536,102 @@ impl Harness {
             manager,
             instances,
             profile,
+            consolidation: None,
         };
         let sr = executor::run_job(&job, &ctx);
         self.commit(key, sr)
+    }
+
+    /// Runs (or fetches) one multi-tenant consolidation: `tenants`
+    /// workloads from `mix`, slice-scheduled onto the profile's hardware
+    /// contexts. Rides the exact same memoization, planning, staging,
+    /// journaling, and export machinery as [`Harness::run`] — the run key
+    /// (`mix@tenants|manager|sliceN|profile`) doubles as the progress
+    /// label, so consolidated runs report as `mixed@16`-style entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the run's terminal error, exactly like [`Harness::run`].
+    pub fn run_consolidated(
+        &mut self,
+        mix: hemu_tenant::Mix,
+        tenants: usize,
+        slice: u64,
+        manager: impl Into<Manager>,
+        profile: Profile,
+    ) -> Result<RunReport> {
+        let manager = manager.into();
+        let key = format!(
+            "{mix}@{tenants}|{}|slice{slice}|{profile:?}",
+            manager.name()
+        );
+        if let Some(r) = self.cache.get(&key) {
+            return Ok(r.clone());
+        }
+        if let Some(e) = self.failed.get(&key) {
+            return Err(e.clone());
+        }
+        // The spec field is a roster placeholder: consolidated jobs build
+        // their workloads from the mix, never from it.
+        let spec = WorkloadSpec::by_name(mix.roster()[0]).expect("mix rosters resolve");
+        let consolidation = Some(crate::executor::ConsolidationJob {
+            mix,
+            tenants,
+            slice,
+        });
+        if self.planning {
+            if let Some(rr) = self.restored.get(&key) {
+                return Ok(rr.report.clone());
+            }
+            if let Some(sr) = self.staged.get(&key) {
+                return match &sr.outcome {
+                    Ok(arts) => Ok(arts.report.clone()),
+                    Err(e) => Err(e.clone()),
+                };
+            }
+            if self.pending_set.insert(key.clone()) {
+                self.pending.push(JobSpec {
+                    key: key.clone(),
+                    spec,
+                    manager,
+                    instances: tenants,
+                    profile,
+                    consolidation,
+                });
+            }
+            return Err(HemuError::Deferred { key });
+        }
+        if let Some(rr) = self.restored.remove(&key) {
+            return self.commit_restored(key, rr);
+        }
+        if let Some(sr) = self.staged.remove(&key) {
+            return self.commit(key, sr);
+        }
+        let ctx = self.exec_ctx();
+        let job = JobSpec {
+            key: key.clone(),
+            spec,
+            manager,
+            instances: tenants,
+            profile,
+            consolidation,
+        };
+        let sr = executor::run_job(&job, &ctx);
+        self.commit(key, sr)
+    }
+
+    /// Like [`Harness::run_consolidated`], but a terminal failure yields
+    /// `None` so density sweeps degrade to partial figures.
+    pub fn run_consolidated_opt(
+        &mut self,
+        mix: hemu_tenant::Mix,
+        tenants: usize,
+        slice: u64,
+        manager: impl Into<Manager>,
+        profile: Profile,
+    ) -> Option<RunReport> {
+        self.run_consolidated(mix, tenants, slice, manager, profile)
+            .ok()
     }
 
     /// Renders a figure with parallel prefetching when `--jobs N > 1`:

@@ -50,6 +50,10 @@ const SWEEP_APPS: [&str; 3] = ["avrora", "fop", "luindex"];
 /// Collector configurations crossed with [`SWEEP_APPS`] (6 runs total).
 const SWEEP_COLLECTORS: [CollectorKind; 2] = [CollectorKind::PcmOnly, CollectorKind::KgN];
 
+/// Tenant density of the consolidated run the sweep appends (7th run), so
+/// the bench gate also covers the co-scheduling path end to end.
+const SWEEP_TENANTS: usize = 2;
+
 /// Access-kernel measurement.
 #[derive(Debug, Clone, Copy)]
 pub struct KernelResult {
@@ -94,6 +98,8 @@ pub struct SweepResult {
     pub run_p95_seconds: f64,
     /// Intra-run batch-resolution threads each run used.
     pub intra_threads: usize,
+    /// Tenant density of the sweep's consolidated run.
+    pub tenants: usize,
 }
 
 impl ToJson for SweepResult {
@@ -105,7 +111,8 @@ impl ToJson for SweepResult {
             .field("run_p50_seconds", &self.run_p50_seconds)
             .field("run_p95_seconds", &self.run_p95_seconds)
             .field("intra_threads", &self.intra_threads)
-            .field("submit_mode", self.submit_mode.name());
+            .field("submit_mode", self.submit_mode.name())
+            .field("tenants", &self.tenants);
         obj.finish();
     }
 }
@@ -181,7 +188,9 @@ pub fn bench_kernel(intra_threads: usize) -> Result<KernelResult> {
     })
 }
 
-/// Times a fixed six-run sweep through the harness at `jobs` width.
+/// Times a fixed seven-run sweep through the harness at `jobs` width:
+/// [`SWEEP_APPS`] × [`SWEEP_COLLECTORS`] plus one [`SWEEP_TENANTS`]-tenant
+/// consolidated run.
 ///
 /// # Errors
 ///
@@ -208,6 +217,13 @@ pub fn bench_sweep(
                 let _ = h.run_opt(spec, collector, 1, Profile::Emulation);
             }
         }
+        let _ = h.run_consolidated_opt(
+            hemu_tenant::Mix::Dacapo,
+            SWEEP_TENANTS,
+            64,
+            CollectorKind::PcmOnly,
+            Profile::Emulation,
+        );
         Ok(String::new())
     })?;
     if h.failed_count() > 0 {
@@ -232,6 +248,7 @@ pub fn bench_sweep(
         run_p50_seconds: quantile(&wall, 0.50),
         run_p95_seconds: quantile(&wall, 0.95),
         intra_threads: h.intra_threads(),
+        tenants: SWEEP_TENANTS,
     })
 }
 
@@ -269,14 +286,14 @@ pub fn run_bench(
     let sweep = bench_sweep(jobs, intra_threads, submit_mode)?;
     let wall_seconds = t0.elapsed().as_secs_f64();
 
-    // Schema 3 adds sweep.submit_mode and extends the regression gate to
-    // the sweep's run throughput. The gate reads the first occurrence of
-    // each field name, so older baselines keep gating newer results files
-    // (a baseline without `runs_per_sec` simply skips that gate) during
-    // transitions.
+    // Schema 4 adds sweep.tenants (the consolidated run's density). The
+    // gate reads only the first occurrence of accesses_per_sec and
+    // runs_per_sec, so older-schema baselines keep gating newer results
+    // files (a baseline without `runs_per_sec` simply skips that gate)
+    // during transitions.
     let mut text = String::new();
     let mut obj = JsonObject::new(&mut text);
-    obj.field("schema", "hemu-bench-results/3")
+    obj.field("schema", "hemu-bench-results/4")
         .field("jobs", &jobs)
         .field("kernel", &kernel)
         .field("sweep", &sweep)

@@ -394,6 +394,135 @@ fn os_policy_sweep_deferred_matches_scalar() {
     assert_identical(&scalar, &deferred);
 }
 
+/// A consolidation sweep: two tenant densities of the DaCapo mix
+/// co-scheduled on shared hardware, rendering per-density PCM totals and
+/// the per-tenant attribution the consolidation block carries.
+fn tenant_sweep(h: &mut Harness) -> Result<String> {
+    let mut out = String::new();
+    for tenants in [2usize, 3] {
+        if let Some(r) = h.run_consolidated_opt(
+            hemu_tenant::Mix::Dacapo,
+            tenants,
+            32,
+            CollectorKind::PcmOnly,
+            Profile::Emulation,
+        ) {
+            let c = r.consolidation.expect("consolidated run carries the block");
+            let shares: Vec<String> = c
+                .per_tenant
+                .iter()
+                .map(|t| format!("{}:{}", t.workload, t.pcm_write_lines))
+                .collect();
+            out.push_str(&format!(
+                "dacapo@{tenants} pcm={} unattributed={} [{}]\n",
+                r.pcm_writes,
+                c.unattributed_pcm_lines,
+                shares.join(" ")
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the tenant sweep end to end and collects every exported artifact.
+fn tenant_artifacts(
+    dir: &Path,
+    jobs: usize,
+    intra: usize,
+    faults: Option<FaultPlan>,
+    submit: SubmitMode,
+) -> (String, BTreeMap<String, String>) {
+    let mut h = Harness::new(Scale::Quick);
+    h.set_jobs(jobs);
+    h.set_intra_threads(intra);
+    h.set_submit_mode(submit);
+    h.set_reporter(Reporter::to_writer(Box::new(std::io::sink())));
+    h.set_json_dir(dir).expect("create json dir");
+    h.set_trace_out(dir.join("trace.jsonl")).expect("trace out");
+    if let Some(plan) = faults {
+        h.set_fault_plan(plan);
+    }
+    let text = h.run_planned(tenant_sweep).expect("sweep renders");
+    h.finalize_exports().expect("finalize");
+
+    let mut files = BTreeMap::new();
+    for entry in fs::read_dir(dir).expect("read dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let content = fs::read_to_string(entry.path()).expect("read artifact");
+        files.insert(name, content);
+    }
+    (text, files)
+}
+
+/// Consolidated sweeps are byte-identical across `--jobs` {1, 4} ×
+/// `--intra-threads` {1, 4}: the slice scheduler runs in virtual time, so
+/// neither executor width nor shard-resolution width can reorder tenant
+/// turns or write attribution.
+#[test]
+fn tenant_sweep_is_byte_identical_across_jobs_and_intra() {
+    let base = tenant_artifacts(&tmp_dir("det-ten-base"), 1, 1, None, SubmitMode::default());
+    for (jobs, intra) in [(1, 4), (4, 1), (4, 4)] {
+        let name = format!("det-ten-j{jobs}-t{intra}");
+        let got = tenant_artifacts(&tmp_dir(&name), jobs, intra, None, SubmitMode::default());
+        assert_identical(&base, &got);
+    }
+    assert!(
+        base.0.contains("dacapo@2") && base.0.contains("dacapo@3"),
+        "both densities rendered: {}",
+        base.0
+    );
+    assert!(
+        base.1["runs.json"].contains("\"consolidation\":{\"mix\":\"dacapo\""),
+        "runs.json carries the consolidation block"
+    );
+    assert!(
+        base.1["runs.json"].contains("\"unattributed_pcm_lines\":0"),
+        "per-tenant attribution is complete"
+    );
+}
+
+/// The same guarantee with a fault plan scoped to the density-2 run:
+/// deterministic injected failures, retries, and the surviving density-3
+/// run must not depend on either parallelism axis.
+#[test]
+fn faulted_tenant_sweep_is_byte_identical() {
+    let plan = FaultPlan {
+        seed: 3,
+        frame_alloc_p: 0.5,
+        only: Some("dacapo@2".into()),
+        ..FaultPlan::none()
+    };
+    let base = tenant_artifacts(
+        &tmp_dir("det-ften-base"),
+        1,
+        1,
+        Some(plan.clone()),
+        SubmitMode::default(),
+    );
+    let par = tenant_artifacts(
+        &tmp_dir("det-ften-par"),
+        4,
+        4,
+        Some(plan),
+        SubmitMode::default(),
+    );
+    assert_identical(&base, &par);
+}
+
+/// Deferred vs scalar submission for consolidated runs: slice boundaries
+/// are semantic flush points, so buffering tenant traffic through the
+/// batch pipeline must reproduce the per-call scalar reference exactly.
+#[test]
+fn tenant_sweep_deferred_matches_scalar() {
+    let scalar = tenant_artifacts(&tmp_dir("det-ten-sub-s"), 1, 1, None, SubmitMode::Scalar);
+    for (jobs, intra) in [(1, 4), (4, 1)] {
+        let name = format!("det-ten-sub-d-j{jobs}-t{intra}");
+        let got = tenant_artifacts(&tmp_dir(&name), jobs, intra, None, SubmitMode::Deferred);
+        assert_identical(&scalar, &got);
+    }
+}
+
 /// Widths beyond the job count (and odd widths) change nothing either.
 #[test]
 fn oversized_pool_is_byte_identical() {

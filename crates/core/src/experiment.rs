@@ -465,6 +465,7 @@ impl Experiment {
             gc_pause_histogram,
             os_paging: os_mgr.as_ref().map(OsPageManager::stats),
             provenance,
+            consolidation: None,
         };
         Ok(RunArtifacts {
             report,

@@ -40,5 +40,8 @@ pub mod restore;
 pub use experiment::{Experiment, RunArtifacts};
 pub use lifetime::{lifetime_years, LifetimeModel};
 pub use monitor::{RateSample, WriteRateMonitor};
-pub use report::{EnduranceSummary, PageWear, ProvenanceSummary, RunReport, WearSummary};
+pub use report::{
+    ConsolidationSummary, EnduranceSummary, PageWear, ProvenanceSummary, RunReport, TenantShare,
+    WearSummary,
+};
 pub use restore::restore_run_report;

@@ -60,6 +60,81 @@ pub struct RunReport {
     /// Write-provenance breakdown (present when the experiment enabled
     /// profiling).
     pub provenance: Option<ProvenanceSummary>,
+    /// Per-tenant write shares (present when the run co-scheduled
+    /// multiple tenants via `hemu-tenant`).
+    pub consolidation: Option<ConsolidationSummary>,
+}
+
+/// Per-tenant attribution of a consolidated (multi-tenant) run: who wrote
+/// how much at each memory controller, plus enough per-tenant GC/OS
+/// context to explain the shares.
+///
+/// Tenant line counts plus the `unattributed_*` buckets sum *exactly* to
+/// the global controller counters — they are charged at the same
+/// accounting point and reset at the same instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsolidationSummary {
+    /// Workload mix name (`dacapo`, `pjbb`, `graphchi`, `mixed`).
+    pub mix: String,
+    /// Number of co-scheduled tenants (the consolidation density).
+    pub tenants: usize,
+    /// Hardware contexts the tenants were multiplexed onto.
+    pub contexts: usize,
+    /// Scheduler slice length in workload steps.
+    pub slice: u64,
+    /// PCM line writes that hit a frame no tenant owned (0 in a
+    /// well-formed run; the CI smoke greps for exactly that).
+    pub unattributed_pcm_lines: u64,
+    /// DRAM line writes that hit a frame no tenant owned.
+    pub unattributed_dram_lines: u64,
+    /// One entry per tenant, in tenant-id order.
+    pub per_tenant: Vec<TenantShare>,
+}
+
+/// One tenant's slice of a consolidated run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantShare {
+    /// Tenant id (0-based).
+    pub id: usize,
+    /// The tenant's workload display name.
+    pub workload: String,
+    /// PCM controller line writes charged to this tenant.
+    pub pcm_write_lines: u64,
+    /// DRAM controller line writes charged to this tenant.
+    pub dram_write_lines: u64,
+    /// Minor (nursery) collections the tenant ran.
+    pub minor_gcs: u64,
+    /// Full-heap collections the tenant ran.
+    pub full_gcs: u64,
+    /// Virtual cycles the tenant spent in stop-the-world pauses.
+    pub pause_cycles: u64,
+    /// Bytes the tenant allocated during the measured iteration.
+    pub allocated_bytes: u64,
+    /// Demand page faults the tenant's process took.
+    pub page_faults: u64,
+}
+
+impl ConsolidationSummary {
+    /// Total PCM line writes attributed to tenants (excludes the
+    /// unattributed bucket).
+    pub fn attributed_pcm_lines(&self) -> u64 {
+        self.per_tenant.iter().map(|t| t.pcm_write_lines).sum()
+    }
+
+    /// Total DRAM line writes attributed to tenants.
+    pub fn attributed_dram_lines(&self) -> u64 {
+        self.per_tenant.iter().map(|t| t.dram_write_lines).sum()
+    }
+
+    /// Mean PCM line writes per tenant — the consolidation figure's
+    /// y-axis before normalization.
+    pub fn pcm_lines_per_tenant(&self) -> f64 {
+        if self.per_tenant.is_empty() {
+            0.0
+        } else {
+            self.attributed_pcm_lines() as f64 / self.per_tenant.len() as f64
+        }
+    }
 }
 
 /// Per-cause / per-space attribution of the measured iteration's memory
@@ -199,6 +274,36 @@ impl ToJson for EnduranceSummary {
     }
 }
 
+impl ToJson for TenantShare {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        obj.field("id", &self.id)
+            .field("workload", &self.workload)
+            .field("pcm_write_lines", &self.pcm_write_lines)
+            .field("dram_write_lines", &self.dram_write_lines)
+            .field("minor_gcs", &self.minor_gcs)
+            .field("full_gcs", &self.full_gcs)
+            .field("pause_cycles", &self.pause_cycles)
+            .field("allocated_bytes", &self.allocated_bytes)
+            .field("page_faults", &self.page_faults);
+        obj.finish();
+    }
+}
+
+impl ToJson for ConsolidationSummary {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new(out);
+        obj.field("mix", &self.mix)
+            .field("tenants", &self.tenants)
+            .field("contexts", &self.contexts)
+            .field("slice", &self.slice)
+            .field("unattributed_pcm_lines", &self.unattributed_pcm_lines)
+            .field("unattributed_dram_lines", &self.unattributed_dram_lines)
+            .field("per_tenant", &self.per_tenant);
+        obj.finish();
+    }
+}
+
 impl ToJson for ProvenanceSummary {
     fn write_json(&self, out: &mut String) {
         fn side(out: &mut String, by_cause: &[u64], by_space: &[u64]) {
@@ -252,7 +357,8 @@ impl ToJson for RunReport {
             .field("endurance", &self.endurance)
             .field("gc_pause_histogram", &self.gc_pause_histogram)
             .field("os_paging", &self.os_paging)
-            .field("provenance", &self.provenance);
+            .field("provenance", &self.provenance)
+            .field("consolidation", &self.consolidation);
         obj.finish();
     }
 }
@@ -311,6 +417,7 @@ mod tests {
             gc_pause_histogram: None,
             os_paging: None,
             provenance: None,
+            consolidation: None,
         }
     }
 

@@ -13,7 +13,9 @@
 //! rather than silently divergent output.
 
 use crate::monitor::RateSample;
-use crate::report::{EnduranceSummary, ProvenanceSummary, RunReport, WearSummary};
+use crate::report::{
+    ConsolidationSummary, EnduranceSummary, ProvenanceSummary, RunReport, TenantShare, WearSummary,
+};
 use hemu_heap::GcStats;
 use hemu_machine::MachineStats;
 use hemu_malloc::NativeStats;
@@ -96,6 +98,7 @@ fn report_from_value(v: &JsonValue) -> Option<RunReport> {
         gc_pause_histogram: optional(v, "gc_pause_histogram", histogram_from_value)?,
         os_paging: optional(v, "os_paging", os_from_value)?,
         provenance: optional(v, "provenance", provenance_from_value)?,
+        consolidation: optional(v, "consolidation", consolidation_from_value)?,
     })
 }
 
@@ -226,6 +229,37 @@ fn provenance_from_value(v: &JsonValue) -> Option<ProvenanceSummary> {
     })
 }
 
+fn tenant_share_from_value(v: &JsonValue) -> Option<TenantShare> {
+    Some(TenantShare {
+        id: usize::try_from(get_u64(v, "id")?).ok()?,
+        workload: get_str(v, "workload")?.to_string(),
+        pcm_write_lines: get_u64(v, "pcm_write_lines")?,
+        dram_write_lines: get_u64(v, "dram_write_lines")?,
+        minor_gcs: get_u64(v, "minor_gcs")?,
+        full_gcs: get_u64(v, "full_gcs")?,
+        pause_cycles: get_u64(v, "pause_cycles")?,
+        allocated_bytes: get_u64(v, "allocated_bytes")?,
+        page_faults: get_u64(v, "page_faults")?,
+    })
+}
+
+fn consolidation_from_value(v: &JsonValue) -> Option<ConsolidationSummary> {
+    Some(ConsolidationSummary {
+        mix: get_str(v, "mix")?.to_string(),
+        tenants: usize::try_from(get_u64(v, "tenants")?).ok()?,
+        contexts: usize::try_from(get_u64(v, "contexts")?).ok()?,
+        slice: get_u64(v, "slice")?,
+        unattributed_pcm_lines: get_u64(v, "unattributed_pcm_lines")?,
+        unattributed_dram_lines: get_u64(v, "unattributed_dram_lines")?,
+        per_tenant: v
+            .get("per_tenant")?
+            .as_array()?
+            .iter()
+            .map(tenant_share_from_value)
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +358,38 @@ mod tests {
                 failed_migrations: 1,
             }),
             provenance: Some(provenance),
+            consolidation: Some(ConsolidationSummary {
+                mix: "mixed".to_string(),
+                tenants: 2,
+                contexts: 16,
+                slice: 64,
+                unattributed_pcm_lines: 0,
+                unattributed_dram_lines: 0,
+                per_tenant: vec![
+                    TenantShare {
+                        id: 0,
+                        workload: "avrora".to_string(),
+                        pcm_write_lines: 1_000,
+                        dram_write_lines: 2_000,
+                        minor_gcs: 3,
+                        full_gcs: 1,
+                        pause_cycles: 999,
+                        allocated_bytes: 1 << 24,
+                        page_faults: 512,
+                    },
+                    TenantShare {
+                        id: 1,
+                        workload: "pjbb".to_string(),
+                        pcm_write_lines: 929_012,
+                        dram_write_lines: 55,
+                        minor_gcs: 0,
+                        full_gcs: 0,
+                        pause_cycles: 0,
+                        allocated_bytes: 0,
+                        page_faults: 7,
+                    },
+                ],
+            }),
         }
     }
 
@@ -338,6 +404,7 @@ mod tests {
             gc_pause_histogram: None,
             os_paging: None,
             provenance: None,
+            consolidation: None,
             ..full_report()
         }
     }
@@ -360,6 +427,10 @@ mod tests {
             11
         );
         assert_eq!(restored.machine.line_accesses, 1 << 40);
+        let c = restored.consolidation.expect("consolidation");
+        assert_eq!(c.per_tenant.len(), 2);
+        assert_eq!(c.per_tenant[1].pcm_write_lines, 929_012);
+        assert_eq!(c.attributed_pcm_lines(), 930_012);
     }
 
     #[test]

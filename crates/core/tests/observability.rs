@@ -2,7 +2,9 @@
 //! and the JSON export must all tell the same story as the aggregate
 //! statistics.
 
-use hemu_core::{Experiment, ProvenanceSummary, RunReport, WearSummary};
+use hemu_core::{
+    ConsolidationSummary, Experiment, ProvenanceSummary, RunReport, TenantShare, WearSummary,
+};
 use hemu_heap::{CollectorKind, GcStats};
 use hemu_machine::MachineStats;
 use hemu_obs::{ToJson, TraceEvent};
@@ -184,6 +186,25 @@ fn report_json_schema_golden() {
             spans_recorded: 6,
             spans_dropped: 0,
         }),
+        consolidation: Some(ConsolidationSummary {
+            mix: "dacapo".into(),
+            tenants: 2,
+            contexts: 16,
+            slice: 64,
+            unattributed_pcm_lines: 0,
+            unattributed_dram_lines: 0,
+            per_tenant: vec![TenantShare {
+                id: 0,
+                workload: "avrora".into(),
+                pcm_write_lines: 40,
+                dram_write_lines: 40,
+                minor_gcs: 1,
+                full_gcs: 0,
+                pause_cycles: 9,
+                allocated_bytes: 4096,
+                page_faults: 3,
+            }],
+        }),
     };
     let expected = concat!(
         "{\"workload\":\"lusearch\",\"collector\":\"KG-N\",\"profile\":\"emulation\",",
@@ -212,7 +233,12 @@ fn report_json_schema_golden() {
         "\"metadata\":0,\"os_migration\":0,\"wear_remap\":0,\"other\":0},",
         "\"by_space\":{\"nursery\":0,\"observer\":0,\"mature_dram\":0,\"mature_pcm\":0,",
         "\"large\":0,\"meta\":0,\"other\":0}},",
-        "\"spans_recorded\":6,\"spans_dropped\":0}}",
+        "\"spans_recorded\":6,\"spans_dropped\":0},",
+        "\"consolidation\":{\"mix\":\"dacapo\",\"tenants\":2,\"contexts\":16,",
+        "\"slice\":64,\"unattributed_pcm_lines\":0,\"unattributed_dram_lines\":0,",
+        "\"per_tenant\":[{\"id\":0,\"workload\":\"avrora\",\"pcm_write_lines\":40,",
+        "\"dram_write_lines\":40,\"minor_gcs\":1,\"full_gcs\":0,\"pause_cycles\":9,",
+        "\"allocated_bytes\":4096,\"page_faults\":3}]}}",
     );
     assert_eq!(report.to_json(), expected);
 }

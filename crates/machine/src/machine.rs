@@ -416,6 +416,20 @@ impl Machine {
         if th + tm > 0 {
             m.gauge("tlb.hit_rate").set(th as f64 / (th + tm) as f64);
         }
+        // Per-tenant gauges only exist in consolidated runs, so the
+        // exported metric set of a single-tenant run is unchanged.
+        if let Some(t) = self.mem.tenancy() {
+            for id in 0..t.tenants() {
+                m.gauge(&format!("writes.tenant.{id}.pcm_lines"))
+                    .set(t.pcm_lines(id) as f64);
+                m.gauge(&format!("writes.tenant.{id}.dram_lines"))
+                    .set(t.dram_lines(id) as f64);
+            }
+            m.gauge("writes.tenant.unattributed.pcm_lines")
+                .set(t.unattributed_pcm() as f64);
+            m.gauge("writes.tenant.unattributed.dram_lines")
+                .set(t.unattributed_dram() as f64);
+        }
         // Wear/endurance gauges only exist when the model is on, so the
         // exported metric set of a healthy run is unchanged.
         if self.mem.endurance_enabled() {
@@ -1115,6 +1129,9 @@ impl Machine {
                 self.tlb_flush();
                 self.pages_remapped += remapped;
                 self.mem.heat_on_remap(old, new);
+                // Ownership moves before the copy, so the replacement
+                // frame's copy writes charge to the owning tenant.
+                self.mem.tenancy_on_remap(old, new);
                 let old_line0 = old.phys_base().line().raw();
                 let new_line0 = new.phys_base().line().raw();
                 for i in 0..lines_per_page {
@@ -1177,6 +1194,9 @@ impl Machine {
             return Ok(None);
         }
         self.tlb_flush();
+        // Ownership moves before the copy, so the migration's write pass
+        // over the new frame charges to the owning tenant.
+        self.mem.tenancy_on_remap(old, new);
         let lines_per_page = (PAGE_SIZE / CACHE_LINE) as u64;
         let old_line0 = old.phys_base().line().raw();
         let new_line0 = new.phys_base().line().raw();
@@ -1223,6 +1243,32 @@ impl Machine {
     /// migration). Off by default; GC-managed runs pay nothing.
     pub fn enable_page_heat(&mut self) {
         self.mem.enable_page_heat();
+    }
+
+    /// Enables per-tenant write attribution for `tenants` co-scheduled
+    /// tenants (consolidated runs). Off by default; single-tenant runs pay
+    /// nothing. Tenancy never observes per-line *order* — its counts are
+    /// order-insensitive sums over frame ownership — so unlike tracing,
+    /// provenance, fault injection, and endurance it does not disable the
+    /// aggregate batch merge or deferred submission.
+    pub fn enable_tenancy(&mut self, tenants: usize) {
+        self.mem.enable_tenancy(tenants);
+    }
+
+    /// The tenancy tracker, if per-tenant attribution is enabled.
+    pub fn tenancy(&self) -> Option<&hemu_numa::TenancyTracker> {
+        self.mem.tenancy()
+    }
+
+    /// Binds process `proc` to `tenant`: frames it demand-faults from now
+    /// on are attributed to that tenant. Call right after
+    /// [`Machine::add_process`], before the process touches memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn set_proc_tenant(&mut self, proc: ProcId, tenant: u16) {
+        self.spaces[proc.0].set_tenant(tenant);
     }
 
     /// The page-heat tracker, if sampling is enabled.
@@ -1841,6 +1887,55 @@ mod tests {
         m.access(CtxId(0), p, MemoryAccess::read(Addr::new(0x7040), 64))
             .unwrap();
         assert_eq!(m.stats().local_fills, before + 1);
+    }
+
+    /// Tenancy at machine level: two tenant processes write PCM-bound
+    /// memory; per-tenant line counts sum exactly to the controller
+    /// counter, migration keeps the owner with the page, and the gauges
+    /// appear under `writes.tenant.<id>.*`.
+    #[test]
+    fn tenancy_attributes_controller_writes_per_tenant() {
+        let mut m = machine();
+        m.enable_tenancy(2);
+        let a = m.add_process(SocketId::PCM);
+        m.set_proc_tenant(a, 0);
+        let b = m.add_process(SocketId::PCM);
+        m.set_proc_tenant(b, 1);
+        // Tenant 0 writes 2 MiB, tenant 1 writes 1 MiB; flush so every
+        // dirty line reaches the controller.
+        m.access(CtxId(0), a, MemoryAccess::write(Addr::new(0), 2 << 20))
+            .unwrap();
+        m.access(CtxId(1), b, MemoryAccess::write(Addr::new(0), 1 << 20))
+            .unwrap();
+        m.flush_caches().unwrap();
+        let t = m.tenancy().unwrap();
+        let (t0, t1) = (t.pcm_lines(0), t.pcm_lines(1));
+        assert!(t0 > t1, "tenant 0 wrote twice as much");
+        assert_eq!(t.unattributed_pcm(), 0, "every frame has an owner");
+        assert_eq!(
+            (t0 + t1) * CACHE_LINE as u64,
+            m.pcm_writes().bytes(),
+            "per-tenant counts sum exactly to the PCM controller counter"
+        );
+        m.publish_metrics();
+        let g = m.obs().metrics.gauge("writes.tenant.0.pcm_lines").get();
+        assert_eq!(g as u64, t0);
+
+        // Migration keeps ownership with the page: the copy writes to the
+        // DRAM frame charge tenant 0.
+        let old = m
+            .address_space(a)
+            .translate_existing(Addr::new(0))
+            .unwrap()
+            .frame();
+        m.migrate_frame(old, SocketId::DRAM).unwrap().unwrap();
+        let t = m.tenancy().unwrap();
+        assert_eq!(
+            t.dram_lines(0),
+            (PAGE_SIZE / CACHE_LINE) as u64,
+            "the migration copy is attributed to the page's owner"
+        );
+        assert_eq!(t.unattributed_dram(), 0);
     }
 
     #[test]

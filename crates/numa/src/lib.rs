@@ -33,10 +33,12 @@ mod counters;
 mod memory;
 mod pagetable;
 mod qpi;
+mod tenancy;
 mod wear;
 
 pub use counters::{MemoryCounters, PageHeat, PageHeatTracker};
 pub use memory::{NumaConfig, NumaMemory, SocketMemory};
 pub use pagetable::AddressSpace;
 pub use qpi::QpiLink;
+pub use tenancy::TenancyTracker;
 pub use wear::WearTracker;

@@ -1,6 +1,7 @@
 //! The physical side of the machine: sockets, frames, and controllers.
 
 use crate::counters::{MemoryCounters, PageHeatTracker};
+use crate::tenancy::TenancyTracker;
 use crate::wear::WearTracker;
 use hemu_fault::{EnduranceConfig, EnduranceModel, FaultInjector};
 use hemu_types::{AccessKind, ByteSize, HemuError, LineAddr, PageNum, Result, SocketId, PAGE_SIZE};
@@ -198,6 +199,8 @@ pub struct NumaMemory {
     endurance: Option<EnduranceState>,
     /// Opt-in deterministic fault injection.
     injector: Option<FaultInjector>,
+    /// Opt-in per-tenant write attribution (consolidated runs).
+    tenancy: Option<TenancyTracker>,
 }
 
 impl NumaMemory {
@@ -228,6 +231,39 @@ impl NumaMemory {
             heat: None,
             endurance: None,
             injector: None,
+            tenancy: None,
+        }
+    }
+
+    /// Enables per-tenant write attribution for `tenants` tenants. Costs
+    /// one hash-map lookup per controller line write; off by default so
+    /// single-tenant runs pay nothing.
+    pub fn enable_tenancy(&mut self, tenants: usize) {
+        if self.tenancy.is_none() {
+            self.tenancy = Some(TenancyTracker::new(tenants));
+        }
+    }
+
+    /// The tenancy tracker, if enabled.
+    pub fn tenancy(&self) -> Option<&TenancyTracker> {
+        self.tenancy.as_ref()
+    }
+
+    /// Records `frame` as owned by `tenant` (called from the demand-fault
+    /// path). No-op when tenancy is off.
+    pub fn tenancy_assign(&mut self, frame: PageNum, tenant: u16) {
+        if let Some(t) = self.tenancy.as_mut() {
+            t.assign(frame, tenant);
+        }
+    }
+
+    /// Follows a physical remap `old → new` in the tenancy tracker, so
+    /// migration and wear-remap copy writes are charged to the owning
+    /// tenant. Call *before* recording the copy traffic. No-op when
+    /// tenancy is off.
+    pub fn tenancy_on_remap(&mut self, old: PageNum, new: PageNum) {
+        if let Some(t) = self.tenancy.as_mut() {
+            t.on_remap(old, new);
         }
     }
 
@@ -441,6 +477,9 @@ impl NumaMemory {
                 "frame {frame} lies outside physical memory"
             )));
         }
+        if let Some(t) = self.tenancy.as_mut() {
+            t.clear(frame);
+        }
         self.sockets[s.index()].free_frame(frame)
     }
 
@@ -453,6 +492,14 @@ impl NumaMemory {
         self.sockets[s.index()].counters.record(kind);
         if let Some(h) = self.heat.as_mut() {
             h.record(line.frame(), kind);
+        }
+        if kind.is_write() {
+            // Tenancy sees exactly the writes the controller counters see,
+            // so per-tenant counts sum to the global counters by
+            // construction.
+            if let Some(t) = self.tenancy.as_mut() {
+                t.record_write(line.frame(), s);
+            }
         }
         if kind.is_write() && s == SocketId::PCM {
             if let Some(w) = self.wear.as_mut() {
@@ -474,9 +521,14 @@ impl NumaMemory {
     }
 
     /// Resets all controllers' counters (start of a measured iteration).
+    /// Per-tenant write counts reset with them — frame ownership does not,
+    /// since the tenants keep their memory across the reset.
     pub fn reset_counters(&mut self) {
         for s in &mut self.sockets {
             s.counters.reset();
+        }
+        if let Some(t) = self.tenancy.as_mut() {
+            t.reset_counts();
         }
     }
 }
@@ -646,6 +698,38 @@ mod tests {
             let f = m.allocate_frame(SocketId::PCM).unwrap();
             assert_eq!(m.socket_of_frame(f), SocketId::PCM);
         }
+    }
+
+    #[test]
+    fn tenancy_charges_controller_writes_to_the_owning_tenant() {
+        let mut m = small();
+        m.enable_tenancy(2);
+        let f0 = m.allocate_frame(SocketId::PCM).unwrap();
+        let f1 = m.allocate_frame(SocketId::DRAM).unwrap();
+        m.tenancy_assign(f0, 0);
+        m.tenancy_assign(f1, 1);
+        m.record_line_access(f0.phys_base().line(), AccessKind::Write);
+        m.record_line_access(f1.phys_base().line(), AccessKind::Write);
+        m.record_line_access(f0.phys_base().line(), AccessKind::Read);
+        let t = m.tenancy().unwrap();
+        assert_eq!((t.pcm_lines(0), t.dram_lines(1)), (1, 1));
+        assert_eq!(t.unattributed_pcm() + t.unattributed_dram(), 0);
+        // Per-tenant counts sum to the controller counters.
+        assert_eq!(
+            t.pcm_lines(0) + t.pcm_lines(1) + t.unattributed_pcm(),
+            m.counters(SocketId::PCM).write_lines()
+        );
+        // Freeing a frame drops its ownership; later writes (stale
+        // write-backs) land in the unattributed bucket.
+        m.free_frame(f0).unwrap();
+        m.record_line_access(f0.phys_base().line(), AccessKind::Write);
+        assert_eq!(m.tenancy().unwrap().unattributed_pcm(), 1);
+        // The measured-iteration reset zeroes counts, keeps ownership.
+        m.reset_counters();
+        let t = m.tenancy().unwrap();
+        assert_eq!((t.dram_lines(1), t.unattributed_pcm()), (0, 0));
+        m.record_line_access(f1.phys_base().line(), AccessKind::Write);
+        assert_eq!(m.tenancy().unwrap().dram_lines(1), 1);
     }
 
     #[test]

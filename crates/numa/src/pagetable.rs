@@ -52,6 +52,10 @@ pub struct AddressSpace {
     faults: u64,
     unmapped_pages: u64,
     remapped_pages: u64,
+    /// The tenant this process belongs to in a consolidated run. Frames
+    /// demand-faulted by this space are recorded as owned by that tenant
+    /// (when the memory system has tenancy tracking enabled).
+    tenant: Option<u16>,
 }
 
 /// Slots in the per-space translation cache. 8192 spans 32 MiB of virtual
@@ -70,6 +74,7 @@ impl Default for AddressSpace {
             faults: 0,
             unmapped_pages: 0,
             remapped_pages: 0,
+            tenant: None,
         }
     }
 }
@@ -101,6 +106,18 @@ impl AddressSpace {
     /// The OS placement override, if one is installed.
     pub fn os_placement(&self) -> Option<(SocketId, Option<SocketId>)> {
         self.os_placement
+    }
+
+    /// Marks this process as belonging to `tenant`: subsequent demand
+    /// faults record the allocated frame as tenant-owned. Set before the
+    /// first touch, or earlier frames stay unattributed.
+    pub fn set_tenant(&mut self, tenant: u16) {
+        self.tenant = Some(tenant);
+    }
+
+    /// The tenant this process belongs to, if any.
+    pub fn tenant(&self) -> Option<u16> {
+        self.tenant
     }
 
     /// Sets the binding policy for the virtual range `[start, start + len)`.
@@ -206,6 +223,9 @@ impl AddressSpace {
                     },
                     None => mem.allocate_frame(self.socket_of(addr))?,
                 };
+                if let Some(t) = self.tenant {
+                    mem.tenancy_assign(f, t);
+                }
                 self.table.insert(vpage, f);
                 self.faults += 1;
                 f

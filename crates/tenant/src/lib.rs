@@ -1,0 +1,36 @@
+//! Multi-tenant consolidation: co-scheduling N mutator tenants onto one
+//! shared emulated machine.
+//!
+//! The paper's experiments run one workload (possibly multiple instances
+//! of it) per machine. This crate asks the datacenter question instead:
+//! what happens to per-tenant PCM write rates when *different* managed
+//! workloads are consolidated onto the same sockets — sharing the
+//! inclusive LLC, the QPI link and the PCM write budget? A
+//! [`ConsolidationRun`] time-multiplexes N tenants (each its own process,
+//! heap and workload, drawn from a [`Mix`] roster with a per-tenant RNG
+//! seed) onto the machine's M hardware contexts with a deterministic
+//! virtual-time slice scheduler, and attributes every memory-controller
+//! line write to the tenant owning the written frame. Per-tenant counts
+//! sum exactly to the global controller counters, so consolidation
+//! reports compose with every other measurement axis.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use hemu_tenant::{ConsolidationRun, Mix};
+//!
+//! let report = ConsolidationRun::new(Mix::Dacapo, 4).run()?;
+//! let c = report.consolidation.expect("consolidated runs carry shares");
+//! for t in &c.per_tenant {
+//!     println!("tenant {} ({}): {} PCM line writes", t.id, t.workload, t.pcm_write_lines);
+//! }
+//! # Ok::<(), hemu_types::HemuError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod mix;
+mod run;
+
+pub use mix::{Mix, TenantSpec};
+pub use run::ConsolidationRun;

@@ -17,7 +17,7 @@ echo "== clippy: no unwrap() in library code =="
 cargo clippy --offline --lib \
   -p hemu-types -p hemu-obs -p hemu-fault -p hemu-numa -p hemu-cache \
   -p hemu-machine -p hemu-heap -p hemu-malloc -p hemu-workloads -p hemu-os \
-  -p hemu-core \
+  -p hemu-core -p hemu-tenant \
   -- -D clippy::unwrap_used
 
 echo "== fault smoke: sweep survives transient faults (expect exit 0) =="
@@ -117,10 +117,24 @@ done
   --run-deadline 300 --json-out "$smoke_dir/sub-deferred-faulted"
 diff -r "$smoke_dir/sub-scalar-faulted" "$smoke_dir/sub-deferred-faulted"
 
+echo "== consolidation smoke: 2-tenant sweep with complete per-tenant attribution =="
+./target/release/repro consolidate --scale quick --tenants 2 --jobs 2 \
+  --json-out "$smoke_dir/consolidate"
+grep -q '"consolidation":{' "$smoke_dir/consolidate/runs.json"
+# Per-tenant write counters must sum exactly to the controller counters:
+# any residue shows up as a non-zero unattributed count.
+grep -q '"unattributed_pcm_lines":0' "$smoke_dir/consolidate/runs.json"
+grep -q '"unattributed_dram_lines":0' "$smoke_dir/consolidate/runs.json"
+if grep -E '"unattributed_(pcm|dram)_lines":[1-9]' "$smoke_dir/consolidate/runs.json"; then
+  echo "consolidated run leaked unattributed writes" >&2
+  exit 1
+fi
+
 echo "== perf gate: kernel + smoke-sweep throughput within 20% of the checked-in baseline =="
 ./target/release/repro --bench --jobs 4 --bench-out "$smoke_dir/bench.json" \
   --bench-baseline BENCH_results.json
-grep -q '"schema":"hemu-bench-results/3"' "$smoke_dir/bench.json"
+grep -q '"schema":"hemu-bench-results/4"' "$smoke_dir/bench.json"
+grep -q '"tenants":2' "$smoke_dir/bench.json"
 grep -q '"runs_per_sec"' "$smoke_dir/bench.json"
 
 echo "CI OK"
